@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the GASPI layer primitives: ping RTT
+//! (the FD's unit cost), one-sided write latency/bandwidth, notified
+//! writes, and the collectives whose blocking cost dominates the paper's
+//! OHF2 (group commit) — all on the simulated interconnect, so numbers
+//! are simulation-scale and meant for *relative* comparisons.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ft_gaspi::{GaspiConfig, GaspiWorld, Timeout};
+
+const SEG: u16 = 1;
+const Q: u16 = 0;
+
+fn bench_ping(c: &mut Criterion) {
+    let world = GaspiWorld::new(GaspiConfig::new(4));
+    let p = world.proc_handle(0);
+    c.bench_function("proc_ping RTT", |b| {
+        b.iter(|| p.proc_ping(1, Timeout::Ms(1000)).unwrap());
+    });
+}
+
+fn bench_write(c: &mut Criterion) {
+    let world = GaspiWorld::new(GaspiConfig::new(2));
+    let p0 = world.proc_handle(0);
+    let p1 = world.proc_handle(1);
+    p0.segment_create(SEG, 1 << 21).unwrap();
+    p1.segment_create(SEG, 1 << 21).unwrap();
+    let mut g = c.benchmark_group("one_sided_write");
+    for size in [8usize, 1024, 65536, 1 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                p0.write(SEG, 0, 1, SEG, 0, size, Q).unwrap();
+                p0.wait(Q, Timeout::Ms(5000)).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_notify_roundtrip(c: &mut Criterion) {
+    let world = GaspiWorld::new(GaspiConfig::new(2));
+    let p0 = world.proc_handle(0);
+    let p1 = world.proc_handle(1);
+    p0.segment_create(SEG, 4096).unwrap();
+    p1.segment_create(SEG, 4096).unwrap();
+    c.bench_function("write_notify + notify_waitsome", |b| {
+        b.iter(|| {
+            p0.write_notify(SEG, 0, 1, SEG, 0, 64, 3, 1, Q).unwrap();
+            let nid = p1.notify_waitsome(SEG, 0, 8, Timeout::Ms(5000)).unwrap();
+            p1.notify_reset(SEG, nid).unwrap();
+            p0.wait(Q, Timeout::Ms(5000)).unwrap();
+        });
+    });
+}
+
+fn bench_atomics(c: &mut Criterion) {
+    let world = GaspiWorld::new(GaspiConfig::new(2));
+    let p0 = world.proc_handle(0);
+    let p1 = world.proc_handle(1);
+    let _ = p1;
+    world.proc_handle(1).segment_create(SEG, 64).unwrap();
+    c.bench_function("atomic_fetch_add RTT", |b| {
+        b.iter(|| p0.atomic_fetch_add(1, SEG, 0, 1, Timeout::Ms(5000)).unwrap());
+    });
+}
+
+/// Whole-group collectives: every rank performs `iters` operations; the
+/// reported time is wall time per operation.
+fn collective_cost(n: u32, iters: u64, op: &'static str) -> Duration {
+    let world = GaspiWorld::new(GaspiConfig::new(n));
+    let t0 = Instant::now();
+    let outs = world
+        .launch(move |p| {
+            let g = p.group_create_with_id(1 << 32)?;
+            for r in 0..p.num_ranks() {
+                p.group_add(g, r)?;
+            }
+            p.group_commit(g, Timeout::Ms(10_000))?;
+            for _ in 0..iters {
+                match op {
+                    "barrier" => p.barrier(g, Timeout::Ms(10_000))?,
+                    _ => {
+                        p.allreduce_f64(g, &[1.0], ft_gaspi::ReduceOp::Sum, Timeout::Ms(10_000))?;
+                    }
+                }
+            }
+            Ok(())
+        })
+        .join();
+    assert!(outs.iter().all(|o| !o.was_killed()));
+    t0.elapsed() / iters as u32
+}
+
+/// Group commit cost (the paper's OHF2 driver) by group size.
+fn commit_cost(n: u32) -> Duration {
+    let world = GaspiWorld::new(GaspiConfig::new(n));
+    let t0 = Instant::now();
+    let outs = world
+        .launch(move |p| {
+            let g = p.group_create_with_id(1 << 32)?;
+            for r in 0..p.num_ranks() {
+                p.group_add(g, r)?;
+            }
+            p.group_commit(g, Timeout::Ms(30_000))?;
+            Ok(())
+        })
+        .join();
+    assert_eq!(outs.len(), n as usize);
+    t0.elapsed()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("barrier", n), &n, |b, &n| {
+            b.iter_custom(|iters| collective_cost(n, iters.max(10), "barrier") * iters as u32);
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_f64", n), &n, |b, &n| {
+            b.iter_custom(|iters| collective_cost(n, iters.max(10), "allreduce") * iters as u32);
+        });
+        g.bench_with_input(BenchmarkId::new("group_commit", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += commit_cost(n);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(Duration::from_secs(3));
+    targets = bench_ping, bench_write, bench_write_notify_roundtrip, bench_atomics, bench_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! Fig. 4 scenario runner: the fault-tolerant Lanczos application under
+//! the paper's seven runtime scenarios, with the overhead decomposition
+//! reconstructed from the job event log.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ft_checkpoint::{Pfs, PfsConfig};
+use ft_cluster::{FaultAction, FaultSchedule, Rank};
+use ft_core::{run_ft_job, EventKind, FtConfig, JobReport, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld};
+use ft_matgen::graphene::Graphene;
+use ft_solver::ft_lanczos::{FtLanczos, FtLanczosConfig, LanczosSummary};
+
+/// How failures are injected in a scenario.
+#[derive(Debug, Clone)]
+pub enum Kills {
+    /// Failure-free.
+    None,
+    /// `exit(-1)` at fixed iterations for deterministic redo-work
+    /// (paper Fig. 4 methodology).
+    AtIterations(Vec<(Rank, u64)>),
+    /// Simultaneous kills at a wall-clock offset (the node-failure case).
+    SimultaneousAt(Vec<Rank>, Duration),
+}
+
+/// One Fig. 4 bar.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (matches the paper's x-axis labels).
+    pub name: &'static str,
+    /// Health check on (FD scanning) — `false` models the "w/o HC" bars.
+    pub health_check: bool,
+    /// Checkpointing on — `false` models the "w/o CP" bars.
+    pub checkpointing: bool,
+    /// Failure injection.
+    pub kills: Kills,
+    /// FD ping threads (8 for the simultaneous case, as in the paper).
+    pub fd_threads: usize,
+}
+
+/// Shared workload parameters for all scenarios of one figure.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Worker count (the paper uses 252 workers + 4 idle on 256 nodes).
+    pub workers: u32,
+    /// Spare count including the FD (the paper reserves 4).
+    pub spares: u32,
+    /// Graphene sheet extent (dim = 2·lx·ly).
+    pub lx: u64,
+    /// Graphene sheet extent.
+    pub ly: u64,
+    /// Fixed iteration count (the paper uses 3500).
+    pub iters: u64,
+    /// Checkpoint interval (the paper uses 500).
+    pub checkpoint_every: u64,
+    /// FD scan interval.
+    pub scan_interval: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self {
+            workers: 16,
+            spares: 4,
+            lx: 48,
+            ly: 32,
+            iters: 600,
+            checkpoint_every: 100,
+            scan_interval: Duration::from_millis(30),
+            seed: 0xF164,
+        }
+    }
+}
+
+/// Decomposed result of one scenario run (one Fig. 4 bar).
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Total wall time (job start → last worker finished).
+    pub total: Duration,
+    /// Σ over epochs of fault detection + acknowledgment time.
+    pub detect: Duration,
+    /// Σ over epochs of re-initialization (group rebuild + restore).
+    pub reinit: Duration,
+    /// Σ over epochs of redo-work time.
+    pub redo: Duration,
+    /// Remainder: pure computation (incl. checkpoint writes).
+    pub compute: Duration,
+    /// Recovery rounds observed.
+    pub recoveries: usize,
+    /// Failures detected in total.
+    pub failures: usize,
+    /// All workers finished with bit-identical α/β.
+    pub consistent: bool,
+}
+
+/// The paper's seven scenarios for a workload. Kills are placed a fixed
+/// 60 %-of-interval past a checkpoint, so every failure costs the same
+/// redo-work — the paper's "killed using exit(-1) at a specific iteration
+/// in order to have a deterministic redo-work time".
+pub fn fig4_scenarios(w: &Workload) -> Vec<Scenario> {
+    let workers = w.workers;
+    let iv = w.checkpoint_every;
+    let kill_after = |ckpt_no: u64| ckpt_no * iv + (6 * iv) / 10;
+    vec![
+        Scenario {
+            name: "w/o HC, w/o CP",
+            health_check: false,
+            checkpointing: false,
+            kills: Kills::None,
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "w/o HC, with CP",
+            health_check: false,
+            checkpointing: true,
+            kills: Kills::None,
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "with HC, with CP",
+            health_check: true,
+            checkpointing: true,
+            kills: Kills::None,
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "1 fail recovery",
+            health_check: true,
+            checkpointing: true,
+            kills: Kills::AtIterations(vec![(2, kill_after(3))]),
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "2 fail recovery",
+            health_check: true,
+            checkpointing: true,
+            kills: Kills::AtIterations(vec![
+                (2, kill_after(2)),
+                (5 % workers, kill_after(4)),
+            ]),
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "3 fail recovery",
+            health_check: true,
+            checkpointing: true,
+            kills: Kills::AtIterations(vec![
+                (2, kill_after(1)),
+                (5 % workers, kill_after(3)),
+                (7 % workers, kill_after(5)),
+            ]),
+            fd_threads: 1,
+        },
+        Scenario {
+            name: "3 sim. fail recovery",
+            health_check: true,
+            checkpointing: true,
+            // Non-adjacent ranks so the neighbor replicas survive.
+            kills: Kills::SimultaneousAt(
+                vec![1, workers / 2, workers - 2],
+                Duration::from_millis(120),
+            ),
+            fd_threads: 8,
+        },
+    ]
+}
+
+/// Run one scenario and decompose its runtime.
+pub fn run_scenario(w: &Workload, sc: &Scenario) -> ScenarioResult {
+    let layout = WorldLayout::new(w.workers, w.spares);
+    let world = GaspiWorld::new(GaspiConfig::new(layout.total()).with_seed(w.seed));
+    let mut cfg = FtConfig::new(layout);
+    cfg.max_iters = w.iters;
+    cfg.checkpoint_every = if sc.checkpointing { w.checkpoint_every } else { 0 };
+    cfg.detector.scan_interval =
+        if sc.health_check { w.scan_interval } else { Duration::from_secs(3600) };
+    cfg.detector.threads = sc.fd_threads;
+    cfg.policy.abandon = Duration::from_secs(60);
+
+    let gen = Graphene::new(w.lx, w.ly).with_nnn(-0.1);
+    let app_cfg = Arc::new(FtLanczosConfig {
+        pfs: Some(Pfs::new(PfsConfig::instant())),
+        ..FtLanczosConfig::fixed_iters(Arc::new(gen))
+    });
+
+    let mut schedule = FaultSchedule::none();
+    match &sc.kills {
+        Kills::None => {}
+        Kills::AtIterations(ks) => {
+            for &(r, i) in ks {
+                schedule = schedule.kill_rank_at_iteration(r, i);
+            }
+        }
+        Kills::SimultaneousAt(ranks, at) => {
+            for &r in ranks {
+                schedule = schedule.timed(*at, FaultAction::KillRank(r));
+            }
+        }
+    }
+
+    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
+        FtLanczos::new(ctx, Arc::clone(&app_cfg))
+    });
+    decompose(sc.name, &report)
+}
+
+/// Reconstruct the Fig. 4 stacked components from the event log.
+pub fn decompose(name: &'static str, report: &JobReport<LanczosSummary>) -> ScenarioResult {
+    let ev = report.events.snapshot();
+    let total = ev
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Finished { .. }))
+        .map(|e| e.t)
+        .max()
+        .unwrap_or_default();
+
+    // Per-epoch timelines.
+    let mut epochs: Vec<u64> = ev
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FdDetect { epoch, .. } => Some(epoch),
+            _ => None,
+        })
+        .collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+
+    let mut detect = Duration::ZERO;
+    let mut reinit = Duration::ZERO;
+    let mut redo = Duration::ZERO;
+    let mut failures = 0usize;
+    for &e in &epochs {
+        // Kill instant: latest KillFired before this epoch's detection,
+        // else the detection instant itself (timed kills fire between
+        // events; the FD scan that caught them upper-bounds the moment).
+        let t_detect_done = ev
+            .iter()
+            .filter(|x| matches!(x.kind, EventKind::FdAck { epoch } if epoch == e))
+            .map(|x| x.t)
+            .max()
+            .unwrap_or_default();
+        let t_kill = ev
+            .iter()
+            .filter(|x| {
+                matches!(x.kind, EventKind::KillFired { .. }) && x.t <= t_detect_done
+            })
+            .map(|x| x.t)
+            .max()
+            .unwrap_or(t_detect_done);
+        let t_signal = ev
+            .iter()
+            .filter(|x| matches!(x.kind, EventKind::FailureSignal { epoch } if epoch == e))
+            .map(|x| x.t)
+            .max()
+            .unwrap_or(t_detect_done);
+        let t_restored = ev
+            .iter()
+            .filter(|x| matches!(x.kind, EventKind::Restored { epoch, .. } if epoch == e))
+            .map(|x| x.t)
+            .max()
+            .unwrap_or(t_signal);
+        let t_redo = ev
+            .iter()
+            .filter(|x| matches!(x.kind, EventKind::RedoComplete { epoch, .. } if epoch == e))
+            .map(|x| x.t)
+            .max()
+            .unwrap_or(t_restored);
+        detect += t_signal.saturating_sub(t_kill);
+        reinit += t_restored.saturating_sub(t_signal);
+        redo += t_redo.saturating_sub(t_restored);
+        failures += ev
+            .iter()
+            .filter_map(|x| match &x.kind {
+                EventKind::FdDetect { epoch, failed } if *epoch == e => Some(failed.len()),
+                _ => None,
+            })
+            .sum::<usize>();
+    }
+    let overhead = detect + reinit + redo;
+    let compute = total.saturating_sub(overhead);
+
+    // Consistency: every worker finished and α histories agree.
+    let summaries = report.worker_summaries();
+    let consistent = !summaries.is_empty()
+        && summaries.iter().all(|(_, s)| s.alphas == summaries[0].1.alphas);
+
+    ScenarioResult {
+        name,
+        total,
+        detect,
+        reinit,
+        redo,
+        compute,
+        recoveries: epochs.len(),
+        failures,
+        consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Fig. 4: baseline vs 1-failure scenario shapes hold.
+    #[test]
+    fn tiny_fig4_shapes() {
+        let w = Workload {
+            workers: 4,
+            spares: 2,
+            lx: 8,
+            ly: 4,
+            iters: 60,
+            checkpoint_every: 20,
+            ..Workload::default()
+        };
+        let base = run_scenario(
+            &w,
+            &Scenario {
+                name: "base",
+                health_check: true,
+                checkpointing: true,
+                kills: Kills::None,
+                fd_threads: 1,
+            },
+        );
+        assert!(base.consistent, "baseline must complete consistently");
+        assert_eq!(base.recoveries, 0);
+        assert_eq!(base.redo, Duration::ZERO);
+
+        let one = run_scenario(
+            &w,
+            &Scenario {
+                name: "1 fail",
+                health_check: true,
+                checkpointing: true,
+                kills: Kills::AtIterations(vec![(1, 45)]),
+                fd_threads: 1,
+            },
+        );
+        assert!(one.consistent, "1-failure run must complete consistently");
+        assert_eq!(one.recoveries, 1);
+        assert_eq!(one.failures, 1);
+        assert!(one.total > base.total, "failure adds overhead");
+        assert!(one.redo > Duration::ZERO, "redo-work must be visible");
+    }
+}

@@ -1,0 +1,47 @@
+//! Mean/σ over duration samples.
+
+use std::time::Duration;
+
+/// Mean of the samples (zero if empty).
+pub fn mean(xs: &[Duration]) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.iter().sum::<Duration>() / xs.len() as u32
+}
+
+/// Sample standard deviation (zero for fewer than two samples).
+pub fn std_dev(xs: &[Duration]) -> Duration {
+    if xs.len() < 2 {
+        return Duration::ZERO;
+    }
+    let m = mean(xs).as_secs_f64();
+    let var = xs.iter().map(|x| (x.as_secs_f64() - m).powi(2)).sum::<f64>()
+        / (xs.len() - 1) as f64;
+    Duration::from_secs_f64(var.sqrt())
+}
+
+/// `"mean ± σ"` in seconds with millisecond resolution.
+pub fn fmt_mean_std(xs: &[Duration]) -> String {
+    format!("{:.3}s ±{:.3}s", mean(xs).as_secs_f64(), std_dev(xs).as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [Duration::from_millis(2), Duration::from_millis(4), Duration::from_millis(6)];
+        assert_eq!(mean(&xs), Duration::from_millis(4));
+        let s = std_dev(&xs).as_secs_f64();
+        assert!((s - 0.002).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), Duration::ZERO);
+        assert_eq!(std_dev(&[]), Duration::ZERO);
+        assert_eq!(std_dev(&[Duration::from_millis(9)]), Duration::ZERO);
+    }
+}

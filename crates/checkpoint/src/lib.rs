@@ -1,0 +1,31 @@
+//! # ft-checkpoint — fault-aware neighbor node-level checkpoint/restart
+//!
+//! The paper's third contribution (§IV-C): writing checkpoints to the
+//! parallel file system is expensive, so this library checkpoints to the
+//! **local node** first and then asynchronously replicates each checkpoint
+//! to the **neighbor node**, from a library thread the application merely
+//! signals (paper Fig. 2). Optionally, every k-th checkpoint also goes to
+//! a (slow, simulated) PFS tier for a higher degree of reliability.
+//!
+//! Because node-local storage dies with the node, a failed rank's state is
+//! recovered from the *neighbor's* replica — and since failures change who
+//! neighbors whom, the library is itself fault-aware:
+//! [`Checkpointer::refresh_failed`] re-derives the neighbor ring from the
+//! cumulative failed-process list the fault detector distributes, exactly
+//! as the paper describes ("the C/R library refreshes its list of
+//! neighboring processes based on the failed processes list provided by
+//! the application thread").
+//!
+//! Restore resolution order ([`Checkpointer::restore_latest`]):
+//! local node → neighbor replica → PFS; the returned [`Provenance`] lets
+//! benchmarks attribute re-initialization cost (the paper's OHF3).
+
+pub mod codec;
+pub mod neighbor;
+pub mod pfs;
+pub mod writer;
+
+pub use codec::{CodecError, Dec, Enc};
+pub use neighbor::NeighborMap;
+pub use pfs::{Pfs, PfsConfig};
+pub use writer::{Checkpointer, CheckpointerConfig, Provenance, Restored};

@@ -1,0 +1,72 @@
+//! Property tests: codec roundtrips and neighbor-ring invariants.
+
+use proptest::prelude::*;
+
+use ft_checkpoint::{Dec, Enc, NeighborMap};
+use ft_cluster::Topology;
+
+proptest! {
+    /// Arbitrary encode sequences decode to the same values in order.
+    #[test]
+    fn codec_roundtrip(
+        us in proptest::collection::vec(any::<u64>(), 0..20),
+        fs in proptest::collection::vec(any::<f64>(), 0..20),
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        tail in any::<u32>(),
+    ) {
+        let mut e = Enc::new();
+        e.u64s(&us).f64s(&fs).bytes(&bytes).u32(tail);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        prop_assert_eq!(d.u64s().unwrap(), us);
+        let got = d.f64s().unwrap();
+        prop_assert_eq!(got.len(), fs.len());
+        for (a, b) in got.iter().zip(&fs) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "bit-exact floats");
+        }
+        prop_assert_eq!(d.bytes().unwrap(), bytes);
+        prop_assert_eq!(d.u32().unwrap(), tail);
+        d.expect_end().unwrap();
+    }
+
+    /// Truncating an encoded buffer anywhere never panics and never
+    /// decodes to a full successful read of all fields.
+    #[test]
+    fn codec_truncation_safe(
+        fs in proptest::collection::vec(any::<f64>(), 1..10),
+        cut in 0usize..100,
+    ) {
+        let mut e = Enc::new();
+        e.f64s(&fs);
+        let buf = e.finish();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let mut d = Dec::new(&buf[..cut]);
+        // Either errors or reads a shorter prefix — never panics.
+        let _ = d.f64s();
+    }
+
+    /// The neighbor ring is a pure function of the failed set: insertion
+    /// order never matters, neighbors are never dead, never self.
+    #[test]
+    fn neighbor_ring_invariants(
+        n in 2u32..32,
+        mut failed in proptest::collection::vec(0u32..32, 0..16),
+    ) {
+        failed.retain(|&r| r < n);
+        let topo = Topology::one_per_node(n);
+        let a = NeighborMap::from_failed(topo.clone(), failed.clone());
+        failed.reverse();
+        let mut b = NeighborMap::new(topo.clone());
+        for &f in &failed {
+            b.mark_failed(&[f]);
+        }
+        for node in topo.nodes() {
+            let na = a.neighbor_of(node);
+            prop_assert_eq!(na, b.neighbor_of(node), "order independence");
+            if let Some(nb) = na {
+                prop_assert_ne!(nb, node);
+                prop_assert!(!a.node_dead(nb));
+            }
+        }
+    }
+}

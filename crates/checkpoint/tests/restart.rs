@@ -1,0 +1,170 @@
+//! Integration tests: checkpoint, kill, restore — over a live world.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Pfs, PfsConfig, Provenance};
+use ft_cluster::NodeId;
+use ft_gaspi::{GaspiConfig, GaspiWorld};
+
+const T: Duration = Duration::from_secs(5);
+
+#[test]
+fn local_restore_is_fast_path() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let p = world.proc_handle(0);
+    let ck = Checkpointer::new(&p, CheckpointerConfig::for_tag(1), None);
+    ck.checkpoint(1, vec![1, 2, 3]);
+    ck.checkpoint(2, vec![4, 5, 6]);
+    assert!(ck.drain(T));
+    let r = ck.restore_latest(0, T).expect("restore");
+    assert_eq!(r.version, 2);
+    assert_eq!(r.data, vec![4, 5, 6]);
+    assert_eq!(r.provenance, Provenance::Local);
+}
+
+#[test]
+fn neighbor_replica_survives_node_kill() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let fault = world.fault();
+    // Rank 1 checkpoints; its neighbor (node 2) receives the replica.
+    let p1 = world.proc_handle(1);
+    let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(7), None);
+    ck1.checkpoint(5, vec![9u8; 64]);
+    assert!(ck1.drain(T), "async neighbor copy must land");
+    assert_eq!(ck1.copies_done.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(ck1.neighbor_node(), Some(NodeId(2)));
+
+    // Node 1 dies; its local checkpoint is wiped.
+    fault.kill_node(NodeId(1));
+
+    // A rescue process (rank 3) adopts rank 1 and restores its state.
+    let p3 = world.proc_handle(3);
+    let ck3 = Checkpointer::new(&p3, CheckpointerConfig::for_tag(7), None);
+    ck3.refresh_failed(&[1]);
+    let r = ck3.restore_latest(1, T).expect("neighbor restore");
+    assert_eq!(r.version, 5);
+    assert_eq!(r.data, vec![9u8; 64]);
+    assert_eq!(r.provenance, Provenance::Neighbor(NodeId(2)));
+}
+
+#[test]
+fn rescue_on_replica_node_restores_without_network() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let fault = world.fault();
+    let p0 = world.proc_handle(0);
+    let ck0 = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
+    ck0.checkpoint(1, b"state-of-rank-0".to_vec());
+    assert!(ck0.drain(T));
+    fault.kill_node(NodeId(0));
+    // Rank 1 *is* the replica holder (node 1 is node 0's neighbor).
+    let p1 = world.proc_handle(1);
+    let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
+    ck1.refresh_failed(&[0]);
+    let r = ck1.restore_latest(0, T).expect("restore");
+    assert_eq!(r.provenance, Provenance::Neighbor(NodeId(1)));
+    assert_eq!(r.data, b"state-of-rank-0");
+}
+
+#[test]
+fn ring_skips_dead_nodes_after_refresh() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let fault = world.fault();
+    let p0 = world.proc_handle(0);
+    let ck0 = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
+    // Node 1 dies *before* the checkpoint: the copy must skip to node 2.
+    fault.kill_node(NodeId(1));
+    ck0.refresh_failed(&[1]);
+    assert_eq!(ck0.neighbor_node(), Some(NodeId(2)));
+    ck0.checkpoint(1, vec![7u8; 16]);
+    assert!(ck0.drain(T));
+    let storage = world.storage();
+    assert!(storage
+        .get(NodeId(2), ft_cluster::storage::BlobKey { rank: 0, tag: 1, version: 1 })
+        .is_some());
+}
+
+#[test]
+fn pfs_fallback_when_both_nodes_dead() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let fault = world.fault();
+    let pfs = Pfs::new(PfsConfig::instant());
+    let p0 = world.proc_handle(0);
+    let cfg = CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(3) };
+    let ck0 = Checkpointer::new(&p0, cfg, Some(Arc::clone(&pfs)));
+    ck0.checkpoint(4, b"pfs-me".to_vec());
+    assert!(ck0.drain(T));
+    // Both the home node and the replica holder die.
+    fault.kill_node(NodeId(0));
+    fault.kill_node(NodeId(1));
+    let p2 = world.proc_handle(2);
+    let ck2 = Checkpointer::new(
+        &p2,
+        CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(3) },
+        Some(pfs),
+    );
+    ck2.refresh_failed(&[0, 1]);
+    let r = ck2.restore_latest(0, T).expect("PFS restore");
+    assert_eq!(r.provenance, Provenance::Pfs);
+    assert_eq!(r.data, b"pfs-me");
+    assert_eq!(r.version, 4);
+}
+
+#[test]
+fn keep_versions_prunes_old_checkpoints() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let p0 = world.proc_handle(0);
+    let ck = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
+    for v in 1..=5 {
+        ck.checkpoint(v, vec![v as u8; 8]);
+    }
+    assert!(ck.drain(T));
+    let storage = world.storage();
+    // keep_versions = 2 → only v4, v5 remain locally.
+    for v in 1..=3u64 {
+        assert!(storage
+            .get(NodeId(0), ft_cluster::storage::BlobKey { rank: 0, tag: 1, version: v })
+            .is_none());
+    }
+    for v in 4..=5u64 {
+        assert!(storage
+            .get(NodeId(0), ft_cluster::storage::BlobKey { rank: 0, tag: 1, version: v })
+            .is_some());
+    }
+}
+
+#[test]
+fn latest_restorable_sees_remote_replica() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let fault = world.fault();
+    let p1 = world.proc_handle(1);
+    let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
+    ck1.checkpoint(1, vec![1]);
+    ck1.checkpoint(2, vec![2]);
+    assert!(ck1.drain(T));
+    fault.kill_node(NodeId(1));
+    let p3 = world.proc_handle(3);
+    let ck3 = Checkpointer::new(&p3, CheckpointerConfig::for_tag(1), None);
+    ck3.refresh_failed(&[1]);
+    assert_eq!(ck3.latest_restorable(1, T), Some(2));
+    // And restore_exact of the agreed version works remotely.
+    let r = ck3.restore_exact(1, 2, T).expect("exact restore");
+    assert_eq!(r.data, vec![2]);
+}
+
+#[test]
+fn exhausted_ring_restores_nothing() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let fault = world.fault();
+    let p0 = world.proc_handle(0);
+    let ck0 = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
+    ck0.checkpoint(1, vec![1]);
+    assert!(ck0.drain(T));
+    fault.kill_node(NodeId(0));
+    fault.kill_node(NodeId(1));
+    // Nothing left anywhere, no PFS: restore must fail, not hang.
+    let p1 = world.proc_handle(1);
+    let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
+    ck1.refresh_failed(&[0, 1]);
+    assert!(ck1.restore_latest(0, Duration::from_millis(500)).is_none());
+}

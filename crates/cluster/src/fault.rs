@@ -1,0 +1,432 @@
+//! The fault plane: fail-stop process/node failures and network faults.
+//!
+//! The paper verified its recovery mechanism by killing processes three
+//! ways (§VI): `exit(-1)` inside the program, `kill -9` from outside, and
+//! physically introducing a network failure. The fault plane reproduces all
+//! three:
+//!
+//! * [`FaultPlane::kill_rank`] — external kill (`kill -9`): the rank's
+//!   liveness flag is poisoned; its next communication-layer call panics
+//!   with [`RankKilled`], unwound to the rank-thread boundary.
+//! * A rank may also kill *itself* (the `exit(-1)` style) by calling
+//!   [`FaultPlane::kill_rank`] on its own rank and then raising
+//!   [`RankKilled::raise`].
+//! * [`FaultPlane::break_link`] — a network fault: both processes stay
+//!   alive but messages between them are reported broken. Used to exercise
+//!   the paper's *false positive* discussion (§IV-A-a): the fault detector
+//!   suspects a healthy process and enforces its death via
+//!   `gaspi_proc_kill`.
+//!
+//! Node kills ([`FaultPlane::kill_node`]) take down every rank placed on
+//! the node *and* fire the registered kill hooks, which drop node-local
+//! state (segments, node-level checkpoints) — the reason the checkpoint
+//! library must replicate to a *neighbor* node.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::topology::{NodeId, Rank, Topology};
+
+/// Panic payload raised by a killed rank's next communication call.
+///
+/// The GASPI runtime installs a panic hook that silences this payload (it
+/// is a *simulated* failure, not a bug) and catches it at the top of the
+/// rank thread, turning the thread's outcome into "killed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKilled {
+    /// The rank that died.
+    pub rank: Rank,
+}
+
+impl RankKilled {
+    /// Unwind the current rank thread with this payload.
+    pub fn raise(self) -> ! {
+        std::panic::panic_any(self)
+    }
+}
+
+/// What happened in a kill event, passed to registered hooks.
+#[derive(Debug, Clone)]
+pub struct KillEvent {
+    /// Ranks that died in this event (one for a process kill, all ranks of
+    /// the node for a node kill).
+    pub ranks: Vec<Rank>,
+    /// Set when the whole node died, in which case node-local state must be
+    /// dropped.
+    pub node: Option<NodeId>,
+}
+
+type KillHook = Box<dyn Fn(&KillEvent) + Send + Sync>;
+
+/// Shared liveness/link-state of the simulated cluster.
+pub struct FaultPlane {
+    topo: Topology,
+    alive: Vec<AtomicBool>,
+    node_alive: Vec<AtomicBool>,
+    /// Directed broken links `(src, dst)`.
+    broken_links: RwLock<HashSet<(Rank, Rank)>>,
+    hooks: Mutex<Vec<KillHook>>,
+    /// Bumped on every kill/link event; cheap freshness check for cached
+    /// liveness views.
+    epoch: AtomicU64,
+}
+
+impl FaultPlane {
+    /// A fault plane where every rank and node starts healthy.
+    pub fn new(topo: Topology) -> Arc<Self> {
+        let alive = (0..topo.num_ranks()).map(|_| AtomicBool::new(true)).collect();
+        let node_alive = (0..topo.num_nodes()).map(|_| AtomicBool::new(true)).collect();
+        Arc::new(Self {
+            topo,
+            alive,
+            node_alive,
+            broken_links: RwLock::new(HashSet::new()),
+            hooks: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The topology this plane covers.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Liveness of a rank.
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.alive[rank as usize].load(Ordering::Acquire)
+    }
+
+    /// Liveness of a node.
+    pub fn node_is_alive(&self, node: NodeId) -> bool {
+        self.node_alive[node.0 as usize].load(Ordering::Acquire)
+    }
+
+    /// Number of ranks still alive.
+    pub fn alive_count(&self) -> u32 {
+        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count() as u32
+    }
+
+    /// Panic with [`RankKilled`] if `rank` has been killed. Communication
+    /// entry points call this so a killed rank stops at its next call —
+    /// fail-stop semantics without force-killing OS threads.
+    pub fn assert_alive(&self, rank: Rank) {
+        if !self.is_alive(rank) {
+            RankKilled { rank }.raise();
+        }
+    }
+
+    /// Current fault epoch; bumped by every kill or link change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Register a hook to run on every kill event (e.g. drop node storage,
+    /// wake blocked waiters). Hooks run on the killer's thread, outside the
+    /// plane's locks.
+    pub fn on_kill(&self, hook: impl Fn(&KillEvent) + Send + Sync + 'static) {
+        self.hooks.lock().push(Box::new(hook));
+    }
+
+    fn fire(&self, ev: KillEvent) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let hooks = self.hooks.lock();
+        for h in hooks.iter() {
+            h(&ev);
+        }
+    }
+
+    /// Kill a single rank (fail-stop). Returns `true` if this call killed
+    /// it, `false` if it was already dead. Idempotent, as `gaspi_proc_kill`
+    /// must be.
+    pub fn kill_rank(&self, rank: Rank) -> bool {
+        let first = self.alive[rank as usize].swap(false, Ordering::AcqRel);
+        if first {
+            self.fire(KillEvent { ranks: vec![rank], node: None });
+        }
+        first
+    }
+
+    /// Kill a whole node: all its ranks die and node-local state is
+    /// dropped by the hooks. Returns the ranks that died with this call.
+    pub fn kill_node(&self, node: NodeId) -> Vec<Rank> {
+        let was_alive = self.node_alive[node.0 as usize].swap(false, Ordering::AcqRel);
+        let mut died = Vec::new();
+        for r in self.topo.ranks_on(node) {
+            if self.alive[r as usize].swap(false, Ordering::AcqRel) {
+                died.push(r);
+            }
+        }
+        if was_alive || !died.is_empty() {
+            self.fire(KillEvent { ranks: died.clone(), node: Some(node) });
+        }
+        died
+    }
+
+    /// Break the directed link `src → dst` (messages that way are reported
+    /// broken; the reverse direction is unaffected).
+    pub fn break_link_directed(&self, src: Rank, dst: Rank) {
+        self.broken_links.write().insert((src, dst));
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Break both directions between `a` and `b`.
+    pub fn break_link(&self, a: Rank, b: Rank) {
+        {
+            let mut l = self.broken_links.write();
+            l.insert((a, b));
+            l.insert((b, a));
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Restore both directions between `a` and `b`.
+    pub fn heal_link(&self, a: Rank, b: Rank) {
+        {
+            let mut l = self.broken_links.write();
+            l.remove(&(a, b));
+            l.remove(&(b, a));
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether messages can flow `src → dst` right now (both endpoints
+    /// alive, link intact).
+    pub fn link_ok(&self, src: Rank, dst: Rank) -> bool {
+        self.is_alive(src)
+            && self.is_alive(dst)
+            && !self.broken_links.read().contains(&(src, dst))
+    }
+}
+
+/// One planned fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill one rank.
+    KillRank(Rank),
+    /// Kill a node and every rank on it.
+    KillNode(NodeId),
+    /// Break the (bidirectional) link between two ranks.
+    BreakLink(Rank, Rank),
+    /// Heal the (bidirectional) link between two ranks.
+    HealLink(Rank, Rank),
+}
+
+impl FaultAction {
+    fn apply(&self, plane: &FaultPlane) {
+        match *self {
+            FaultAction::KillRank(r) => {
+                plane.kill_rank(r);
+            }
+            FaultAction::KillNode(n) => {
+                plane.kill_node(n);
+            }
+            FaultAction::BreakLink(a, b) => plane.break_link(a, b),
+            FaultAction::HealLink(a, b) => plane.heal_link(a, b),
+        }
+    }
+}
+
+/// A deterministic failure plan: iteration-triggered kills (the paper's
+/// `exit(-1)` at a fixed iteration, for reproducible redo-work time) and
+/// wall-clock-triggered actions (the paper's random `kill -9` during the
+/// run, for Table I).
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    at_iteration: Vec<(Rank, u64)>,
+    timed: Vec<(Duration, FaultAction)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (failure-free run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kill `rank` when *it* reaches iteration `iter` (the application
+    /// driver polls [`FaultSchedule::kill_at_iteration`]).
+    pub fn kill_rank_at_iteration(mut self, rank: Rank, iter: u64) -> Self {
+        self.at_iteration.push((rank, iter));
+        self
+    }
+
+    /// Apply `action` `after` the schedule timer starts.
+    pub fn timed(mut self, after: Duration, action: FaultAction) -> Self {
+        self.timed.push((after, action));
+        self
+    }
+
+    /// Should `rank` kill itself upon reaching `iter`?
+    pub fn kill_at_iteration(&self, rank: Rank, iter: u64) -> bool {
+        self.at_iteration.iter().any(|&(r, i)| r == rank && i == iter)
+    }
+
+    /// Iteration-triggered kills, for inspection.
+    pub fn iteration_kills(&self) -> &[(Rank, u64)] {
+        &self.at_iteration
+    }
+
+    /// Spawn the timer thread applying the timed actions. The returned
+    /// guard aborts outstanding actions when dropped.
+    pub fn start_timer(&self, plane: Arc<FaultPlane>) -> ScheduleTimer {
+        let mut timed = self.timed.clone();
+        timed.sort_by_key(|(d, _)| *d);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let c2 = Arc::clone(&cancel);
+        let handle = std::thread::Builder::new()
+            .name("fault-schedule".into())
+            .spawn(move || {
+                let start = std::time::Instant::now();
+                for (after, action) in timed {
+                    loop {
+                        if c2.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let elapsed = start.elapsed();
+                        if elapsed >= after {
+                            break;
+                        }
+                        let nap = (after - elapsed).min(Duration::from_millis(1));
+                        std::thread::sleep(nap);
+                    }
+                    if c2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    action.apply(&plane);
+                }
+            })
+            .expect("spawn fault-schedule thread");
+        ScheduleTimer { cancel, handle: Some(handle) }
+    }
+}
+
+/// Guard for the schedule timer thread; cancels pending actions on drop.
+pub struct ScheduleTimer {
+    cancel: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScheduleTimer {
+    /// Stop applying further actions and join the timer thread.
+    pub fn cancel(mut self) {
+        self.cancel.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Wait for all scheduled actions to be applied.
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScheduleTimer {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(n: u32) -> Arc<FaultPlane> {
+        FaultPlane::new(Topology::new(n, 2))
+    }
+
+    #[test]
+    fn kill_rank_is_idempotent_and_bumps_epoch() {
+        let p = plane(4);
+        let e0 = p.epoch();
+        assert!(p.kill_rank(1));
+        assert!(!p.kill_rank(1));
+        assert!(!p.is_alive(1));
+        assert_eq!(p.alive_count(), 3);
+        assert_eq!(p.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn kill_node_takes_all_ranks_and_fires_hook_once() {
+        let p = plane(6); // 2 ranks/node → 3 nodes
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        p.on_kill(move |ev| s2.lock().push(ev.clone()));
+        let died = p.kill_node(NodeId(1));
+        assert_eq!(died, vec![2, 3]);
+        assert!(!p.node_is_alive(NodeId(1)));
+        let evs = seen.lock();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].node, Some(NodeId(1)));
+        assert_eq!(evs[0].ranks, vec![2, 3]);
+    }
+
+    #[test]
+    fn directed_link_break_is_asymmetric() {
+        let p = plane(4);
+        p.break_link_directed(0, 1);
+        assert!(!p.link_ok(0, 1));
+        assert!(p.link_ok(1, 0));
+        p.heal_link(0, 1);
+        assert!(p.link_ok(0, 1));
+    }
+
+    #[test]
+    fn link_ok_requires_both_endpoints_alive() {
+        let p = plane(4);
+        p.kill_rank(2);
+        assert!(!p.link_ok(0, 2));
+        assert!(!p.link_ok(2, 0));
+        assert!(p.link_ok(0, 1));
+    }
+
+    #[test]
+    fn assert_alive_raises_rank_killed() {
+        let p = plane(2);
+        p.kill_rank(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.assert_alive(0)));
+        let payload = r.unwrap_err();
+        let rk = payload.downcast_ref::<RankKilled>().expect("RankKilled payload");
+        assert_eq!(rk.rank, 0);
+    }
+
+    #[test]
+    fn schedule_iteration_kills() {
+        let s = FaultSchedule::none()
+            .kill_rank_at_iteration(3, 100)
+            .kill_rank_at_iteration(5, 100);
+        assert!(s.kill_at_iteration(3, 100));
+        assert!(!s.kill_at_iteration(3, 99));
+        assert!(!s.kill_at_iteration(4, 100));
+        assert_eq!(s.iteration_kills().len(), 2);
+    }
+
+    #[test]
+    fn schedule_timer_applies_actions() {
+        let p = plane(4);
+        let s = FaultSchedule::none()
+            .timed(Duration::from_millis(5), FaultAction::KillRank(1))
+            .timed(Duration::from_millis(10), FaultAction::BreakLink(0, 2));
+        let t = s.start_timer(Arc::clone(&p));
+        t.join();
+        assert!(!p.is_alive(1));
+        assert!(!p.link_ok(0, 2));
+    }
+
+    #[test]
+    fn schedule_timer_cancel_skips_pending() {
+        let p = plane(4);
+        let s = FaultSchedule::none().timed(Duration::from_secs(60), FaultAction::KillRank(1));
+        let t = s.start_timer(Arc::clone(&p));
+        t.cancel();
+        assert!(p.is_alive(1));
+    }
+}

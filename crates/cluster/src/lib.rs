@@ -1,0 +1,41 @@
+//! # ft-cluster — simulated HPC cluster substrate
+//!
+//! This crate models the hardware the paper ran on (the RRZE *LiMa*
+//! cluster: nodes connected by QDR InfiniBand) inside a single OS process,
+//! so that the GASPI-level fault-tolerance machinery built on top of it can
+//! be exercised, failed, and benchmarked deterministically on a laptop.
+//!
+//! The pieces:
+//!
+//! * [`topology`] — ranks, nodes, and the rank↔node placement.
+//! * [`fault`] — the *fault plane*: per-rank liveness, node kills, link
+//!   (network) faults, and failure schedules. Fail-stop failures are
+//!   modeled by poisoning a rank's liveness flag; the communication layer
+//!   panics with [`fault::RankKilled`] at the rank's next call, which the
+//!   runtime catches at the rank-thread boundary.
+//! * [`transport`] — an in-memory network with a timing-wheel scheduler:
+//!   messages are posted with a byte count, acquire a latency from the
+//!   [`time::LatencyModel`], and are delivered (their action closure runs)
+//!   when due. Messages between the same (source, queue, target) triple are
+//!   delivered in FIFO order, like a GASPI queue. Delivery to a dead rank
+//!   or across a broken link completes with [`transport::Outcome::Broken`]
+//!   after a configurable break-detection delay — this is what makes
+//!   `gaspi_proc_ping` return an error for failed processes.
+//! * [`storage`] — node-local in-memory storage that is destroyed when its
+//!   node is killed; the neighbor-level checkpoint library builds on it.
+//! * [`metrics`] — cheap atomic counters for messages/bytes/pings.
+//! * [`time`] — the latency model and paper-scale conversion helpers.
+
+pub mod fault;
+pub mod metrics;
+pub mod storage;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use fault::{FaultAction, FaultPlane, FaultSchedule, RankKilled, ScheduleTimer};
+pub use metrics::Metrics;
+pub use storage::{BlobKey, NodeStorage};
+pub use time::LatencyModel;
+pub use topology::{NodeId, Rank, Topology};
+pub use transport::{Envelope, Outcome, Transport, TransportOwner};

@@ -1,0 +1,94 @@
+//! Cheap atomic counters for the simulated cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transport- and runtime-level counters. All counters are monotonic and
+/// relaxed; they exist for benchmarking and assertions, not for
+//  synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Messages posted to the transport.
+    pub msg_posted: AtomicU64,
+    /// Payload bytes posted.
+    pub bytes_posted: AtomicU64,
+    /// Messages delivered to a live destination.
+    pub msg_delivered: AtomicU64,
+    /// Messages that completed with [`crate::Outcome::Broken`].
+    pub msg_broken: AtomicU64,
+    /// Messages dropped because the source died in flight.
+    pub msg_dropped_dead_src: AtomicU64,
+    /// Ping round trips initiated (maintained by the GASPI layer).
+    pub pings: AtomicU64,
+    /// Ping round trips that returned an error (maintained by the GASPI
+    /// layer).
+    pub ping_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`], convenient for deltas in benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub msg_posted: u64,
+    pub bytes_posted: u64,
+    pub msg_delivered: u64,
+    pub msg_broken: u64,
+    pub msg_dropped_dead_src: u64,
+    pub pings: u64,
+    pub ping_errors: u64,
+}
+
+impl Metrics {
+    /// Take a relaxed snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            msg_posted: self.msg_posted.load(Ordering::Relaxed),
+            bytes_posted: self.bytes_posted.load(Ordering::Relaxed),
+            msg_delivered: self.msg_delivered.load(Ordering::Relaxed),
+            msg_broken: self.msg_broken.load(Ordering::Relaxed),
+            msg_dropped_dead_src: self.msg_dropped_dead_src.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            ping_errors: self.ping_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            msg_posted: self.msg_posted.saturating_sub(earlier.msg_posted),
+            bytes_posted: self.bytes_posted.saturating_sub(earlier.bytes_posted),
+            msg_delivered: self.msg_delivered.saturating_sub(earlier.msg_delivered),
+            msg_broken: self.msg_broken.saturating_sub(earlier.msg_broken),
+            msg_dropped_dead_src: self
+                .msg_dropped_dead_src
+                .saturating_sub(earlier.msg_dropped_dead_src),
+            pings: self.pings.saturating_sub(earlier.pings),
+            ping_errors: self.ping_errors.saturating_sub(earlier.ping_errors),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let m = Metrics::default();
+        m.msg_posted.fetch_add(5, Ordering::Relaxed);
+        m.bytes_posted.fetch_add(100, Ordering::Relaxed);
+        let a = m.snapshot();
+        m.msg_posted.fetch_add(2, Ordering::Relaxed);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.msg_posted, 2);
+        assert_eq!(d.bytes_posted, 0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = MetricsSnapshot { msg_posted: 3, ..Default::default() };
+        let b = MetricsSnapshot::default();
+        assert_eq!(b.since(&a).msg_posted, 0);
+    }
+}

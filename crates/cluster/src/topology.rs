@@ -1,0 +1,169 @@
+//! Ranks, nodes, and their placement.
+//!
+//! The paper runs one GASPI process per node (256 processes on 256 nodes)
+//! but the mechanisms also work with several processes per node, and node
+//! failures then take down all ranks placed on the node at once — the
+//! "likely scenario" behind the paper's *3 simultaneous failures* case.
+
+use std::fmt;
+
+/// A GASPI process identifier, 0-based and dense, as in `gaspi_proc_rank`.
+pub type Rank = u32;
+
+/// A compute-node identifier, 0-based and dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static rank↔node placement for a simulated cluster run.
+///
+/// Placement is block-wise: ranks `[n*rpn, (n+1)*rpn)` live on node `n`,
+/// which mirrors the usual `mpirun`/`gaspi_run` fill order. The last node
+/// may be partially filled if `num_ranks` is not a multiple of
+/// `ranks_per_node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_ranks: u32,
+    ranks_per_node: u32,
+}
+
+impl Topology {
+    /// Create a placement of `num_ranks` ranks, `ranks_per_node` per node.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(num_ranks: u32, ranks_per_node: u32) -> Self {
+        assert!(num_ranks > 0, "topology needs at least one rank");
+        assert!(ranks_per_node > 0, "topology needs at least one rank per node");
+        Self { num_ranks, ranks_per_node }
+    }
+
+    /// One rank per node — the paper's configuration.
+    pub fn one_per_node(num_ranks: u32) -> Self {
+        Self::new(num_ranks, 1)
+    }
+
+    /// Total number of ranks in the job.
+    pub fn num_ranks(&self) -> u32 {
+        self.num_ranks
+    }
+
+    /// Ranks co-located on a node.
+    pub fn ranks_per_node(&self) -> u32 {
+        self.ranks_per_node
+    }
+
+    /// Number of (fully or partially occupied) nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// The node hosting `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        assert!(rank < self.num_ranks, "rank {rank} out of range");
+        NodeId(rank / self.ranks_per_node)
+    }
+
+    /// All ranks hosted on `node`, in ascending order.
+    pub fn ranks_on(&self, node: NodeId) -> impl Iterator<Item = Rank> + '_ {
+        let start = node.0 * self.ranks_per_node;
+        let end = (start + self.ranks_per_node).min(self.num_ranks);
+        start..end
+    }
+
+    /// Whether two ranks share a node (checkpoint *neighbor* copies must
+    /// cross node boundaries to survive node failures).
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// The next node in the ring, skipping nodes for which `dead` returns
+    /// true. Returns `None` if every *other* node is dead.
+    ///
+    /// This is the basic neighbor function of the checkpoint library; after
+    /// failures the library re-evaluates it with an updated `dead`
+    /// predicate ("fault-aware" refresh, paper §IV-C).
+    pub fn next_live_node(
+        &self,
+        from: NodeId,
+        mut dead: impl FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let n = self.num_nodes();
+        for step in 1..n {
+            let cand = NodeId((from.0 + step) % n);
+            if !dead(cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.node_of(0), NodeId(0));
+        assert_eq!(t.node_of(3), NodeId(0));
+        assert_eq!(t.node_of(4), NodeId(1));
+        assert_eq!(t.node_of(9), NodeId(2));
+        assert_eq!(t.ranks_on(NodeId(2)).collect::<Vec<_>>(), vec![8, 9]);
+    }
+
+    #[test]
+    fn one_per_node_matches_paper_setup() {
+        let t = Topology::one_per_node(256);
+        assert_eq!(t.num_nodes(), 256);
+        for r in [0u32, 17, 255] {
+            assert_eq!(t.node_of(r), NodeId(r));
+        }
+    }
+
+    #[test]
+    fn same_node_detection() {
+        let t = Topology::new(8, 2);
+        assert!(t.same_node(0, 1));
+        assert!(!t.same_node(1, 2));
+    }
+
+    #[test]
+    fn next_live_node_skips_dead() {
+        let t = Topology::new(6, 1);
+        let dead = [false, true, true, false, false, false];
+        let nxt = t.next_live_node(NodeId(0), |n| dead[n.0 as usize]);
+        assert_eq!(nxt, Some(NodeId(3)));
+        // wrap-around
+        let nxt = t.next_live_node(NodeId(5), |n| dead[n.0 as usize]);
+        assert_eq!(nxt, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn next_live_node_none_when_all_others_dead() {
+        let t = Topology::new(3, 1);
+        let nxt = t.next_live_node(NodeId(1), |n| n != NodeId(1));
+        assert_eq!(nxt, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_rejects_out_of_range() {
+        Topology::new(4, 2).node_of(4);
+    }
+}

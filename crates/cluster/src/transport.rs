@@ -1,0 +1,484 @@
+//! In-memory network with a timing-wheel scheduler.
+//!
+//! Every message is an [`Envelope`]: source, destination, queue id, a
+//! payload byte count (for the latency model), and an *action* closure that
+//! runs when the message is delivered. The GASPI layer encodes RDMA puts,
+//! gets, notifications, pings, collectives tokens, etc. as actions; this
+//! crate only provides timing, ordering, liveness checks, and metrics.
+//!
+//! ## Semantics
+//!
+//! * **Latency.** Delivery happens `latency(bytes)` (± jitter) after the
+//!   post. Latency is modeled by *timestamps*, not by executing slowly:
+//!   a thousand concurrent messages each with 20 µs latency all complete
+//!   ≈20 µs after posting — which is exactly how the paper's threaded
+//!   fault detector pings many processes "in parallel on different
+//!   communication queues" at the cost of one.
+//! * **Ordering.** Messages with the same `(src, queue, dst)` stream key
+//!   are delivered in post order (GASPI orders notified writes relative to
+//!   writes on the same queue/target). Different streams are unordered.
+//! * **Failures.** At *delivery time* the transport consults the
+//!   [`FaultPlane`]: if the destination is dead or the directed link is
+//!   broken, the action runs with [`Outcome::Broken`] after an additional
+//!   break-detection delay. If the *source* died after posting, the
+//!   message is dropped silently (the initiator no longer exists to
+//!   observe a completion) — though its remote effects may still have
+//!   happened earlier, as with real RDMA.
+//! * **Shutdown.** Dropping the [`TransportOwner`] stops the scheduler
+//!   thread; undelivered actions run with [`Outcome::Cancelled`] so
+//!   resources waiting on them unblock.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::FaultPlane;
+use crate::metrics::Metrics;
+use crate::time::LatencyModel;
+use crate::topology::Rank;
+
+/// Queue identifier; the GASPI layer maps its communication queues and a
+/// reserved service queue (pings, control) onto these.
+pub type QueueId = u16;
+
+/// How a message ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Delivered to a live destination over an intact link.
+    Delivered,
+    /// Destination dead or link broken; reported after the break-detection
+    /// delay.
+    Broken,
+    /// Transport shut down before delivery.
+    Cancelled,
+}
+
+/// Action executed at delivery time, on the network thread. It receives a
+/// transport handle so it can post follow-up messages (pong replies,
+/// collective forwarding).
+pub type Action = Box<dyn FnOnce(&Transport, Outcome) + Send>;
+
+/// A message in flight.
+pub struct Envelope {
+    /// Posting rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Stream/queue id — messages on the same `(src, queue, dst)` stream
+    /// deliver in post order.
+    pub queue: QueueId,
+    /// Payload size used by the latency model (the data itself lives in
+    /// the action closure).
+    pub bytes: usize,
+    /// Runs at delivery.
+    pub action: Action,
+}
+
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert for earliest-due-first, with the
+        // post sequence as a deterministic tie-break.
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct HeapState {
+    heap: BinaryHeap<Scheduled>,
+    /// Per-stream watermark: the latest due time already scheduled, so a
+    /// later post can never be delivered before an earlier one.
+    stream_due: HashMap<(Rank, QueueId, Rank), Instant>,
+}
+
+struct Inner {
+    model: LatencyModel,
+    fault: Arc<FaultPlane>,
+    metrics: Arc<Metrics>,
+    state: Mutex<HeapState>,
+    cv: Condvar,
+    seq: AtomicU64,
+    shutdown: AtomicBool,
+    rng: Mutex<SmallRng>,
+}
+
+/// Cheap-to-clone handle to the simulated interconnect. The scheduler
+/// thread is owned by [`TransportOwner`]; handles stay valid (but post
+/// cancelled messages) after shutdown.
+#[derive(Clone)]
+pub struct Transport {
+    inner: Arc<Inner>,
+}
+
+/// Owns the scheduler thread; dropping it shuts the network down and joins
+/// the thread.
+pub struct TransportOwner {
+    t: Transport,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Transport {
+    /// Start the transport and its scheduler thread.
+    pub fn start(model: LatencyModel, fault: Arc<FaultPlane>, seed: u64) -> TransportOwner {
+        let inner = Arc::new(Inner {
+            model,
+            fault,
+            metrics: Arc::new(Metrics::default()),
+            state: Mutex::new(HeapState::default()),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        });
+        let t = Transport { inner };
+        let t2 = t.clone();
+        let handle = std::thread::Builder::new()
+            .name("sim-network".into())
+            .spawn(move || t2.run())
+            .expect("spawn network thread");
+        TransportOwner { t, handle: Some(handle) }
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> &LatencyModel {
+        &self.inner.model
+    }
+
+    /// The fault plane the transport consults.
+    pub fn fault(&self) -> &Arc<FaultPlane> {
+        &self.inner.fault
+    }
+
+    /// Transport counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Post a message. Returns immediately; the action runs on the network
+    /// thread when the message is due. Posting after shutdown runs the
+    /// action inline with [`Outcome::Cancelled`].
+    pub fn post(&self, env: Envelope) {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            (env.action)(self, Outcome::Cancelled);
+            return;
+        }
+        self.inner.metrics.msg_posted.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.bytes_posted.fetch_add(env.bytes as u64, Ordering::Relaxed);
+        let u: f64 = self.inner.rng.lock().gen();
+        let lat = self.inner.model.latency_jittered(env.bytes, u);
+        self.post_after(env, lat)
+    }
+
+    /// Post with an explicit one-way delay instead of the model's latency
+    /// (used for round trips and break-detection follow-ups).
+    pub fn post_after(&self, env: Envelope, delay: Duration) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut due = now + delay;
+        let mut st = self.inner.state.lock();
+        let key = (env.src, env.queue, env.dst);
+        if let Some(prev) = st.stream_due.get(&key) {
+            if due <= *prev {
+                due = *prev + Duration::from_nanos(1);
+            }
+        }
+        st.stream_due.insert(key, due);
+        st.heap.push(Scheduled { due, seq, env });
+        drop(st);
+        self.inner.cv.notify_one();
+    }
+
+    fn run(&self) {
+        loop {
+            let next = {
+                let mut st = self.inner.state.lock();
+                loop {
+                    if self.inner.shutdown.load(Ordering::Acquire) {
+                        // Drain: cancel everything still queued.
+                        let rest: Vec<Scheduled> = st.heap.drain().collect();
+                        drop(st);
+                        for s in rest {
+                            (s.env.action)(self, Outcome::Cancelled);
+                        }
+                        return;
+                    }
+                    let now = Instant::now();
+                    match st.heap.peek() {
+                        Some(s) if s.due <= now => break st.heap.pop().unwrap(),
+                        Some(s) => {
+                            let due = s.due;
+                            self.inner.cv.wait_until(&mut st, due);
+                        }
+                        None => {
+                            self.inner.cv.wait_for(&mut st, Duration::from_millis(5));
+                        }
+                    }
+                }
+            };
+            self.deliver(next.env);
+        }
+    }
+
+    fn deliver(&self, env: Envelope) {
+        let fault = &self.inner.fault;
+        if !fault.is_alive(env.src) {
+            // Initiator died in flight: nobody is left to observe the
+            // completion; drop it. (Remote memory effects of *earlier*
+            // messages have already happened, as with a real NIC.)
+            self.inner.metrics.msg_dropped_dead_src.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if fault.is_alive(env.dst) && fault.link_ok(env.src, env.dst) {
+            // Self-deliveries are internal follow-ups (break reports); they
+            // don't count as network deliveries.
+            if env.src != env.dst {
+                self.inner.metrics.msg_delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            (env.action)(self, Outcome::Delivered);
+        } else {
+            // Report the break after the detection delay; the report
+            // travels back to the source on the same queue.
+            self.inner.metrics.msg_broken.fetch_add(1, Ordering::Relaxed);
+            let delay = self.inner.model.break_detect;
+            let Envelope { src, queue, action, .. } = env;
+            self.post_after(
+                Envelope {
+                    src,
+                    dst: src,
+                    queue,
+                    bytes: 0,
+                    action: Box::new(move |t, out| {
+                        let out = if out == Outcome::Cancelled { out } else { Outcome::Broken };
+                        action(t, out);
+                    }),
+                },
+                delay,
+            );
+        }
+    }
+
+    /// Request shutdown (queued actions cancel). Prefer dropping the
+    /// [`TransportOwner`], which also joins the scheduler thread.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl TransportOwner {
+    /// A shareable handle to the network.
+    pub fn handle(&self) -> Transport {
+        self.t.clone()
+    }
+
+    /// Shut down and join the scheduler thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.t.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TransportOwner {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::sync::mpsc;
+
+    fn setup(n: u32) -> (TransportOwner, Arc<FaultPlane>) {
+        let fault = FaultPlane::new(Topology::one_per_node(n));
+        let t = Transport::start(LatencyModel::deterministic_fast(), Arc::clone(&fault), 42);
+        (t, fault)
+    }
+
+    fn send_and_wait(t: &Transport, src: Rank, dst: Rank, queue: QueueId) -> Outcome {
+        let (tx, rx) = mpsc::channel();
+        t.post(Envelope {
+            src,
+            dst,
+            queue,
+            bytes: 8,
+            action: Box::new(move |_, out| {
+                let _ = tx.send(out);
+            }),
+        });
+        rx.recv_timeout(Duration::from_secs(5)).expect("delivery")
+    }
+
+    #[test]
+    fn delivers_to_live_rank() {
+        let (o, _f) = setup(2);
+        assert_eq!(send_and_wait(&o.handle(), 0, 1, 0), Outcome::Delivered);
+    }
+
+    #[test]
+    fn breaks_to_dead_rank() {
+        let (o, f) = setup(2);
+        f.kill_rank(1);
+        assert_eq!(send_and_wait(&o.handle(), 0, 1, 0), Outcome::Broken);
+    }
+
+    #[test]
+    fn breaks_on_broken_link_even_if_alive() {
+        let (o, f) = setup(2);
+        f.break_link_directed(0, 1);
+        assert_eq!(send_and_wait(&o.handle(), 0, 1, 0), Outcome::Broken);
+        // Reverse direction still fine.
+        assert_eq!(send_and_wait(&o.handle(), 1, 0, 0), Outcome::Delivered);
+    }
+
+    #[test]
+    fn drops_when_source_is_dead() {
+        let (o, f) = setup(2);
+        f.kill_rank(0);
+        let t = o.handle();
+        let (tx, rx) = mpsc::channel::<Outcome>();
+        t.post(Envelope {
+            src: 0,
+            dst: 1,
+            queue: 0,
+            bytes: 0,
+            action: Box::new(move |_, out| {
+                let _ = tx.send(out);
+            }),
+        });
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(t.metrics().msg_dropped_dead_src.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn per_stream_fifo_order() {
+        let (o, _f) = setup(2);
+        let t = o.handle();
+        let (tx, rx) = mpsc::channel();
+        // Large first message, tiny second: without the stream watermark the
+        // second would be due earlier.
+        let model = LatencyModel {
+            base: Duration::from_micros(5),
+            per_byte_ns: 10.0,
+            ..LatencyModel::deterministic_fast()
+        };
+        let _ = model; // (model shown for intent; the stream key does the work)
+        for (i, bytes) in [(0u32, 1_000_000usize), (1, 0)] {
+            let tx = tx.clone();
+            t.post(Envelope {
+                src: 0,
+                dst: 1,
+                queue: 3,
+                bytes,
+                action: Box::new(move |_, _| {
+                    let _ = tx.send(i);
+                }),
+            });
+        }
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 0);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 1);
+    }
+
+    #[test]
+    fn action_can_post_followup() {
+        let (o, _f) = setup(3);
+        let (tx, rx) = mpsc::channel();
+        o.handle().post(Envelope {
+            src: 0,
+            dst: 1,
+            queue: 0,
+            bytes: 0,
+            action: Box::new(move |tr, out| {
+                assert_eq!(out, Outcome::Delivered);
+                // pong back
+                tr.post(Envelope {
+                    src: 1,
+                    dst: 0,
+                    queue: 0,
+                    bytes: 0,
+                    action: Box::new(move |_, out2| {
+                        let _ = tx.send(out2);
+                    }),
+                });
+            }),
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Delivered);
+    }
+
+    #[test]
+    fn shutdown_cancels_pending() {
+        let (o, _f) = setup(2);
+        let (tx, rx) = mpsc::channel();
+        o.handle().post_after(
+            Envelope {
+                src: 0,
+                dst: 1,
+                queue: 0,
+                bytes: 0,
+                action: Box::new(move |_, out| {
+                    let _ = tx.send(out);
+                }),
+            },
+            Duration::from_secs(3600),
+        );
+        o.shutdown();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Cancelled);
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let fault = FaultPlane::new(Topology::one_per_node(2));
+        let model = LatencyModel {
+            base: Duration::from_millis(5),
+            per_byte_ns: 0.0,
+            jitter: 0.0,
+            break_detect: Duration::from_micros(50),
+        };
+        let o = Transport::start(model, fault, 1);
+        let start = Instant::now();
+        assert_eq!(send_and_wait(&o.handle(), 0, 1, 0), Outcome::Delivered);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn metrics_count_messages() {
+        let (o, f) = setup(2);
+        let t = o.handle();
+        assert_eq!(send_and_wait(&t, 0, 1, 0), Outcome::Delivered);
+        f.kill_rank(1);
+        assert_eq!(send_and_wait(&t, 0, 1, 0), Outcome::Broken);
+        let m = t.metrics();
+        assert!(m.msg_posted.load(Ordering::Relaxed) >= 2);
+        assert_eq!(m.msg_delivered.load(Ordering::Relaxed), 1);
+        assert_eq!(m.msg_broken.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The failure-acknowledgment channel: control segments.
+//!
+//! "After detection of failed process(es), the FD process informs all
+//! healthy processes about the failed processes as well as their
+//! corresponding rescue processes. This is done via one-sided write in the
+//! global memory of all healthy processes." (§IV-A)
+//!
+//! Every rank creates a small *control segment* at startup. The FD writes
+//! the encoded [`RecoveryPlan`] into it with `write_notify`; the epoch
+//! notification slot doubles as the cheap "has anything happened" flag the
+//! workers poll before each communication call — an atomic load, zero
+//! communication, which is why the paper measures *no overhead* for the
+//! health check in failure-free runs.
+
+use ft_cluster::Rank;
+use ft_gaspi::{bytes, GaspiProc, GaspiResult, SegId, Timeout};
+
+use crate::layout::WorldLayout;
+use crate::plan::RecoveryPlan;
+
+/// Segment id of the control segment (applications must start their own
+/// segments at [`FIRST_APP_SEG`]).
+pub const CTRL_SEG: SegId = 0;
+/// First segment id available to applications.
+pub const FIRST_APP_SEG: SegId = 1;
+
+/// Notification slot carrying the latest recovery epoch.
+pub const EPOCH_NOTIF: u32 = 0;
+/// Notification slot the workers set on the FD's control segment when the
+/// application has finished.
+pub const DONE_NOTIF: u32 = 1;
+/// Notification slot carrying the orderly-shutdown signal to idles.
+pub const SHUTDOWN_NOTIF: u32 = 2;
+
+/// Bytes of a control segment for a given layout (plan payload is
+/// `28 + 8·total` worst case; headroom doubled).
+pub fn ctrl_seg_size(layout: &WorldLayout) -> usize {
+    128 + 16 * layout.total() as usize
+}
+
+/// Create the control segment — the first thing every rank does.
+pub fn create_ctrl_segment(proc: &GaspiProc, layout: &WorldLayout) -> GaspiResult<()> {
+    proc.segment_create(CTRL_SEG, ctrl_seg_size(layout))
+}
+
+/// FD side: broadcast `plan` into the control segment of every rank in
+/// `targets` and flush. Returns the ranks whose write failed (they are
+/// candidates for the next detection round).
+pub fn broadcast_plan(
+    proc: &GaspiProc,
+    plan: &RecoveryPlan,
+    targets: &[Rank],
+    queue: u16,
+    timeout: Timeout,
+) -> GaspiResult<Vec<Rank>> {
+    let payload = plan.encode();
+    let len = payload.len();
+    // Stage [len][payload] in our own control segment, then push it
+    // one-sidedly to every target.
+    proc.with_segment_mut(CTRL_SEG, |b| {
+        bytes::put_u32(b, 0, len as u32);
+        b[4..4 + len].copy_from_slice(&payload);
+    })?;
+    let epoch_value = u32::try_from(plan.epoch).expect("epoch fits u32");
+    for &t in targets {
+        if t == proc.rank() {
+            continue;
+        }
+        proc.write_notify(CTRL_SEG, 0, t, CTRL_SEG, 0, 4 + len, EPOCH_NOTIF, epoch_value, queue)?;
+    }
+    match proc.wait(queue, timeout) {
+        Ok(()) => Ok(Vec::new()),
+        Err(ft_gaspi::GaspiError::QueueFailure { ranks, .. }) => Ok(ranks),
+        Err(e) => Err(e),
+    }
+}
+
+/// FD side: signal orderly shutdown to `targets` (idle processes mostly).
+pub fn broadcast_shutdown(
+    proc: &GaspiProc,
+    targets: &[Rank],
+    queue: u16,
+    timeout: Timeout,
+) -> GaspiResult<()> {
+    for &t in targets {
+        if t == proc.rank() {
+            continue;
+        }
+        proc.notify(t, CTRL_SEG, SHUTDOWN_NOTIF, 1, queue)?;
+    }
+    match proc.wait(queue, timeout) {
+        Ok(()) | Err(ft_gaspi::GaspiError::QueueFailure { .. }) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Worker side: decode the plan currently in the local control segment.
+pub fn read_plan(proc: &GaspiProc) -> GaspiResult<Option<RecoveryPlan>> {
+    proc.with_segment(CTRL_SEG, |b| {
+        let len = bytes::get_u32(b, 0) as usize;
+        if len == 0 || 4 + len > b.len() {
+            return None;
+        }
+        RecoveryPlan::decode(&b[4..4 + len])
+    })
+}
+
+/// Worker side: tell the FD the application has finished.
+pub fn signal_done(
+    proc: &GaspiProc,
+    fd_rank: Rank,
+    queue: u16,
+    timeout: Timeout,
+) -> GaspiResult<()> {
+    proc.notify(fd_rank, CTRL_SEG, DONE_NOTIF, 1, queue)?;
+    match proc.wait(queue, timeout) {
+        // The FD being gone already is not a failure of *this* rank.
+        Ok(()) | Err(ft_gaspi::GaspiError::QueueFailure { .. }) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_gaspi::{GaspiConfig, GaspiWorld};
+
+    #[test]
+    fn plan_broadcast_roundtrip() {
+        let layout = WorldLayout::new(2, 2);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&fd, &layout).unwrap();
+        create_ctrl_segment(&w0, &layout).unwrap();
+        let plan =
+            RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
+        let failed_writes =
+            broadcast_plan(&fd, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
+        assert!(failed_writes.is_empty());
+        // Worker sees the epoch notification and reads the same plan.
+        let nid = w0.notify_waitsome(CTRL_SEG, EPOCH_NOTIF, 1, Timeout::Ms(2000)).unwrap();
+        assert_eq!(nid, EPOCH_NOTIF);
+        assert_eq!(w0.notify_peek(CTRL_SEG, EPOCH_NOTIF).unwrap(), 1);
+        assert_eq!(read_plan(&w0).unwrap(), Some(plan));
+    }
+
+    #[test]
+    fn broadcast_reports_dead_targets() {
+        let layout = WorldLayout::new(2, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        create_ctrl_segment(&fd, &layout).unwrap();
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&w0, &layout).unwrap();
+        world.fault().kill_rank(1); // rank 1 never created its segment & died
+        let plan = RecoveryPlan::initial();
+        let plan = RecoveryPlan { epoch: 1, ..plan };
+        let failed = broadcast_plan(&fd, &plan, &[0, 1], 0, Timeout::Ms(2000)).unwrap();
+        assert_eq!(failed, vec![1]);
+        assert_eq!(read_plan(&w0).unwrap().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn done_and_shutdown_signals() {
+        let layout = WorldLayout::new(1, 2);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let w0 = world.proc_handle(0);
+        let idle = world.proc_handle(1);
+        let fd = world.proc_handle(layout.fd_rank());
+        for p in [&w0, &idle, &fd] {
+            create_ctrl_segment(p, &layout).unwrap();
+        }
+        signal_done(&w0, layout.fd_rank(), 0, Timeout::Ms(2000)).unwrap();
+        fd.notify_waitsome(CTRL_SEG, DONE_NOTIF, 1, Timeout::Ms(2000)).unwrap();
+        broadcast_shutdown(&fd, &[1], 0, Timeout::Ms(2000)).unwrap();
+        idle.notify_waitsome(CTRL_SEG, SHUTDOWN_NOTIF, 1, Timeout::Ms(2000)).unwrap();
+        assert_eq!(idle.notify_peek(CTRL_SEG, SHUTDOWN_NOTIF).unwrap(), 1);
+    }
+}

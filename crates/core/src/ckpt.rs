@@ -1,0 +1,128 @@
+//! Group-consistent checkpoint restore.
+//!
+//! All workers checkpoint at the same iterations, but a failure can strike
+//! *during* checkpointing, leaving some ranks one version ahead. "In case
+//! of a restart, the data is initialized from a consistent checkpoint"
+//! (§IV-E): the group agrees on the newest version *every* member can
+//! restore (an allreduce-min) and everyone restores exactly that one.
+//!
+//! A rescue process restores the checkpoint written by its failed
+//! *predecessor* (located via the plan's adoption history) and immediately
+//! re-homes it under its own rank, so subsequent recoveries resolve
+//! uniformly.
+
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, Restored};
+use ft_cluster::Rank;
+use ft_gaspi::ReduceOp;
+
+use crate::driver::FtCtx;
+use crate::error::FtResult;
+use crate::plan::RecoveryPlan;
+
+/// Versions are shifted by one on the wire so that 0 means "nothing
+/// restorable" — a member with no checkpoint then correctly drags the
+/// group minimum to "restart from scratch" instead of being ignored.
+fn encode_version(v: Option<u64>) -> u64 {
+    v.map_or(0, |v| v + 1)
+}
+
+/// The rank whose checkpoints `me` must restore: its failed predecessor if
+/// `me` is a rescue in `plan` (the *last* adoption wins for chained
+/// failures), otherwise `me` itself.
+pub fn restore_source(plan: &RecoveryPlan, me: Rank) -> Rank {
+    plan.failed
+        .iter()
+        .zip(&plan.rescues)
+        .rev()
+        .find(|&(_, &r)| r == me)
+        .map(|(&f, _)| f)
+        .unwrap_or(me)
+}
+
+/// Agree on and restore the newest group-consistent checkpoint.
+///
+/// Two collective rounds:
+///
+/// 1. **Vote**: allreduce-min over each member's newest restorable
+///    version. A member with nothing drags the vote to "restart from
+///    scratch".
+/// 2. **Confirm**: every member attempts to fetch the voted version and
+///    the group allreduce-mins the success flags. This round is what
+///    makes the protocol robust to *asymmetric availability*: a process
+///    that died before its library thread finished replicating leaves its
+///    rescue with an *older* version than the survivors still hold — the
+///    survivors may have pruned that older version locally, so a version
+///    someone voted for is not necessarily available to everyone else.
+///    If anyone misses, the whole group restarts from scratch together
+///    (divergence would be worse than redone work; and since the
+///    applications are reduction-order deterministic, the redone prefix
+///    rewrites bit-identical checkpoints).
+///
+/// `source` is this rank's [`FtCtx::restore_source`]. Returns `Ok(None)`
+/// for the collective restart-from-scratch decision. When this rank
+/// restored a predecessor's checkpoint, it re-homes it under its own rank
+/// before returning.
+pub fn consistent_restore(
+    ctx: &FtCtx,
+    ck: &Checkpointer,
+    source: Rank,
+    fetch_timeout: Duration,
+) -> FtResult<Option<Restored>> {
+    let mine = encode_version(ck.latest_restorable(source, fetch_timeout));
+    let agreed = ctx.allreduce_u64_ft(&[mine], ReduceOp::Min)?[0];
+    if agreed == 0 {
+        // At least one member has nothing at all: fresh start. (No
+        // confirmation round needed — nothing to confirm.)
+        return Ok(None);
+    }
+    let version = agreed - 1;
+    let fetched = ck.restore_exact(source, version, fetch_timeout);
+    let ok = u64::from(fetched.is_some());
+    let all_ok = ctx.allreduce_u64_ft(&[ok], ReduceOp::Min)?[0] == 1;
+    if !all_ok {
+        return Ok(None);
+    }
+    let restored = fetched.expect("confirmed fetch");
+    if source != ctx.proc.rank() {
+        // Re-home the adopted state under our own rank so the next
+        // recovery resolves it locally.
+        ck.checkpoint(restored.version, restored.data.clone());
+    }
+    Ok(Some(restored))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NO_RESCUE;
+
+    #[test]
+    fn source_is_self_for_survivors() {
+        let plan = RecoveryPlan { epoch: 1, failed: vec![2], rescues: vec![5], fd_alive: true , fd_rank: None};
+        assert_eq!(restore_source(&plan, 0), 0);
+        assert_eq!(restore_source(&plan, 5), 2);
+    }
+
+    #[test]
+    fn chained_adoption_takes_last() {
+        // rank2 → rescue5 (epoch 1); rank5 → rescue6 (epoch 2).
+        let plan =
+            RecoveryPlan { epoch: 2, failed: vec![2, 5], rescues: vec![5, 6], fd_alive: true , fd_rank: None};
+        assert_eq!(restore_source(&plan, 6), 5);
+        // 5 is dead; if asked (it isn't), it would still resolve to 2.
+        assert_eq!(restore_source(&plan, 5), 2);
+    }
+
+    #[test]
+    fn no_rescue_entries_are_ignored() {
+        let plan = RecoveryPlan {
+            epoch: 1,
+            failed: vec![4],
+            rescues: vec![NO_RESCUE],
+            fd_alive: true, fd_rank: None,
+        };
+        assert_eq!(restore_source(&plan, 3), 3);
+    }
+}

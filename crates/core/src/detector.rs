@@ -1,0 +1,389 @@
+//! The dedicated fault detector process.
+//!
+//! Implements the paper's Listing 1 (`glo_health_chk`) and §IV-A: a
+//! designated spare process periodically pings every other process with
+//! `gaspi_proc_ping`; a `GASPI_ERROR` return marks the process failed and
+//! adds it to the avoid-list. After a scan that found failures, the FD
+//! assigns rescue processes from the idle pool, bumps the recovery epoch,
+//! and acknowledges the failure to all healthy processes by one-sided
+//! writes into their control segments.
+//!
+//! A *threaded* FD (`threads > 1`) pings many processes concurrently —
+//! the configuration behind the paper's "3 simultaneous failures detected
+//! at the cost of a single failure" result.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use ft_cluster::Rank;
+use ft_gaspi::{GaspiProc, Timeout};
+
+use crate::ack::{self, CTRL_SEG, DONE_NOTIF};
+use crate::error::{FtError, FtResult};
+use crate::events::{EventKind, EventLog};
+use crate::layout::WorldLayout;
+use crate::plan::{RecoveryPlan, NO_RESCUE};
+
+/// Fault detector tuning.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Pause between ping scans (the paper uses 3 s; the simulation
+    /// defaults to 30 ms — same mechanism, scaled clock).
+    pub scan_interval: Duration,
+    /// Per-ping timeout.
+    pub ping_timeout: Timeout,
+    /// Ping threads (1 = the sequential scan of Listing 1; the paper uses
+    /// 8 for the simultaneous-failure experiment).
+    pub threads: usize,
+    /// Queue used for acknowledgment writes.
+    pub ack_queue: u16,
+    /// Timeout for flushing acknowledgment writes.
+    pub ack_timeout: Timeout,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            scan_interval: Duration::from_millis(30),
+            ping_timeout: Timeout::Ms(200),
+            threads: 1,
+            ack_queue: 0,
+            ack_timeout: Timeout::Ms(2000),
+        }
+    }
+}
+
+/// One detection/acknowledgment round, on the job clock.
+#[derive(Debug, Clone)]
+pub struct FdRecovery {
+    /// Epoch this round produced.
+    pub epoch: u64,
+    /// Ranks detected this round.
+    pub detected: Vec<Rank>,
+    /// When the failing pings were confirmed.
+    pub t_detect: Duration,
+    /// When the acknowledgment broadcast finished.
+    pub t_ack: Duration,
+}
+
+/// What the detector did over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorOutcome {
+    /// Total scans performed.
+    pub scans: u64,
+    /// Durations of *failure-free* scans (the paper's "avg ping scan
+    /// time", Table I).
+    pub scan_times: Vec<Duration>,
+    /// Detection rounds.
+    pub recoveries: Vec<FdRecovery>,
+    /// Set when the FD had to join the workers itself (paper restriction
+    /// 2): the caller must transition into the rescue path with this plan.
+    pub promoted_plan: Option<RecoveryPlan>,
+    /// Set when failures exceeded the spare pool (restriction 1).
+    pub capacity_exhausted: bool,
+}
+
+impl DetectorOutcome {
+    /// Mean failure-free scan time.
+    pub fn avg_scan_time(&self) -> Option<Duration> {
+        if self.scan_times.is_empty() {
+            return None;
+        }
+        let total: Duration = self.scan_times.iter().sum();
+        Some(total / self.scan_times.len() as u32)
+    }
+}
+
+/// The paper's `glo_health_chk`: ping every rank in `targets` and return
+/// those whose ping errored, in ascending rank order. With `threads > 1`
+/// the targets are partitioned across scoped ping threads.
+pub fn glo_health_chk(
+    proc: &GaspiProc,
+    targets: &[Rank],
+    ping_timeout: Timeout,
+    threads: usize,
+) -> Vec<Rank> {
+    let mut failed: Vec<Rank> = if threads <= 1 || targets.len() <= 1 {
+        targets.iter().copied().filter(|&r| proc.proc_ping(r, ping_timeout).is_err()).collect()
+    } else {
+        let chunk = targets.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .chunks(chunk)
+                .map(|part| {
+                    let p = proc.clone();
+                    s.spawn(move || {
+                        part.iter()
+                            .copied()
+                            .filter(|&r| p.proc_ping(r, ping_timeout).is_err())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("ping thread")).collect()
+        })
+    };
+    failed.sort_unstable();
+    failed
+}
+
+/// Mutable detection state. It is reconstructible from the last broadcast
+/// plan (the plan is cumulative by design), which is what allows a
+/// *shadow* detector to take over when the primary dies — the redundancy
+/// approach the paper proposes as future work (§VIII).
+#[derive(Debug, Clone)]
+pub struct DetectorState {
+    /// Cumulative failed ranks (the avoid-list).
+    pub failed_cum: Vec<Rank>,
+    /// Parallel cumulative rescue assignments.
+    pub rescues_cum: Vec<Rank>,
+    /// Remaining idle pool, in activation order.
+    pub idle_pool: VecDeque<Rank>,
+    /// Last acknowledged epoch.
+    pub epoch: u64,
+    /// Set when this detector is not the layout-default FD (a shadow that
+    /// took over).
+    pub fd_rank_override: Option<Rank>,
+}
+
+impl DetectorState {
+    /// Fresh state for the primary FD. `reserved` ranks (e.g. the shadow
+    /// detector) are withheld from the rescue pool.
+    pub fn fresh(layout: &WorldLayout, reserved: &[Rank]) -> Self {
+        Self {
+            failed_cum: Vec::new(),
+            rescues_cum: Vec::new(),
+            idle_pool: layout.idle_pool().filter(|r| !reserved.contains(r)).collect(),
+            epoch: 0,
+            fd_rank_override: None,
+        }
+    }
+
+    /// Reconstruct state from the last plan a shadow received.
+    pub fn from_plan(layout: &WorldLayout, plan: &RecoveryPlan, reserved: &[Rank]) -> Self {
+        Self {
+            failed_cum: plan.failed.clone(),
+            rescues_cum: plan.rescues.clone(),
+            idle_pool: layout
+                .idle_pool()
+                .filter(|r| {
+                    !reserved.contains(r)
+                        && !plan.failed.contains(r)
+                        && !plan.rescues.contains(r)
+                })
+                .collect(),
+            epoch: plan.epoch,
+            fd_rank_override: None,
+        }
+    }
+
+    /// Record the old FD's death and this rank's takeover: one epoch bump
+    /// carrying the new detector rank to everyone.
+    pub fn register_takeover(&mut self, dead_fd: Rank, me: Rank) {
+        if !self.failed_cum.contains(&dead_fd) {
+            self.failed_cum.push(dead_fd);
+            self.rescues_cum.push(NO_RESCUE);
+        }
+        self.idle_pool.retain(|&x| x != dead_fd && x != me);
+        self.epoch += 1;
+        self.fd_rank_override = Some(me);
+    }
+
+    /// The plan describing this state.
+    pub fn plan(&self, fd_alive: bool) -> RecoveryPlan {
+        RecoveryPlan {
+            epoch: self.epoch,
+            failed: self.failed_cum.clone(),
+            rescues: self.rescues_cum.clone(),
+            fd_alive,
+            fd_rank: self.fd_rank_override,
+        }
+    }
+}
+
+/// Run the dedicated FD until the application signals completion, the
+/// spare pool forces a promotion, or capacity is exhausted. The control
+/// segment must already exist.
+pub fn run_detector(
+    proc: &GaspiProc,
+    layout: &WorldLayout,
+    cfg: &DetectorConfig,
+    events: &EventLog,
+) -> FtResult<DetectorOutcome> {
+    run_detector_from(proc, layout, cfg, events, DetectorState::fresh(layout, &[]))
+}
+
+/// [`run_detector`] starting from prior state (fresh for the primary FD,
+/// reconstructed-from-plan for a shadow after takeover).
+pub fn run_detector_from(
+    proc: &GaspiProc,
+    layout: &WorldLayout,
+    cfg: &DetectorConfig,
+    events: &EventLog,
+    state: DetectorState,
+) -> FtResult<DetectorOutcome> {
+    let me = proc.rank();
+    let mut out = DetectorOutcome::default();
+    let DetectorState {
+        mut failed_cum,
+        mut rescues_cum,
+        mut idle_pool,
+        mut epoch,
+        fd_rank_override,
+    } = state;
+
+    let done = |p: &GaspiProc| -> FtResult<bool> {
+        Ok(p.notify_peek(CTRL_SEG, DONE_NOTIF)? != 0)
+    };
+
+    loop {
+        if done(proc)? {
+            let alive = alive_targets(layout, &failed_cum, me);
+            ack::broadcast_shutdown(proc, &alive, cfg.ack_queue, cfg.ack_timeout)?;
+            return Ok(out);
+        }
+
+        // One scan cycle over all non-avoided ranks (Listing 1).
+        let avoid: HashSet<Rank> = failed_cum.iter().copied().collect();
+        let targets: Vec<Rank> =
+            (0..layout.total()).filter(|&r| r != me && !avoid.contains(&r)).collect();
+        let t0 = Instant::now();
+        let newly = glo_health_chk(proc, &targets, cfg.ping_timeout, cfg.threads);
+        let dur = t0.elapsed();
+        out.scans += 1;
+        events.record(
+            me,
+            EventKind::FdScan {
+                dur,
+                targets: targets.len() as u32,
+                found_failures: !newly.is_empty(),
+            },
+        );
+        if newly.is_empty() {
+            out.scan_times.push(dur);
+        } else {
+            let t_detect = events.now();
+            epoch += 1;
+            // Assign rescues against the rank map as of the previous epoch.
+            let prev = RecoveryPlan {
+                epoch: epoch - 1,
+                failed: failed_cum.clone(),
+                rescues: rescues_cum.clone(),
+                fd_alive: true, fd_rank: None,
+            };
+            let mut map = prev.rank_map(layout);
+            let mut promoted = false;
+            let mut exhausted = false;
+            for &f in &newly {
+                failed_cum.push(f);
+                idle_pool.retain(|&x| x != f);
+                if map.app_of(f).is_some() {
+                    // A worker died: it needs a rescue.
+                    let rescue = idle_pool.pop_front().or_else(|| {
+                        if promoted {
+                            None
+                        } else {
+                            // "The FD process itself joins the worker
+                            // group if no idle process is further
+                            // available." (§IV-D)
+                            promoted = true;
+                            Some(me)
+                        }
+                    });
+                    match rescue {
+                        Some(r) => {
+                            map.transfer(f, r);
+                            rescues_cum.push(r);
+                        }
+                        None => {
+                            exhausted = true;
+                            rescues_cum.push(NO_RESCUE);
+                        }
+                    }
+                } else {
+                    // A failed idle consumes no rescue.
+                    rescues_cum.push(NO_RESCUE);
+                }
+            }
+            events.record(me, EventKind::FdDetect { epoch, failed: newly.clone() });
+            let plan = RecoveryPlan {
+                epoch,
+                failed: failed_cum.clone(),
+                rescues: rescues_cum.clone(),
+                fd_alive: !promoted,
+                fd_rank: fd_rank_override,
+            };
+            let alive = alive_targets(layout, &failed_cum, me);
+            // Ranks whose ack write fails will be detected next scan.
+            let _undelivered =
+                ack::broadcast_plan(proc, &plan, &alive, cfg.ack_queue, cfg.ack_timeout)?;
+            events.record(me, EventKind::FdAck { epoch });
+            let t_ack = events.now();
+            out.recoveries.push(FdRecovery { epoch, detected: newly, t_detect, t_ack });
+
+            if exhausted {
+                events.record(me, EventKind::CapacityExhausted);
+                ack::broadcast_shutdown(proc, &alive, cfg.ack_queue, cfg.ack_timeout)?;
+                out.capacity_exhausted = true;
+                return Err(FtError::CapacityExhausted);
+            }
+            if promoted {
+                events.record(me, EventKind::FdPromoted);
+                out.promoted_plan = Some(plan);
+                return Ok(out);
+            }
+        }
+
+        // Sleep the scan interval in small laps so the done signal is
+        // honored promptly (and a killed FD unwinds quickly).
+        let deadline = Instant::now() + cfg.scan_interval;
+        while Instant::now() < deadline {
+            if done(proc)? {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn alive_targets(layout: &WorldLayout, failed: &[Rank], me: Rank) -> Vec<Rank> {
+    (0..layout.total()).filter(|&r| r != me && !failed.contains(&r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_gaspi::{GaspiConfig, GaspiWorld};
+
+    #[test]
+    fn health_chk_finds_the_dead() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(6));
+        world.fault().kill_rank(2);
+        world.fault().kill_rank(4);
+        let p = world.proc_handle(5);
+        let failed = glo_health_chk(&p, &[0, 1, 2, 3, 4], Timeout::Ms(500), 1);
+        assert_eq!(failed, vec![2, 4]);
+    }
+
+    #[test]
+    fn threaded_health_chk_matches_sequential() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(10));
+        world.fault().kill_rank(1);
+        world.fault().kill_rank(7);
+        world.fault().kill_rank(8);
+        let p = world.proc_handle(9);
+        let targets: Vec<Rank> = (0..9).collect();
+        let seq = glo_health_chk(&p, &targets, Timeout::Ms(500), 1);
+        let par = glo_health_chk(&p, &targets, Timeout::Ms(500), 4);
+        assert_eq!(seq, par);
+        assert_eq!(seq, vec![1, 7, 8]);
+    }
+
+    #[test]
+    fn avg_scan_time() {
+        let mut o = DetectorOutcome::default();
+        assert!(o.avg_scan_time().is_none());
+        o.scan_times = vec![Duration::from_millis(2), Duration::from_millis(4)];
+        assert_eq!(o.avg_scan_time(), Some(Duration::from_millis(3)));
+    }
+}

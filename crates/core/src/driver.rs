@@ -1,0 +1,796 @@
+//! The fault-tolerant application driver (the paper's Fig. 3 flow chart).
+//!
+//! At the start of the job, processes are categorized into **workers**
+//! (GASPI ranks `0..W`, carrying application ranks `0..W`), **idle**
+//! processes, and the **fault detector** (the last rank). Workers compute;
+//! the FD scans; idles park on their control segment. Upon a failure
+//! acknowledgment, all members of the new worker group — survivors plus
+//! activated rescues — reconstruct the group, rewire the application,
+//! restore from the last consistent checkpoint, and redo the lost work.
+//!
+//! Applications implement [`FtApp`]; [`run_ft_job`] runs the whole show
+//! over a [`GaspiWorld`] and returns per-rank reports plus the shared
+//! [`EventLog`] the benchmark harnesses feed on.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ft_cluster::{FaultSchedule, Rank};
+use ft_gaspi::{
+    GaspiProc, GaspiResult, GaspiWorld, Group, NotificationId, RankOutcome, ReduceOp, SegId,
+    Timeout,
+};
+
+use crate::ack::{self, create_ctrl_segment};
+use crate::detector::{DetectorConfig, DetectorOutcome};
+use crate::error::{FtError, FtResult, FtSignal};
+use crate::events::{EventKind, EventLog};
+use crate::health::{CommPolicy, HealthWatch};
+use crate::layout::{RankMap, WorldLayout};
+use crate::plan::RecoveryPlan;
+use crate::recovery::execute_recovery;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Worker/spare split.
+    pub layout: WorldLayout,
+    /// Fault detector tuning.
+    pub detector: DetectorConfig,
+    /// Retry policy for fault-tolerant communication.
+    pub policy: CommPolicy,
+    /// Checkpoint every N iterations (0 = never; the paper uses 500).
+    pub checkpoint_every: u64,
+    /// Stop after this many iterations (the paper fixes 3500); `step` may
+    /// also end the run early by returning `true`.
+    pub max_iters: u64,
+    /// Per-attempt timeout for recovery steps (kill, commit).
+    pub recovery_step: Timeout,
+    /// Run a *shadow* detector on the second-to-last spare: it monitors
+    /// the primary FD and takes over if the primary dies — the paper's
+    /// §VIII "redundancy approach … to make the FD process fault
+    /// tolerant". Requires `layout.num_spares >= 2`; costs one rescue
+    /// slot.
+    pub redundant_fd: bool,
+}
+
+impl FtConfig {
+    /// Reasonable simulation defaults for a given layout.
+    pub fn new(layout: WorldLayout) -> Self {
+        Self {
+            layout,
+            detector: DetectorConfig::default(),
+            policy: CommPolicy::default(),
+            checkpoint_every: 100,
+            max_iters: 1000,
+            recovery_step: Timeout::Ms(500),
+            redundant_fd: false,
+        }
+    }
+
+    /// The shadow detector's rank, when enabled.
+    pub fn shadow_rank(&self) -> Option<Rank> {
+        (self.redundant_fd && self.layout.num_spares >= 2).then(|| self.layout.total() - 2)
+    }
+}
+
+/// Mutable per-rank driver state visible to the application.
+struct CtxState {
+    group: Option<Group>,
+    plan: RecoveryPlan,
+    map: RankMap,
+    app_rank: Option<u32>,
+    /// Set while this rank is a *freshly activated* rescue that has not
+    /// yet restored: the failed predecessor whose checkpoints it must
+    /// adopt. Cleared once the restore re-homed the state, after which
+    /// the rank restores like any survivor.
+    adopted_from: Option<Rank>,
+}
+
+/// Everything an [`FtApp`] needs: the process handle, the health watch,
+/// the current worker group and rank map, and the job event log.
+pub struct FtCtx {
+    /// This rank's GASPI handle.
+    pub proc: GaspiProc,
+    /// The job layout.
+    pub layout: WorldLayout,
+    /// The failure-acknowledgment watch (use its `*_ft` wrappers, or the
+    /// convenience methods on this context).
+    pub watch: HealthWatch,
+    /// Shared job event log.
+    pub events: EventLog,
+    /// Driver configuration.
+    pub cfg: FtConfig,
+    state: RefCell<CtxState>,
+}
+
+impl FtCtx {
+    fn new(proc: GaspiProc, cfg: FtConfig, events: EventLog) -> Self {
+        let watch = HealthWatch::new(proc.clone(), cfg.policy.clone());
+        let layout = cfg.layout;
+        let map = RankMap::identity(layout.num_workers);
+        Self {
+            proc,
+            layout,
+            watch,
+            events,
+            cfg,
+            state: RefCell::new(CtxState {
+                group: None,
+                plan: RecoveryPlan::initial(),
+                map,
+                app_rank: None,
+                adopted_from: None,
+            }),
+        }
+    }
+
+    fn install(&self, group: Group, plan: RecoveryPlan) {
+        let mut st = self.state.borrow_mut();
+        st.map = plan.rank_map(&self.layout);
+        st.group = Some(group);
+        st.plan = plan;
+    }
+
+    /// Adopt a plan that does not affect the worker group (FD takeover,
+    /// idle death): bookkeeping only, group untouched.
+    fn install_plan_only(&self, plan: RecoveryPlan) {
+        let mut st = self.state.borrow_mut();
+        st.map = plan.rank_map(&self.layout);
+        st.plan = plan;
+    }
+
+    fn set_app_rank(&self, app: u32) {
+        self.state.borrow_mut().app_rank = Some(app);
+    }
+
+    /// The current worker group.
+    pub fn group(&self) -> Group {
+        self.state.borrow().group.expect("no worker group installed")
+    }
+
+    /// The current recovery plan (epoch 0 = initial world).
+    pub fn plan(&self) -> RecoveryPlan {
+        self.state.borrow().plan.clone()
+    }
+
+    /// This process's application rank.
+    pub fn app_rank(&self) -> u32 {
+        self.state.borrow().app_rank.expect("not a worker")
+    }
+
+    /// Number of application ranks (constant: non-shrinking recovery).
+    pub fn num_app_ranks(&self) -> u32 {
+        self.layout.num_workers
+    }
+
+    /// GASPI rank currently carrying `app_rank`.
+    pub fn gaspi_of(&self, app_rank: u32) -> Rank {
+        self.state.borrow().map.gaspi_of(app_rank)
+    }
+
+    /// The rank whose checkpoints this process must restore: its failed
+    /// predecessor while it is a freshly activated rescue (before its
+    /// first restore re-homes the state), itself otherwise. Applications
+    /// pass this to [`ft_checkpoint::Checkpointer`] lookups and to
+    /// [`crate::ckpt::consistent_restore`].
+    pub fn restore_source(&self) -> Rank {
+        self.state.borrow().adopted_from.unwrap_or(self.proc.rank())
+    }
+
+    fn set_adopted_from(&self, pred: Option<Rank>) {
+        self.state.borrow_mut().adopted_from = pred;
+    }
+
+    /// Snapshot of the application-rank map.
+    pub fn rank_map(&self) -> RankMap {
+        self.state.borrow().map.clone()
+    }
+
+    /// Fault-tolerant barrier on the current worker group.
+    pub fn barrier_ft(&self) -> FtResult<()> {
+        self.watch.barrier_ft(self.group())
+    }
+
+    /// Fault-tolerant allreduce on the current worker group.
+    pub fn allreduce_f64_ft(&self, input: &[f64], op: ReduceOp) -> FtResult<Vec<f64>> {
+        self.watch.allreduce_f64_ft(self.group(), input, op)
+    }
+
+    /// Fault-tolerant `u64` allreduce on the current worker group.
+    pub fn allreduce_u64_ft(&self, input: &[u64], op: ReduceOp) -> FtResult<Vec<u64>> {
+        self.watch.allreduce_u64_ft(self.group(), input, op)
+    }
+
+    /// Fault-tolerant queue wait.
+    pub fn wait_ft(&self, queue: u16) -> FtResult<()> {
+        self.watch.wait_ft(queue)
+    }
+
+    /// Fault-tolerant notification wait.
+    pub fn notify_waitsome_ft(
+        &self,
+        seg: SegId,
+        begin: NotificationId,
+        count: u32,
+    ) -> FtResult<NotificationId> {
+        self.watch.notify_waitsome_ft(seg, begin, count)
+    }
+}
+
+/// A fault-tolerant application, in the paper's structure.
+pub trait FtApp {
+    /// Per-worker result returned after completion.
+    type Summary: Send + std::fmt::Debug + 'static;
+
+    /// One-time pre-processing on a fresh worker (e.g. spMVM
+    /// communication setup). Runs once at job start; rescues use
+    /// [`FtApp::join_as_rescue`] instead and must *not* repeat this.
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()>;
+
+    /// Attach as a rescue process that adopted a failed worker's
+    /// application rank: load the one-time checkpoints (communication
+    /// plan) instead of redoing pre-processing (paper §V).
+    fn join_as_rescue(&mut self, ctx: &FtCtx) -> FtResult<()>;
+
+    /// One iteration. Return `Ok(true)` when converged.
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool>;
+
+    /// Write checkpoint for the state after `iter` iterations.
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()>;
+
+    /// Restore from the newest *consistent* checkpoint; return the
+    /// iteration to resume from.
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64>;
+
+    /// React to a completed recovery: refresh communication partners and
+    /// the checkpoint library's neighbor list (rank map has changed).
+    fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()>;
+
+    /// Produce the per-worker summary after the run.
+    fn finalize(&mut self, ctx: &FtCtx) -> FtResult<Self::Summary>;
+}
+
+/// The role a rank ended up playing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Computed from the start.
+    Worker,
+    /// Stood by; never activated.
+    Idle,
+    /// Activated as a rescue during the run.
+    Rescue,
+    /// The dedicated fault detector.
+    Detector,
+}
+
+/// Per-rank result of a fault-tolerant job.
+#[derive(Debug)]
+pub struct RankReport<S> {
+    /// GASPI rank.
+    pub rank: Rank,
+    /// Final role.
+    pub role: Role,
+    /// Application rank carried at the end (workers/rescues).
+    pub app_rank: Option<u32>,
+    /// Application summary (workers/rescues that finished).
+    pub summary: Option<S>,
+    /// Error that ended this rank's run, if any.
+    pub error: Option<FtError>,
+    /// Detector statistics (FD rank only).
+    pub detector: Option<DetectorOutcome>,
+}
+
+/// Whole-job result.
+pub struct JobReport<S> {
+    /// Per-rank outcomes (killed ranks appear as
+    /// [`RankOutcome::Killed`]).
+    pub outcomes: Vec<RankOutcome<RankReport<S>>>,
+    /// The shared event log.
+    pub events: EventLog,
+}
+
+impl<S: std::fmt::Debug> JobReport<S> {
+    /// Reports of ranks that completed.
+    pub fn completed(&self) -> Vec<&RankReport<S>> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                RankOutcome::Completed(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Summaries of finished workers, keyed by application rank.
+    pub fn worker_summaries(&self) -> Vec<(u32, &S)> {
+        let mut v: Vec<(u32, &S)> = self
+            .completed()
+            .into_iter()
+            .filter_map(|r| match (&r.app_rank, &r.summary) {
+                (Some(a), Some(s)) => Some((*a, s)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+
+    /// Ranks killed by fault injection.
+    pub fn killed(&self) -> Vec<Rank> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(r, o)| o.was_killed().then_some(r as Rank))
+            .collect()
+    }
+
+    /// The detector's statistics, if the FD survived to report them.
+    pub fn detector(&self) -> Option<&DetectorOutcome> {
+        self.completed().into_iter().find_map(|r| r.detector.as_ref())
+    }
+
+    /// First error recorded by any completed rank.
+    pub fn first_error(&self) -> Option<&FtError> {
+        self.completed().into_iter().find_map(|r| r.error.as_ref())
+    }
+}
+
+/// Run a fault-tolerant job: spawns every rank of `world` into the Fig. 3
+/// flow, applies the fault schedule, joins, and reports.
+pub fn run_ft_job<A, F>(
+    world: &GaspiWorld,
+    cfg: FtConfig,
+    schedule: FaultSchedule,
+    make_app: F,
+) -> JobReport<A::Summary>
+where
+    A: FtApp,
+    F: Fn(&FtCtx) -> A + Send + Sync + 'static,
+{
+    run_ft_job_with(world, cfg, schedule, EventLog::new(), make_app)
+}
+
+/// [`run_ft_job`] with a caller-supplied event log, so a harness can watch
+/// the job live (e.g. wait for every worker's `SetupDone` before injecting
+/// a failure, as the Table I benchmark does).
+pub fn run_ft_job_with<A, F>(
+    world: &GaspiWorld,
+    cfg: FtConfig,
+    schedule: FaultSchedule,
+    events: EventLog,
+    make_app: F,
+) -> JobReport<A::Summary>
+where
+    A: FtApp,
+    F: Fn(&FtCtx) -> A + Send + Sync + 'static,
+{
+    assert_eq!(
+        world.config().num_ranks,
+        cfg.layout.total(),
+        "world size must match layout (workers + spares)"
+    );
+    let events2 = events.clone();
+    let timer = schedule.start_timer(world.fault());
+    let make_app = Arc::new(make_app);
+    let sched = Arc::new(schedule);
+    let job = world.launch(move |proc| {
+        let ctx = FtCtx::new(proc, cfg.clone(), events2.clone());
+        run_rank(ctx, &sched, make_app.as_ref())
+    });
+    let outcomes = job.join();
+    timer.cancel();
+    JobReport { outcomes, events }
+}
+
+fn run_rank<A: FtApp>(
+    ctx: FtCtx,
+    schedule: &FaultSchedule,
+    make_app: &impl Fn(&FtCtx) -> A,
+) -> GaspiResult<RankReport<A::Summary>> {
+    let rank = ctx.proc.rank();
+    let layout = ctx.layout;
+    create_ctrl_segment(&ctx.proc, &layout)?;
+    let report = |role, app_rank, summary, error, detector| {
+        Ok(RankReport { rank, role, app_rank, summary, error, detector })
+    };
+
+    if rank == layout.fd_rank() {
+        // ---- Primary detector path ------------------------------------
+        let reserved: Vec<Rank> = ctx.cfg.shadow_rank().into_iter().collect();
+        let state = crate::detector::DetectorState::fresh(&layout, &reserved);
+        match crate::detector::run_detector_from(
+            &ctx.proc,
+            &layout,
+            &ctx.cfg.detector.clone(),
+            &ctx.events,
+            state,
+        ) {
+            Ok(out) => {
+                if let Some(plan) = out.promoted_plan.clone() {
+                    // The FD joins the workers (restriction 2).
+                    ctx.watch.acknowledge(plan.epoch);
+                    return match become_rescue(&ctx, schedule, make_app, plan) {
+                        Ok((app_rank, summary)) => {
+                            report(Role::Rescue, Some(app_rank), Some(summary), None, Some(out))
+                        }
+                        Err(e) => report(Role::Rescue, None, None, Some(e), Some(out)),
+                    };
+                }
+                report(Role::Detector, None, None, None, Some(out))
+            }
+            Err(e) => report(Role::Detector, None, None, Some(e), None),
+        }
+    } else if ctx.cfg.shadow_rank() == Some(rank) {
+        // ---- Shadow detector path --------------------------------------
+        match run_shadow(&ctx, schedule, make_app) {
+            ShadowEnd::Quiet => report(Role::Detector, None, None, None, None),
+            ShadowEnd::TookOver(out) => {
+                if let Some(plan) = out.promoted_plan.clone() {
+                    ctx.watch.acknowledge(plan.epoch);
+                    return match become_rescue(&ctx, schedule, make_app, plan) {
+                        Ok((app_rank, summary)) => {
+                            report(Role::Rescue, Some(app_rank), Some(summary), None, Some(out))
+                        }
+                        Err(e) => {
+                            abort_job(&ctx);
+                            report(Role::Rescue, None, None, Some(e), Some(out))
+                        }
+                    };
+                }
+                report(Role::Detector, None, None, None, Some(out))
+            }
+            ShadowEnd::Failed(e) => report(Role::Detector, None, None, Some(e), None),
+        }
+    } else if rank < layout.num_workers {
+        // ---- Worker path ----------------------------------------------
+        ctx.set_app_rank(rank);
+        let plan0 = RecoveryPlan::initial();
+        let group = match execute_recovery(
+            &ctx.watch,
+            &layout,
+            &plan0,
+            None,
+            ctx.cfg.recovery_step,
+            &ctx.events,
+        ) {
+            Ok(g) => g,
+            Err(e) => {
+                abort_job(&ctx);
+                return report(Role::Worker, Some(rank), None, Some(e), None);
+            }
+        };
+        ctx.install(group, plan0);
+        let mut app = make_app(&ctx);
+        match worker_run(&ctx, &mut app, schedule, 0, true) {
+            Ok(summary) => report(Role::Worker, Some(ctx.app_rank()), Some(summary), None, None),
+            Err(e) => {
+                abort_job(&ctx);
+                report(Role::Worker, Some(ctx.app_rank()), None, Some(e), None)
+            }
+        }
+    } else {
+        // ---- Idle path -------------------------------------------------
+        // Idles park on their control segment, but also watch the
+        // detector's liveness: if every detector is gone (restriction 2
+        // reached), nothing can ever activate them — exit instead of
+        // idling forever.
+        let mut last_plan = RecoveryPlan::initial();
+        let fd_check_every = ctx.cfg.detector.scan_interval.max(Duration::from_millis(5)) * 4;
+        let mut last_fd_check = Instant::now();
+        loop {
+            match ctx.watch.check() {
+                Ok(()) => {}
+                Err(FtError::Signal(FtSignal::Shutdown)) => {
+                    return report(Role::Idle, None, None, None, None)
+                }
+                Err(FtError::Signal(FtSignal::Recover(plan))) => {
+                    if plan.adopted_app_rank(&layout, rank).is_some() {
+                        return match become_rescue(&ctx, schedule, make_app, plan) {
+                            Ok((app_rank, summary)) => report(
+                                Role::Rescue,
+                                Some(app_rank),
+                                Some(summary),
+                                None,
+                                None,
+                            ),
+                            Err(e) => {
+                                abort_job(&ctx);
+                                report(Role::Rescue, None, None, Some(e), None)
+                            }
+                        };
+                    }
+                    // Not my epoch: keep idling with updated bookkeeping.
+                    last_plan = plan;
+                }
+                Err(e) => return report(Role::Idle, None, None, Some(e), None),
+            }
+            if last_fd_check.elapsed() >= fd_check_every {
+                last_fd_check = Instant::now();
+                let fd = last_plan.current_fd(&layout);
+                let fd_dead =
+                    ctx.proc.proc_ping(fd, ctx.cfg.detector.ping_timeout).is_err();
+                if fd_dead {
+                    // With redundancy, give the live shadow its chance to
+                    // take over; without (or if the shadow is gone too),
+                    // fault tolerance has ended.
+                    let shadow_alive = ctx
+                        .cfg
+                        .shadow_rank()
+                        .filter(|&s| s != fd && s != rank)
+                        .is_some_and(|s| ctx.proc.proc_ping(s, ctx.cfg.detector.ping_timeout).is_ok());
+                    if !shadow_alive {
+                        return report(
+                            Role::Idle,
+                            None,
+                            None,
+                            Some(FtError::Gaspi(ft_gaspi::GaspiError::RemoteBroken {
+                                rank: fd,
+                            })),
+                            None,
+                        );
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+enum ShadowEnd {
+    /// The primary handled everything; the shadow was never needed.
+    Quiet,
+    /// The shadow took over and ran detection to completion.
+    TookOver(DetectorOutcome),
+    /// The shadow itself hit an error.
+    Failed(FtError),
+}
+
+/// The shadow detector: tracks plans, pings the primary FD, and takes
+/// over detection when the primary dies (paper §VIII future work).
+fn run_shadow<A: FtApp>(
+    ctx: &FtCtx,
+    schedule: &FaultSchedule,
+    make_app: &impl Fn(&FtCtx) -> A,
+) -> ShadowEnd {
+    let _ = (schedule, make_app);
+    let layout = ctx.layout;
+    let me = ctx.proc.rank();
+    let mut last_plan = RecoveryPlan::initial();
+    let interval = ctx.cfg.detector.scan_interval;
+    loop {
+        match ctx.watch.check() {
+            Ok(()) => {}
+            Err(FtError::Signal(FtSignal::Recover(plan))) => {
+                // Track cumulative state; the shadow is reserved, so it is
+                // never in the rescue list.
+                last_plan = plan;
+                if !last_plan.fd_alive {
+                    // The (possibly promoted) detector ended; nothing left
+                    // to shadow.
+                    return ShadowEnd::Quiet;
+                }
+            }
+            Err(FtError::Signal(FtSignal::Shutdown)) => return ShadowEnd::Quiet,
+            Err(e) => return ShadowEnd::Failed(e),
+        }
+        let primary = last_plan.current_fd(&layout);
+        if primary != me && ctx.proc.proc_ping(primary, ctx.cfg.detector.ping_timeout).is_err() {
+            // Take over: reconstruct the detection state from the last
+            // cumulative plan, announce the new FD, and start scanning.
+            ctx.events.record(me, EventKind::FdTakeover { dead_fd: primary });
+            let mut state =
+                crate::detector::DetectorState::from_plan(&layout, &last_plan, &[me]);
+            state.register_takeover(primary, me);
+            let plan = state.plan(true);
+            let alive: Vec<Rank> = (0..layout.total())
+                .filter(|&r| r != me && !plan.failed.contains(&r))
+                .collect();
+            if let Err(e) = ack::broadcast_plan(
+                &ctx.proc,
+                &plan,
+                &alive,
+                ctx.cfg.detector.ack_queue,
+                ctx.cfg.detector.ack_timeout,
+            ) {
+                return ShadowEnd::Failed(e.into());
+            }
+            ctx.events.record(me, EventKind::FdAck { epoch: plan.epoch });
+            ctx.watch.acknowledge(plan.epoch);
+            return match crate::detector::run_detector_from(
+                &ctx.proc,
+                &layout,
+                &ctx.cfg.detector.clone(),
+                &ctx.events,
+                state,
+            ) {
+                Ok(out) => ShadowEnd::TookOver(out),
+                Err(e) => ShadowEnd::Failed(e),
+            };
+        }
+        std::thread::sleep(interval.min(Duration::from_millis(5)));
+    }
+}
+
+/// Best-effort "stop the job" signal sent by a rank that ends in error:
+/// without it the FD (and through it the idle pool) would keep running
+/// forever, since an errored-but-alive rank still answers pings.
+fn abort_job(ctx: &FtCtx) {
+    let plan = ctx.plan();
+    if plan.fd_alive {
+        let _ = ack::signal_done(
+            &ctx.proc,
+            plan.current_fd(&ctx.layout),
+            ctx.cfg.detector.ack_queue,
+            ctx.cfg.detector.ack_timeout,
+        );
+    }
+}
+
+/// Activation of a rescue (idle or promoted FD): rebuild the group, attach
+/// to the application via the one-time checkpoints, restore, and compute.
+fn become_rescue<A: FtApp>(
+    ctx: &FtCtx,
+    schedule: &FaultSchedule,
+    make_app: &impl Fn(&FtCtx) -> A,
+    mut plan: RecoveryPlan,
+) -> Result<(u32, A::Summary), FtError> {
+    let layout = ctx.layout;
+    let rank = ctx.proc.rank();
+    let mut app: Option<A> = None;
+    let start_iter = loop {
+        let app_rank = plan
+            .adopted_app_rank(&layout, rank)
+            .ok_or(FtError::CapacityExhausted)?;
+        ctx.set_app_rank(app_rank);
+        ctx.set_adopted_from(Some(crate::ckpt::restore_source(&plan, rank)));
+        ctx.events.record(rank, EventKind::Activated { app_rank });
+        match recover_once(ctx, &plan, None) {
+            Ok(group) => {
+                ctx.install(group, plan.clone());
+                let a = app.get_or_insert_with(|| make_app(ctx));
+                a.join_as_rescue(ctx)?;
+                a.rewire(ctx, &plan)?;
+                match a.restore(ctx) {
+                    Ok(iter) => {
+                        ctx.events.record(rank, EventKind::Restored { epoch: plan.epoch, iter });
+                        ctx.watch.acknowledge(plan.epoch);
+                        // State is re-homed: from now on this rank
+                        // restores as itself.
+                        ctx.set_adopted_from(None);
+                        break iter;
+                    }
+                    Err(FtError::Signal(FtSignal::Recover(newer))) => plan = newer,
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(FtError::Signal(FtSignal::Recover(newer))) => plan = newer,
+            Err(e) => return Err(e),
+        }
+    };
+    let mut app = app.expect("rescue app constructed");
+    let summary = worker_run(ctx, &mut app, schedule, start_iter, false)?;
+    Ok((ctx.app_rank(), summary))
+}
+
+fn recover_once(ctx: &FtCtx, plan: &RecoveryPlan, prev: Option<Group>) -> FtResult<Group> {
+    execute_recovery(&ctx.watch, &ctx.layout, plan, prev, ctx.cfg.recovery_step, &ctx.events)
+}
+
+/// The worker compute loop with failure handling and redo accounting.
+fn worker_run<A: FtApp>(
+    ctx: &FtCtx,
+    app: &mut A,
+    schedule: &FaultSchedule,
+    start_iter: u64,
+    fresh: bool,
+) -> Result<A::Summary, FtError> {
+    let rank = ctx.proc.rank();
+    if fresh {
+        app.setup(ctx)?;
+        ctx.events.record(rank, EventKind::SetupDone);
+    }
+    let mut iter = start_iter;
+    let mut max_iter = start_iter;
+    let mut redo: Option<(u64, u64)> = None; // (epoch, target iteration)
+
+    // Handle a recovery signal: loop until a plan sticks. Returns
+    // `Some(resume_iteration)` after a real recovery, `None` for a benign
+    // plan (e.g. a shadow-detector takeover or a failed idle) that leaves
+    // the worker group untouched — no rollback needed then.
+    let handle = |app: &mut A, mut plan: RecoveryPlan| -> Result<Option<u64>, FtError> {
+        loop {
+            if plan.worker_set(&ctx.layout) == ctx.plan().worker_set(&ctx.layout) {
+                // The worker group is unaffected (FD change or idle
+                // death): adopt the bookkeeping, keep computing.
+                ctx.install_plan_only(plan.clone());
+                ctx.watch.acknowledge(plan.epoch);
+                return Ok(None);
+            }
+            ctx.events.record(rank, EventKind::FailureSignal { epoch: plan.epoch });
+            match recover_once(ctx, &plan, Some(ctx.group())) {
+                Ok(group) => {
+                    ctx.install(group, plan.clone());
+                    app.rewire(ctx, &plan)?;
+                    match app.restore(ctx) {
+                        Ok(resume) => {
+                            ctx.events
+                                .record(rank, EventKind::Restored { epoch: plan.epoch, iter: resume });
+                            ctx.watch.acknowledge(plan.epoch);
+                            return Ok(Some(resume));
+                        }
+                        Err(FtError::Signal(FtSignal::Recover(newer))) => plan = newer,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(FtError::Signal(FtSignal::Recover(newer))) => plan = newer,
+                Err(e) => return Err(e),
+            }
+        }
+    };
+
+    loop {
+        if schedule.kill_at_iteration(rank, iter) {
+            ctx.events.record(rank, EventKind::KillFired { iter });
+            ctx.proc.exit_failure();
+        }
+        // The paper's pre-communication health check, once per iteration
+        // at minimum (the *_ft wrappers also check inside each call).
+        let step_result = match ctx.watch.check() {
+            Ok(()) => app.step(ctx, iter),
+            Err(e) => Err(e),
+        };
+        match step_result {
+            Ok(done) => {
+                iter += 1;
+                if let Some((epoch, target)) = redo {
+                    if iter >= target {
+                        ctx.events.record(rank, EventKind::RedoComplete { epoch, iter });
+                        redo = None;
+                    }
+                }
+                max_iter = max_iter.max(iter);
+                if done || iter >= ctx.cfg.max_iters {
+                    ctx.events.record(rank, EventKind::Finished { iter });
+                    break;
+                }
+                if ctx.cfg.checkpoint_every > 0 && iter.is_multiple_of(ctx.cfg.checkpoint_every) {
+                    match app.checkpoint(ctx, iter) {
+                        Ok(()) => {
+                            let version = iter / ctx.cfg.checkpoint_every;
+                            ctx.events.record(rank, EventKind::Checkpoint { version, iter });
+                        }
+                        Err(FtError::Signal(FtSignal::Recover(plan))) => {
+                            if let Some(resume) = handle(app, plan)? {
+                                iter = resume;
+                                redo = Some((ctx.plan().epoch, max_iter));
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(FtError::Signal(FtSignal::Recover(plan))) => {
+                if let Some(resume) = handle(app, plan)? {
+                    iter = resume;
+                    redo = Some((ctx.plan().epoch, max_iter));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Tell the FD the application is done (app rank 0 speaks for the
+    // group, if a detector is still standing — the *current* one, which
+    // may be the shadow after a takeover).
+    let plan = ctx.plan();
+    if ctx.app_rank() == 0 && plan.fd_alive {
+        let _ = ack::signal_done(
+            &ctx.proc,
+            plan.current_fd(&ctx.layout),
+            ctx.cfg.detector.ack_queue,
+            ctx.cfg.detector.ack_timeout,
+        );
+    }
+    app.finalize(ctx)
+}

@@ -1,0 +1,69 @@
+//! Error/signal types threaded through fault-tolerant applications.
+
+use std::fmt;
+
+use ft_gaspi::GaspiError;
+
+use crate::plan::RecoveryPlan;
+
+/// Out-of-band conditions a fault-tolerant communication call can surface
+/// instead of completing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtSignal {
+    /// The fault detector acknowledged failures; enter the recovery stage
+    /// with this plan.
+    Recover(RecoveryPlan),
+    /// Orderly end of the job (the FD's shutdown broadcast to idle
+    /// processes, or capacity exhaustion).
+    Shutdown,
+}
+
+/// Error type for fault-tolerant application code: either a recovery/
+/// shutdown signal (the normal "failure path") or a genuine GASPI error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// A signal from the fault detector.
+    Signal(FtSignal),
+    /// An unrecoverable communication error.
+    Gaspi(GaspiError),
+    /// The job cannot continue: more failures than spare processes
+    /// (paper restriction 1) or the FD itself is gone (restriction 2).
+    CapacityExhausted,
+}
+
+impl fmt::Display for FtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtError::Signal(FtSignal::Recover(p)) => {
+                write!(f, "failure acknowledgment received (epoch {})", p.epoch)
+            }
+            FtError::Signal(FtSignal::Shutdown) => write!(f, "shutdown signal received"),
+            FtError::Gaspi(e) => write!(f, "GASPI error: {e}"),
+            FtError::CapacityExhausted => write!(f, "fault-tolerance capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+impl From<GaspiError> for FtError {
+    fn from(e: GaspiError) -> Self {
+        FtError::Gaspi(e)
+    }
+}
+
+/// Result alias for fault-tolerant application code.
+pub type FtResult<T> = Result<T, FtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: FtError = GaspiError::Timeout.into();
+        assert!(matches!(e, FtError::Gaspi(GaspiError::Timeout)));
+        assert!(e.to_string().contains("GASPI_TIMEOUT"));
+        assert!(FtError::CapacityExhausted.to_string().contains("capacity"));
+    }
+}

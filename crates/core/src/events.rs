@@ -1,0 +1,190 @@
+//! Job-wide event log for overhead decomposition.
+//!
+//! The paper decomposes failure overhead into detection (OHF1), group
+//! rebuild (OHF2), data re-initialization (OHF3), and redo-work time
+//! (Fig. 4). The log is shared by every rank of a job — including ranks
+//! that later die, whose entries survive them — and the benchmark
+//! harnesses reconstruct the decomposition from it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use ft_cluster::Rank;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Worker finished its setup (pre-processing) phase.
+    SetupDone,
+    /// Checkpoint `version` written (locally) at iteration `iter`.
+    Checkpoint {
+        /// Checkpoint version.
+        version: u64,
+        /// Iteration at which it was taken.
+        iter: u64,
+    },
+    /// A rank is about to kill itself on schedule (`exit(-1)` style).
+    KillFired {
+        /// Iteration at which the kill fired.
+        iter: u64,
+    },
+    /// The FD completed one ping scan over `targets` ranks.
+    FdScan {
+        /// Scan duration.
+        dur: Duration,
+        /// Ranks pinged.
+        targets: u32,
+        /// Whether new failures were found in this scan.
+        found_failures: bool,
+    },
+    /// The FD observed new failures (start of OHF1 accounting).
+    FdDetect {
+        /// New epoch.
+        epoch: u64,
+        /// Newly failed ranks.
+        failed: Vec<Rank>,
+    },
+    /// The FD finished broadcasting the acknowledgment.
+    FdAck {
+        /// Epoch acknowledged.
+        epoch: u64,
+    },
+    /// A worker received the failure acknowledgment signal.
+    FailureSignal {
+        /// Epoch received.
+        epoch: u64,
+    },
+    /// The new worker group committed (end of OHF2).
+    GroupRebuilt {
+        /// Epoch recovered to.
+        epoch: u64,
+    },
+    /// State restored from a checkpoint (end of OHF3).
+    Restored {
+        /// Epoch recovered to.
+        epoch: u64,
+        /// Iteration resumed from.
+        iter: u64,
+    },
+    /// The worker re-reached its pre-failure iteration (end of redo).
+    RedoComplete {
+        /// Epoch.
+        epoch: u64,
+        /// Iteration re-reached.
+        iter: u64,
+    },
+    /// An idle process was activated as a rescue carrying `app_rank`.
+    Activated {
+        /// Adopted application rank.
+        app_rank: u32,
+    },
+    /// The FD promoted itself to worker (paper restriction 2 reached).
+    FdPromoted,
+    /// The shadow detector observed the primary FD's death and took over
+    /// (the paper's §VIII redundancy proposal).
+    FdTakeover {
+        /// The dead primary.
+        dead_fd: Rank,
+    },
+    /// More failures than spares: the job cannot heal (restriction 1).
+    CapacityExhausted,
+    /// Worker finished the application (at `iter`).
+    Finished {
+        /// Final iteration count.
+        iter: u64,
+    },
+}
+
+/// A timestamped, rank-tagged event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Time since the job's event log was created.
+    pub t: Duration,
+    /// GASPI rank that recorded the event.
+    pub rank: Rank,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Shared job-wide log.
+#[derive(Clone)]
+pub struct EventLog {
+    t0: Instant,
+    entries: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    /// Fresh log; `t = 0` is now.
+    pub fn new() -> Self {
+        Self { t0: Instant::now(), entries: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Record an event for `rank` at the current time.
+    pub fn record(&self, rank: Rank, kind: EventKind) {
+        let t = self.t0.elapsed();
+        self.entries.lock().push(Event { t, rank, kind });
+    }
+
+    /// Time since the log was created (the job clock).
+    pub fn now(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    /// Snapshot of all events, sorted by time.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut v = self.entries.lock().clone();
+        v.sort_by_key(|e| e.t);
+        v
+    }
+
+    /// First event matching `pred`, by time.
+    pub fn first_where(&self, mut pred: impl FnMut(&Event) -> bool) -> Option<Event> {
+        self.snapshot().into_iter().find(|e| pred(e))
+    }
+
+    /// All events matching `pred`, by time.
+    pub fn all_where(&self, mut pred: impl FnMut(&Event) -> bool) -> Vec<Event> {
+        self.snapshot().into_iter().filter(|e| pred(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let log = EventLog::new();
+        log.record(3, EventKind::SetupDone);
+        log.record(1, EventKind::FailureSignal { epoch: 1 });
+        log.record(3, EventKind::Finished { iter: 10 });
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].t <= w[1].t));
+        let f = log
+            .first_where(|e| matches!(e.kind, EventKind::FailureSignal { .. }))
+            .unwrap();
+        assert_eq!(f.rank, 1);
+        assert_eq!(
+            log.all_where(|e| e.rank == 3).len(),
+            2,
+            "rank filter must find both rank-3 events"
+        );
+    }
+
+    #[test]
+    fn clones_share_entries() {
+        let log = EventLog::new();
+        let log2 = log.clone();
+        log2.record(0, EventKind::SetupDone);
+        assert_eq!(log.snapshot().len(), 1);
+    }
+}

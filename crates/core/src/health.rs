@@ -1,0 +1,270 @@
+//! Worker-side health watch and fault-tolerant communication wrappers.
+//!
+//! "The communication routines are checked for a failure acknowledgment
+//! signal from the FD process" (§IV-D) and "the worker processes
+//! communicating directly with the failed processes keep on returning with
+//! GASPI_TIMEOUT unless a failure acknowledgment is received" (§IV-A).
+//!
+//! [`HealthWatch::check`] is the cheap pre-communication test (an atomic
+//! peek of the epoch notification). The `*_ft` wrappers implement the
+//! retry-until-acknowledged loop: they issue the underlying GASPI call
+//! with a short timeout and re-check the watch between attempts, so a
+//! worker stuck on a dead partner leaves the call the moment the FD's
+//! acknowledgment lands — as a typed [`FtSignal::Recover`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ft_gaspi::{GaspiError, GaspiProc, Group, NotificationId, ReduceOp, SegId, Timeout};
+
+use crate::ack::{self, CTRL_SEG, EPOCH_NOTIF, SHUTDOWN_NOTIF};
+use crate::error::{FtError, FtResult, FtSignal};
+
+/// Tuning knobs for the fault-tolerant communication wrappers.
+#[derive(Debug, Clone)]
+pub struct CommPolicy {
+    /// Per-attempt GASPI timeout (the paper sets 1 s; the simulation
+    /// scales it down).
+    pub attempt: Timeout,
+    /// Give up entirely after this long without progress or
+    /// acknowledgment. Guards against the paper's restriction 2 (no FD
+    /// left to acknowledge) turning into an infinite hang.
+    pub abandon: Duration,
+}
+
+impl Default for CommPolicy {
+    fn default() -> Self {
+        Self { attempt: Timeout::Ms(20), abandon: Duration::from_secs(10) }
+    }
+}
+
+/// The per-rank failure-acknowledgment watch.
+pub struct HealthWatch {
+    proc: GaspiProc,
+    seen_epoch: Arc<AtomicU64>,
+    policy: CommPolicy,
+}
+
+impl HealthWatch {
+    /// Watch for acknowledgments on `proc`'s control segment.
+    pub fn new(proc: GaspiProc, policy: CommPolicy) -> Self {
+        Self { proc, seen_epoch: Arc::new(AtomicU64::new(0)), policy }
+    }
+
+    /// The underlying process handle.
+    pub fn proc(&self) -> &GaspiProc {
+        &self.proc
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &CommPolicy {
+        &self.policy
+    }
+
+    /// The newest epoch this rank has acknowledged locally.
+    pub fn seen_epoch(&self) -> u64 {
+        self.seen_epoch.load(Ordering::Acquire)
+    }
+
+    /// Mark `epoch` as handled (the driver calls this when a recovery
+    /// completes, so an in-flight plan isn't signalled twice).
+    pub fn acknowledge(&self, epoch: u64) {
+        self.seen_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The cheap pre-communication check: returns `Ok(())` when nothing
+    /// happened; a typed signal otherwise.
+    pub fn check(&self) -> FtResult<()> {
+        if self.proc.notify_peek(CTRL_SEG, SHUTDOWN_NOTIF)? != 0 {
+            return Err(FtError::Signal(FtSignal::Shutdown));
+        }
+        let epoch = u64::from(self.proc.notify_peek(CTRL_SEG, EPOCH_NOTIF)?);
+        if epoch > self.seen_epoch() {
+            if let Some(plan) = ack::read_plan(&self.proc)? {
+                if plan.epoch > self.seen_epoch() {
+                    self.seen_epoch.store(plan.epoch, Ordering::Release);
+                    return Err(FtError::Signal(FtSignal::Recover(plan)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until a signal arrives (idle processes park here).
+    pub fn wait_signal(&self, lap: Duration) -> FtError {
+        loop {
+            if let Err(sig) = self.check() {
+                return sig;
+            }
+            std::thread::sleep(lap);
+        }
+    }
+
+    /// Generic retry loop shared by the `*_ft` wrappers.
+    ///
+    /// Timeouts re-attempt. A *broken* completion (dead partner) is final
+    /// for this operation — the data did not arrive — so the loop stops
+    /// attempting and holds position, polling only the watch, until the
+    /// FD's acknowledgment (or the abandon deadline) arrives. This is the
+    /// paper's "keep on returning with GASPI_TIMEOUT unless a failure
+    /// acknowledgment is received".
+    fn retry<T>(&self, mut attempt: impl FnMut() -> Result<T, GaspiError>) -> FtResult<T> {
+        let deadline = Instant::now() + self.policy.abandon;
+        let mut broken = false;
+        loop {
+            self.check()?;
+            if broken {
+                std::thread::sleep(Duration::from_millis(1));
+            } else {
+                match attempt() {
+                    Ok(v) => return Ok(v),
+                    Err(GaspiError::Timeout) => {}
+                    Err(GaspiError::QueueFailure { .. })
+                    | Err(GaspiError::RemoteBroken { .. }) => broken = true,
+                    Err(e) => return Err(FtError::Gaspi(e)),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(FtError::Gaspi(GaspiError::Timeout));
+            }
+        }
+    }
+
+    /// Fault-tolerant `gaspi_wait`.
+    pub fn wait_ft(&self, queue: u16) -> FtResult<()> {
+        self.retry(|| self.proc.wait(queue, self.policy.attempt))
+    }
+
+    /// Fault-tolerant `gaspi_notify_waitsome`.
+    pub fn notify_waitsome_ft(
+        &self,
+        seg: SegId,
+        begin: NotificationId,
+        count: u32,
+    ) -> FtResult<NotificationId> {
+        self.retry(|| self.proc.notify_waitsome(seg, begin, count, self.policy.attempt))
+    }
+
+    /// Fault-tolerant barrier on `group`.
+    pub fn barrier_ft(&self, group: Group) -> FtResult<()> {
+        self.retry(|| self.proc.barrier(group, self.policy.attempt))
+    }
+
+    /// Fault-tolerant `f64` allreduce on `group`.
+    pub fn allreduce_f64_ft(
+        &self,
+        group: Group,
+        input: &[f64],
+        op: ReduceOp,
+    ) -> FtResult<Vec<f64>> {
+        self.retry(|| self.proc.allreduce_f64(group, input, op, self.policy.attempt))
+    }
+
+    /// Fault-tolerant `u64` allreduce on `group`.
+    pub fn allreduce_u64_ft(
+        &self,
+        group: Group,
+        input: &[u64],
+        op: ReduceOp,
+    ) -> FtResult<Vec<u64>> {
+        self.retry(|| self.proc.allreduce_u64(group, input, op, self.policy.attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ack::create_ctrl_segment;
+    use crate::layout::WorldLayout;
+    use crate::plan::RecoveryPlan;
+    use ft_gaspi::{GaspiConfig, GaspiWorld};
+
+    #[test]
+    fn check_is_quiet_then_signals_once() {
+        let layout = WorldLayout::new(2, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&fd, &layout).unwrap();
+        create_ctrl_segment(&w0, &layout).unwrap();
+        let watch = HealthWatch::new(w0, CommPolicy::default());
+        assert!(watch.check().is_ok());
+        let plan = RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
+        ack::broadcast_plan(&fd, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
+        // Wait for delivery, then the check must fire exactly once.
+        std::thread::sleep(Duration::from_millis(20));
+        match watch.check() {
+            Err(FtError::Signal(FtSignal::Recover(p))) => assert_eq!(p, plan),
+            other => panic!("expected Recover, got {other:?}"),
+        }
+        assert!(watch.check().is_ok(), "same epoch must not re-signal");
+        assert_eq!(watch.seen_epoch(), 1);
+    }
+
+    #[test]
+    fn shutdown_signal_wins() {
+        let layout = WorldLayout::new(1, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&fd, &layout).unwrap();
+        create_ctrl_segment(&w0, &layout).unwrap();
+        ack::broadcast_shutdown(&fd, &[0], 0, Timeout::Ms(2000)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let watch = HealthWatch::new(w0, CommPolicy::default());
+        assert!(matches!(watch.check(), Err(FtError::Signal(FtSignal::Shutdown))));
+    }
+
+    #[test]
+    fn retry_surfaces_ack_during_blocked_wait() {
+        let layout = WorldLayout::new(2, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&fd, &layout).unwrap();
+        create_ctrl_segment(&w0, &layout).unwrap();
+        w0.segment_create(5, 64).unwrap();
+        // Kill rank 1 and post a write to it: wait_ft would loop forever on
+        // QueueFailure — until the FD acks.
+        world.fault().kill_rank(1);
+        w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
+        let watch = HealthWatch::new(
+            w0,
+            CommPolicy { attempt: Timeout::Ms(5), abandon: Duration::from_secs(30) },
+        );
+        let fd2 = fd.clone();
+        let layout2 = layout;
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let plan =
+                RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
+            ack::broadcast_plan(&fd2, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
+            let _ = layout2;
+        });
+        match watch.wait_ft(0) {
+            Err(FtError::Signal(FtSignal::Recover(p))) => assert_eq!(p.epoch, 1),
+            other => panic!("expected Recover, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retry_abandons_without_fd() {
+        let layout = WorldLayout::new(2, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&w0, &layout).unwrap();
+        w0.segment_create(5, 64).unwrap();
+        world.fault().kill_rank(1);
+        w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
+        let watch = HealthWatch::new(
+            w0,
+            CommPolicy { attempt: Timeout::Ms(5), abandon: Duration::from_millis(100) },
+        );
+        let t0 = Instant::now();
+        assert!(matches!(watch.wait_ft(0), Err(FtError::Gaspi(GaspiError::Timeout))));
+        assert!(t0.elapsed() >= Duration::from_millis(100));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

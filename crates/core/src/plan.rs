@@ -1,0 +1,231 @@
+//! The recovery plan: what the fault detector broadcasts after failures.
+//!
+//! A plan is a *pure function* of the job layout and the cumulative
+//! `(failed, rescue)` assignment history, so every process — workers that
+//! lived through all epochs and rescues that just woke up — derives the
+//! same rank map, worker set, and neighbor ring from the same broadcast.
+
+use ft_checkpoint::{Dec, Enc};
+use ft_cluster::Rank;
+
+use crate::layout::{ProcStatus, RankMap, WorldLayout};
+
+/// Group-id base for worker groups; the group for recovery epoch `e` is
+/// `WORKER_GROUP_BASE + e`, so every participant derives the same id
+/// without negotiation.
+pub const WORKER_GROUP_BASE: u64 = 1 << 32;
+
+/// Everything a process needs to run Listing 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPlan {
+    /// Recovery epoch: 0 = initial world, +1 per acknowledged failure
+    /// round.
+    pub epoch: u64,
+    /// Cumulative failed GASPI ranks, in discovery order.
+    pub failed: Vec<Rank>,
+    /// Parallel array: `rescues[i]` adopted `failed[i]`'s identity
+    /// (`u32::MAX` = no rescue was available for a rank that carried no
+    /// work, e.g. a failed idle).
+    pub rescues: Vec<Rank>,
+    /// Whether a dedicated FD is still in place after this epoch
+    /// (paper restriction 2: the FD may have joined the workers).
+    pub fd_alive: bool,
+    /// Override of the detector's rank: set when a *shadow* detector took
+    /// over after the primary died (the paper's proposed "redundancy
+    /// approach [to] make the FD process fault tolerant", §VIII). `None`
+    /// means the layout's default FD rank.
+    pub fd_rank: Option<Rank>,
+}
+
+/// A rescue slot value meaning "no rescue assigned".
+pub const NO_RESCUE: Rank = u32::MAX;
+
+impl RecoveryPlan {
+    /// The initial, failure-free plan.
+    pub fn initial() -> Self {
+        Self { epoch: 0, failed: Vec::new(), rescues: Vec::new(), fd_alive: true, fd_rank: None }
+    }
+
+    /// The current detector rank (the layout default unless a shadow took
+    /// over).
+    pub fn current_fd(&self, layout: &WorldLayout) -> Rank {
+        self.fd_rank.unwrap_or_else(|| layout.fd_rank())
+    }
+
+    /// Derive the current rank map by replaying the adoption history.
+    pub fn rank_map(&self, layout: &WorldLayout) -> RankMap {
+        let mut map = RankMap::identity(layout.num_workers);
+        for (&f, &r) in self.failed.iter().zip(&self.rescues) {
+            if r != NO_RESCUE {
+                map.transfer(f, r);
+            }
+        }
+        map
+    }
+
+    /// The GASPI ranks forming the worker group at this epoch, sorted.
+    pub fn worker_set(&self, layout: &WorldLayout) -> Vec<Rank> {
+        self.rank_map(layout).worker_set()
+    }
+
+    /// Deterministic group id for this epoch's worker group.
+    pub fn group_id(&self) -> u64 {
+        WORKER_GROUP_BASE + self.epoch
+    }
+
+    /// Status of every GASPI rank at this epoch (the paper's
+    /// `status_processes`).
+    pub fn status(&self, layout: &WorldLayout) -> Vec<ProcStatus> {
+        let mut st: Vec<ProcStatus> =
+            (0..layout.total()).map(|r| layout.initial_role(r)).collect();
+        // Rescues first become workers...
+        let map = self.rank_map(layout);
+        for g in 0..layout.total() {
+            if map.app_of(g).is_some() {
+                st[g as usize] = ProcStatus::Working;
+            }
+        }
+        // ...then failures override everything.
+        for &f in &self.failed {
+            st[f as usize] = ProcStatus::Failed;
+        }
+        if let Some(fd) = self.fd_rank {
+            st[fd as usize] = ProcStatus::Detector;
+        }
+        if !self.fd_alive {
+            let fd = self.current_fd(layout) as usize;
+            if st[fd] == ProcStatus::Detector {
+                st[fd] = ProcStatus::Working;
+            }
+        }
+        st
+    }
+
+    /// Ranks newly failed relative to `previous` (what `proc_kill` must
+    /// target during this recovery).
+    pub fn newly_failed(&self, previous_epochs_failed: usize) -> &[Rank] {
+        &self.failed[previous_epochs_failed.min(self.failed.len())..]
+    }
+
+    /// Whether `rank` is a rescue activated by this plan.
+    pub fn is_rescue(&self, rank: Rank) -> bool {
+        self.rescues.contains(&rank)
+    }
+
+    /// The app rank `rank` adopted, if it is a rescue (derived by replay).
+    pub fn adopted_app_rank(&self, layout: &WorldLayout, rank: Rank) -> Option<u32> {
+        self.rank_map(layout).app_of(rank)
+    }
+
+    /// Wire encoding (broadcast into every control segment).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(40 + 8 * self.failed.len());
+        e.u64(self.epoch)
+            .u32(u32::from(self.fd_alive))
+            .u32(self.fd_rank.map_or(u32::MAX, |r| r))
+            .u32s(&self.failed)
+            .u32s(&self.rescues);
+        e.finish()
+    }
+
+    /// Wire decoding.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut d = Dec::new(buf);
+        let epoch = d.u64().ok()?;
+        let fd_alive = d.u32().ok()? != 0;
+        let fd_rank = match d.u32().ok()? {
+            u32::MAX => None,
+            r => Some(r),
+        };
+        let failed = d.u32s().ok()?;
+        let rescues = d.u32s().ok()?;
+        if failed.len() != rescues.len() {
+            return None;
+        }
+        Some(Self { epoch, failed, rescues, fd_alive, fd_rank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> WorldLayout {
+        WorldLayout::new(4, 3) // workers 0-3, idles 4-5, FD 6
+    }
+
+    #[test]
+    fn initial_plan_is_identity() {
+        let p = RecoveryPlan::initial();
+        let l = layout();
+        assert_eq!(p.worker_set(&l), vec![0, 1, 2, 3]);
+        assert_eq!(p.group_id(), WORKER_GROUP_BASE);
+        let st = p.status(&l);
+        assert_eq!(st[4], ProcStatus::Idle);
+        assert_eq!(st[6], ProcStatus::Detector);
+    }
+
+    #[test]
+    fn single_failure_plan() {
+        let l = layout();
+        let p = RecoveryPlan { epoch: 1, failed: vec![2], rescues: vec![4], fd_alive: true , fd_rank: None};
+        assert_eq!(p.worker_set(&l), vec![0, 1, 3, 4]);
+        assert_eq!(p.rank_map(&l).gaspi_of(2), 4);
+        let st = p.status(&l);
+        assert_eq!(st[2], ProcStatus::Failed);
+        assert_eq!(st[4], ProcStatus::Working);
+        assert_eq!(st[5], ProcStatus::Idle);
+        assert_eq!(p.adopted_app_rank(&l, 4), Some(2));
+        assert!(p.is_rescue(4));
+        assert!(!p.is_rescue(5));
+    }
+
+    #[test]
+    fn chained_failures_including_a_rescue() {
+        let l = layout();
+        // epoch1: rank2 → rescue4; epoch2: rescue4 itself dies → rescue5.
+        let p = RecoveryPlan { epoch: 2, failed: vec![2, 4], rescues: vec![4, 5], fd_alive: true , fd_rank: None};
+        assert_eq!(p.rank_map(&l).gaspi_of(2), 5);
+        assert_eq!(p.worker_set(&l), vec![0, 1, 3, 5]);
+        assert_eq!(p.newly_failed(1), &[4]);
+        let st = p.status(&l);
+        assert_eq!(st[2], ProcStatus::Failed);
+        assert_eq!(st[4], ProcStatus::Failed);
+        assert_eq!(st[5], ProcStatus::Working);
+    }
+
+    #[test]
+    fn failed_idle_consumes_no_rescue() {
+        let l = layout();
+        let p = RecoveryPlan {
+            epoch: 1,
+            failed: vec![5],
+            rescues: vec![NO_RESCUE],
+            fd_alive: true, fd_rank: None,
+        };
+        assert_eq!(p.worker_set(&l), vec![0, 1, 2, 3]);
+        assert_eq!(p.status(&l)[5], ProcStatus::Failed);
+    }
+
+    #[test]
+    fn fd_promotion_reflected_in_status() {
+        let l = layout();
+        let p = RecoveryPlan { epoch: 3, failed: vec![0], rescues: vec![6], fd_alive: false , fd_rank: None};
+        assert_eq!(p.status(&l)[6], ProcStatus::Working);
+        assert_eq!(p.worker_set(&l), vec![1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = RecoveryPlan {
+            epoch: 7,
+            failed: vec![2, 9, 5],
+            rescues: vec![4, NO_RESCUE, 6],
+            fd_alive: false, fd_rank: None,
+        };
+        let buf = p.encode();
+        assert_eq!(RecoveryPlan::decode(&buf), Some(p));
+        assert_eq!(RecoveryPlan::decode(&buf[..buf.len() - 1]), None);
+        assert_eq!(RecoveryPlan::decode(&[]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Communication reconstruction (the paper's Listing 2).
+//!
+//! After the acknowledgment, every member of the *new* worker group —
+//! surviving workers and activated rescues — runs this sequence:
+//!
+//! 1. delete the old `COMM_MAIN` group,
+//! 2. `gaspi_proc_kill` every failed process ("it explicitly enforces the
+//!    processes to die even if they were alive", handling transient and
+//!    false-positive failures),
+//! 3. create `COMM_MAIN_NEW` with a deterministic id derived from the
+//!    epoch, add the members from the plan's status, and
+//! 4. `gaspi_group_commit` — the blocking step whose cost dominates OHF2.
+//!
+//! If a *further* failure interrupts the commit, the health watch
+//! surfaces the newer plan and the caller restarts recovery with it.
+
+use std::time::Instant;
+
+use ft_gaspi::{GaspiError, Group, Timeout};
+
+use crate::error::{FtError, FtResult};
+use crate::events::{EventKind, EventLog};
+use crate::health::HealthWatch;
+use crate::layout::WorldLayout;
+use crate::plan::RecoveryPlan;
+
+/// Rebuild the worker group per `plan`. Returns the committed group.
+///
+/// Callers must be members of `plan.worker_set(layout)`. On
+/// [`FtError::Signal`] the caller should restart with the newer plan.
+pub fn execute_recovery(
+    watch: &HealthWatch,
+    layout: &WorldLayout,
+    plan: &RecoveryPlan,
+    prev_group: Option<Group>,
+    step_timeout: Timeout,
+    events: &EventLog,
+) -> FtResult<Group> {
+    let proc = watch.proc();
+    // 1. The old group is gone (ignore errors: it may never have existed
+    //    for a rescue process).
+    if let Some(g) = prev_group {
+        let _ = proc.group_delete(g);
+    }
+    // 2. Enforce death of every failed process — transient failures and
+    //    false positives must not keep participating.
+    for &f in &plan.failed {
+        let _ = proc.proc_kill(f, step_timeout);
+    }
+    // 3. COMM_MAIN_NEW with the epoch-derived id; clear the remnants of an
+    //    interrupted previous attempt at this epoch, if any.
+    let gid = plan.group_id();
+    let group = match proc.group_create_with_id(gid) {
+        Ok(g) => g,
+        Err(_) => {
+            let _ = proc.group_delete(Group(gid));
+            proc.group_create_with_id(gid).map_err(FtError::from)?
+        }
+    };
+    let members = plan.worker_set(layout);
+    debug_assert!(members.contains(&proc.rank()), "recovery caller must be a member");
+    for &m in &members {
+        proc.group_add(group, m)?;
+    }
+    // 4. Blocking commit, re-checking the watch between attempts so a
+    //    failure *during* recovery escalates to the newer epoch.
+    let deadline = Instant::now() + watch.policy().abandon;
+    loop {
+        match proc.group_commit(group, step_timeout) {
+            Ok(()) => break,
+            Err(GaspiError::Timeout) | Err(GaspiError::RemoteBroken { .. }) => {
+                watch.check()?;
+                if Instant::now() >= deadline {
+                    return Err(FtError::Gaspi(GaspiError::Timeout));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    events.record(proc.rank(), EventKind::GroupRebuilt { epoch: plan.epoch });
+    Ok(group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ack::create_ctrl_segment;
+    use crate::health::CommPolicy;
+    use ft_gaspi::{GaspiConfig, GaspiWorld, RankOutcome};
+    use std::time::Duration;
+
+    /// Survivors + rescue rebuild a group after a kill, concurrently.
+    #[test]
+    fn rebuild_after_failure() {
+        let layout = WorldLayout::new(3, 2); // workers 0-2, idle 3, FD 4
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fault = world.fault();
+        fault.kill_rank(1);
+        let plan = RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![3], fd_alive: true , fd_rank: None};
+        let layout2 = layout;
+        let outs = world
+            .launch(move |p| {
+                let plan = plan.clone();
+                if !plan.worker_set(&layout2).contains(&p.rank()) {
+                    return Ok(true); // dead / FD ranks sit out
+                }
+                create_ctrl_segment(&p, &layout2).unwrap();
+                let events = EventLog::new();
+                let watch = HealthWatch::new(
+                    p,
+                    CommPolicy { attempt: Timeout::Ms(100), abandon: Duration::from_secs(10) },
+                );
+                let g = execute_recovery(
+                    &watch,
+                    &layout2,
+                    &plan,
+                    None,
+                    Timeout::Ms(2000),
+                    &events,
+                )
+                .expect("recovery");
+                // The rebuilt group is immediately usable.
+                watch.proc().barrier(g, Timeout::Ms(5000)).unwrap();
+                Ok(true)
+            })
+            .join();
+        for (r, o) in outs.into_iter().enumerate() {
+            if r == 1 {
+                continue; // pre-killed rank never even started its closure
+            }
+            assert!(
+                matches!(o, RankOutcome::Completed(true)) || r == 1,
+                "rank {r}: {o:?}"
+            );
+        }
+        assert!(!fault.is_alive(1));
+    }
+}

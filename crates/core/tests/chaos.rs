@@ -1,0 +1,174 @@
+//! Chaos test: seeded random failure storms against the full recovery
+//! stack. Any number of ranks — workers, idles, even the FD — may die at
+//! random times. The contract under test:
+//!
+//! * the job never hangs (bounded by the abandon policy);
+//! * if every application rank reports a summary, the results are the
+//!   deterministic ground truth (no silent corruption, ever);
+//! * otherwise the degradation is clean: failures exceeded what the
+//!   spare pool / detector redundancy could absorb, and surviving ranks
+//!   report errors instead of wrong numbers.
+
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_cluster::{FaultAction, FaultSchedule};
+use ft_core::ckpt::consistent_restore;
+use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
+
+const STATE_TAG: u32 = 1;
+const FETCH: Duration = Duration::from_secs(5);
+
+struct Acc {
+    acc: f64,
+    ck: Checkpointer,
+}
+
+impl Acc {
+    fn new(ctx: &FtCtx) -> Self {
+        Self {
+            acc: 0.0,
+            ck: Checkpointer::new(&ctx.proc, CheckpointerConfig::for_tag(STATE_TAG), None),
+        }
+    }
+}
+
+impl FtApp for Acc {
+    type Summary = f64;
+
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        ctx.barrier_ft()?;
+        Ok(())
+    }
+
+    fn join_as_rescue(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool> {
+        let x = f64::from(ctx.app_rank() + 1) * (iter + 1) as f64;
+        self.acc += ctx.allreduce_f64_ft(&[x], ReduceOp::Sum)?[0];
+        Ok(false)
+    }
+
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        Ok(())
+    }
+
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
+        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
+            Some(r) => {
+                let mut d = Dec::new(&r.data);
+                let iter = d.u64().unwrap();
+                self.acc = d.f64().unwrap();
+                Ok(iter)
+            }
+            None => {
+                self.acc = 0.0;
+                Ok(0)
+            }
+        }
+    }
+
+    fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
+        self.ck.refresh_failed(&plan.failed);
+        let _ = ctx;
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<f64> {
+        Ok(self.acc)
+    }
+}
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn storm(seed: u64) {
+    let mut z = seed;
+    let workers = 3 + (splitmix(&mut z) % 3) as u32; // 3..=5
+    let spares = 2 + (splitmix(&mut z) % 3) as u32; // 2..=4
+    let kills = 1 + (splitmix(&mut z) % 4) as usize; // 1..=4
+    let redundant = splitmix(&mut z).is_multiple_of(2);
+    let layout = WorldLayout::new(workers, spares);
+    let total = layout.total();
+
+    let mut schedule = FaultSchedule::none();
+    let mut victims = Vec::new();
+    for _ in 0..kills {
+        let victim = (splitmix(&mut z) % u64::from(total)) as u32;
+        if victims.contains(&victim) {
+            continue;
+        }
+        victims.push(victim);
+        let at = Duration::from_millis(10 + splitmix(&mut z) % 140);
+        schedule = schedule.timed(at, FaultAction::KillRank(victim));
+    }
+
+    let world = GaspiWorld::new(GaspiConfig::deterministic(total).with_seed(seed));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 10;
+    cfg.max_iters = 600;
+    cfg.redundant_fd = redundant && spares >= 2;
+    cfg.policy.abandon = Duration::from_secs(5);
+    let report = run_ft_job(&world, cfg, schedule, Acc::new);
+
+    let summaries = report.worker_summaries();
+    let iters = 600u64;
+    let expected =
+        f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64;
+    if summaries.len() == workers as usize {
+        for (app, acc) in &summaries {
+            assert_eq!(
+                **acc, expected,
+                "seed {seed}: app rank {app} produced a WRONG result (victims {victims:?})"
+            );
+        }
+    } else {
+        // Clean degradation: someone must have recorded why.
+        let errored = report.completed().into_iter().filter(|r| r.error.is_some()).count();
+        let killed = report.killed().len();
+        assert!(
+            errored + killed > 0,
+            "seed {seed}: incomplete without any recorded failure (victims {victims:?})"
+        );
+        // And no stray *wrong* summaries either: whoever finished must
+        // still be correct.
+        for (app, acc) in &summaries {
+            assert_eq!(
+                **acc, expected,
+                "seed {seed}: partial completion with corrupt result at app rank {app}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_storm_seeds_0_to_3() {
+    for seed in 0..4 {
+        storm(seed);
+    }
+}
+
+#[test]
+fn chaos_storm_seeds_4_to_7() {
+    for seed in 4..8 {
+        storm(seed);
+    }
+}
+
+#[test]
+fn chaos_storm_seeds_8_to_11() {
+    for seed in 8..12 {
+        storm(seed);
+    }
+}

@@ -1,0 +1,211 @@
+//! Tests of the shadow fault detector (the paper's §VIII future work:
+//! "the redundancy approach can be implemented to make the FD process
+//! fault tolerant"), reusing the deterministic toy app from `ft_job.rs`.
+
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc, Pfs, PfsConfig};
+use ft_cluster::{FaultAction, FaultSchedule};
+use ft_core::ckpt::consistent_restore;
+use ft_core::{
+    run_ft_job, EventKind, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, Role, WorldLayout,
+};
+use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
+
+const STATE_TAG: u32 = 1;
+const FETCH: Duration = Duration::from_secs(5);
+
+/// Same deterministic accumulator app as in `ft_job.rs`, minus the plan
+/// blob (nothing to reload here).
+struct Acc {
+    acc: f64,
+    ck: Checkpointer,
+}
+
+impl Acc {
+    fn new(ctx: &FtCtx) -> Self {
+        Self {
+            acc: 0.0,
+            ck: Checkpointer::new(&ctx.proc, CheckpointerConfig::for_tag(STATE_TAG), None),
+        }
+    }
+}
+
+impl FtApp for Acc {
+    type Summary = f64;
+
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        ctx.barrier_ft()?;
+        Ok(())
+    }
+
+    fn join_as_rescue(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool> {
+        let x = f64::from(ctx.app_rank() + 1) * (iter + 1) as f64;
+        self.acc += ctx.allreduce_f64_ft(&[x], ReduceOp::Sum)?[0];
+        Ok(false)
+    }
+
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        Ok(())
+    }
+
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
+        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
+            Some(r) => {
+                let mut d = Dec::new(&r.data);
+                let iter = d.u64().unwrap();
+                self.acc = d.f64().unwrap();
+                Ok(iter)
+            }
+            None => {
+                self.acc = 0.0;
+                Ok(0)
+            }
+        }
+    }
+
+    fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
+        self.ck.refresh_failed(&plan.failed);
+        let _ = ctx;
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<f64> {
+        Ok(self.acc)
+    }
+}
+
+fn expected_acc(workers: u32, iters: u64) -> f64 {
+    f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64
+}
+
+fn redundant_job(
+    workers: u32,
+    spares: u32,
+    iters: u64,
+    schedule: FaultSchedule,
+) -> ft_core::JobReport<f64> {
+    let layout = WorldLayout::new(workers, spares);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 10;
+    cfg.max_iters = iters;
+    cfg.redundant_fd = true;
+    cfg.policy.abandon = Duration::from_secs(20);
+    let _unused_pfs = Pfs::new(PfsConfig::instant());
+    run_ft_job(&world, cfg, schedule, Acc::new)
+}
+
+fn assert_correct(report: &ft_core::JobReport<f64>, workers: u32, iters: u64) {
+    let s = report.worker_summaries();
+    assert_eq!(s.len(), workers as usize, "all app ranks must finish");
+    for (app, acc) in s {
+        assert_eq!(*acc, expected_acc(workers, iters), "app rank {app}");
+    }
+}
+
+#[test]
+fn shadow_stays_quiet_when_primary_survives() {
+    // layout: workers 0..3, idle 3, shadow 4, FD 5
+    let report = redundant_job(3, 3, 40, FaultSchedule::none());
+    assert_correct(&report, 3, 40);
+    let ev = report.events.snapshot();
+    assert!(!ev.iter().any(|e| matches!(e.kind, EventKind::FdTakeover { .. })));
+}
+
+#[test]
+fn shadow_takes_over_after_primary_dies_then_handles_a_worker_failure() {
+    // Kill the primary FD early, then a worker later: the shadow must
+    // detect and recover the worker failure.
+    let layout = WorldLayout::new(3, 3); // idle 3, shadow 4, primary FD 5
+    let schedule = FaultSchedule::none()
+        .timed(Duration::from_millis(20), FaultAction::KillRank(5))
+        .kill_rank_at_iteration(1, 150);
+    let report = redundant_job(3, 3, 300, schedule);
+    let mut killed = report.killed();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 5]);
+    assert_correct(&report, 3, 300);
+    let ev = report.events.snapshot();
+    assert!(
+        ev.iter()
+            .any(|e| matches!(e.kind, EventKind::FdTakeover { dead_fd: 5 } if e.rank == 4)),
+        "shadow (rank 4) must record the takeover"
+    );
+    // The worker failure was detected by the *shadow* acting as FD.
+    let detect = ev
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::FdDetect { failed, .. } if failed.contains(&1)))
+        .expect("worker failure must be detected");
+    assert_eq!(detect.rank, 4, "the shadow must be the detector by then");
+    // The rescue for the worker is the remaining idle (rank 3).
+    let rescue = report
+        .completed()
+        .into_iter()
+        .find(|r| r.role == Role::Rescue && r.summary.is_some())
+        .expect("rescue");
+    assert_eq!(rescue.rank, 3);
+    let _ = layout;
+}
+
+#[test]
+fn fd_takeover_does_not_roll_workers_back() {
+    // FD death alone must not trigger group rebuild / restore / redo.
+    // (Enough iterations that the kill lands well inside the run.)
+    let schedule =
+        FaultSchedule::none().timed(Duration::from_millis(25), FaultAction::KillRank(5));
+    let report = redundant_job(3, 3, 2000, schedule);
+    assert_correct(&report, 3, 2000);
+    let ev = report.events.snapshot();
+    assert!(ev.iter().any(|e| matches!(e.kind, EventKind::FdTakeover { .. })));
+    assert!(
+        !ev.iter().any(|e| matches!(e.kind, EventKind::Restored { .. })),
+        "a pure FD failure must be benign for the workers"
+    );
+    assert!(!ev.iter().any(|e| matches!(e.kind, EventKind::GroupRebuilt { epoch } if epoch > 0)));
+}
+
+#[test]
+fn without_redundancy_fd_death_is_fatal_but_bounded() {
+    // Baseline (paper restriction 2): no shadow, the FD dies, a worker
+    // dies afterwards — nobody acknowledges, workers abandon with a
+    // timeout error instead of hanging forever.
+    let layout = WorldLayout::new(3, 2);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 10;
+    cfg.max_iters = 100_000;
+    cfg.redundant_fd = false;
+    cfg.policy.abandon = Duration::from_millis(400);
+    let schedule = FaultSchedule::none()
+        .timed(Duration::from_millis(20), FaultAction::KillRank(4)) // the FD
+        .timed(Duration::from_millis(40), FaultAction::KillRank(1));
+    let report = run_ft_job(&world, cfg, schedule, Acc::new);
+    assert!(report.worker_summaries().is_empty(), "no worker can finish");
+    let errs = report
+        .completed()
+        .into_iter()
+        .filter(|r| r.role == Role::Worker && r.error.is_some())
+        .count();
+    assert!(errs >= 2, "surviving workers must abandon with errors, got {errs}");
+}
+
+#[test]
+fn shadow_exits_cleanly_on_normal_completion() {
+    let report = redundant_job(2, 4, 30, FaultSchedule::none());
+    assert_correct(&report, 2, 30);
+    // Shadow (rank 4 of 0..=5) completed as a quiet Detector.
+    let detectors = report
+        .completed()
+        .into_iter()
+        .filter(|r| r.role == Role::Detector)
+        .count();
+    assert_eq!(detectors, 2, "primary and shadow must both report Detector");
+}

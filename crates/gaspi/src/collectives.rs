@@ -1,0 +1,372 @@
+//! Collective operations: barrier and allreduce over committed groups.
+//!
+//! Both run as binomial/dissemination token exchanges through the
+//! transport, so their cost scales as `O(log n)` network steps and they
+//! fail exactly like the paper describes: if a member died, tokens stop
+//! arriving and the collective returns `GASPI_TIMEOUT` (or an error when
+//! the transport has already reported the connection broken) — which is
+//! the state the workers sit in until the fault detector's
+//! acknowledgment arrives.
+//!
+//! Reductions combine contributions in a *fixed tree order*, so a
+//! recovered run reproduces the failure-free run's floating-point results
+//! bit for bit — asserted by the integration tests.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use ft_cluster::{Envelope, Rank};
+
+use crate::error::{GaspiError, GaspiResult, Timeout};
+use crate::proc::GaspiProc;
+use crate::ReduceOp;
+
+/// Phase tag for group-commit tokens.
+pub(crate) const COMMIT_PHASE: u32 = u32::MAX;
+/// Phase base for barrier rounds.
+const BARRIER_PHASE: u32 = 0x1000_0000;
+/// Phase base for reduce rounds.
+const REDUCE_PHASE: u32 = 0x2000_0000;
+/// Phase base for broadcast rounds.
+const BCAST_PHASE: u32 = 0x3000_0000;
+
+/// GASPI caps allreduce buffers at 255 elements.
+pub const ALLREDUCE_MAX_ELEMS: usize = 255;
+
+/// Key identifying one collective token on a rank's board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CollKey {
+    pub group: u64,
+    pub seq: u64,
+    pub phase: u32,
+    pub from: Rank,
+}
+
+/// Per-rank mailbox for collective tokens.
+#[derive(Default)]
+pub(crate) struct CollBoard {
+    map: Mutex<HashMap<CollKey, Vec<u8>>>,
+}
+
+impl CollBoard {
+    pub fn insert(&self, key: CollKey, data: Vec<u8>) {
+        self.map.lock().insert(key, data);
+    }
+
+    /// Remove and return a token.
+    #[cfg(test)]
+    pub fn take(&self, key: &CollKey) -> Option<Vec<u8>> {
+        self.map.lock().remove(key)
+    }
+
+    /// Read a token without consuming it. Collectives only ever *peek*:
+    /// an interrupted collective can then be resumed without losing
+    /// partner tokens; stale tokens are garbage-collected by sequence
+    /// number instead ([`CollBoard::purge_group_below`]).
+    pub fn peek(&self, key: &CollKey) -> Option<Vec<u8>> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Drop every token addressed to `group`.
+    pub fn purge_group(&self, group: u64) {
+        self.map.lock().retain(|k, _| k.group != group);
+    }
+
+    /// Drop tokens of `group` with a sequence number below `seq`
+    /// (called when this rank *starts* collective `seq` — everything
+    /// older is finished from this rank's perspective).
+    pub fn purge_group_below(&self, group: u64, seq: u64) {
+        self.map.lock().retain(|k, _| k.group != group || k.seq >= seq);
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+/// Set-once error slot shared with delivery actions.
+#[derive(Default, Clone)]
+pub(crate) struct ErrFlag {
+    inner: std::sync::Arc<Mutex<Option<GaspiError>>>,
+}
+
+impl ErrFlag {
+    pub fn set(&self, e: GaspiError) {
+        let mut g = self.inner.lock();
+        if g.is_none() {
+            *g = Some(e);
+        }
+    }
+
+    pub fn get(&self) -> Option<GaspiError> {
+        self.inner.lock().clone()
+    }
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+impl GaspiProc {
+    /// Post a collective token to `dst`; failures land in `err` and wake
+    /// this rank.
+    pub(crate) fn send_coll_token(&self, dst: Rank, key: CollKey, data: Vec<u8>, err: &ErrFlag) {
+        let me = self.shared_arc();
+        let target = self.world().shared(dst).clone();
+        let err = err.clone();
+        let bytes = data.len();
+        self.world().transport.post(Envelope {
+            src: self.rank(),
+            dst,
+            queue: self.world().cfg.coll_queue(),
+            bytes,
+            action: Box::new(move |_, out| {
+                match out {
+                    ft_cluster::Outcome::Delivered => {
+                        target.coll.insert(key, data);
+                        target.signal.bump();
+                    }
+                    ft_cluster::Outcome::Broken => {
+                        err.set(GaspiError::RemoteBroken { rank: dst });
+                    }
+                    ft_cluster::Outcome::Cancelled => err.set(GaspiError::Shutdown),
+                }
+                me.signal.bump();
+            }),
+        });
+    }
+
+    fn peek_token(
+        &self,
+        key: CollKey,
+        err: &ErrFlag,
+        deadline: Option<std::time::Instant>,
+    ) -> GaspiResult<Vec<u8>> {
+        let out = self.poll_deadline(deadline, || {
+            if let Some(e) = err.get() {
+                return Some(Err(e));
+            }
+            self.shared().coll.peek(&key).map(Ok)
+        });
+        if let Err(GaspiError::RemoteBroken { rank }) = &out {
+            self.mark_corrupt(*rank);
+        }
+        out
+    }
+
+    /// Synchronize all members of `group` (`gaspi_barrier`). Dissemination
+    /// pattern: ⌈log₂ n⌉ rounds of token exchange.
+    ///
+    /// Resumable, as the GASPI specification requires: a call that
+    /// returned `GASPI_TIMEOUT` is completed by calling it again — the
+    /// interrupted instance keeps its sequence number and its tokens.
+    pub fn barrier(&self, group: crate::Group, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        let (members, seq) =
+            self.shared().groups.collective_ticket(group.0, crate::group::CollKind::Barrier)?;
+        self.shared().coll.purge_group_below(group.0, seq);
+        let n = members.len();
+        let i = members
+            .binary_search(&self.rank())
+            .map_err(|_| GaspiError::Group { what: "barrier on group not containing self" })?;
+        let finish = |r: GaspiResult<()>| {
+            if r.is_ok() {
+                self.shared().groups.finish_collective(group.0, seq);
+            }
+            r
+        };
+        if n == 1 {
+            return finish(Ok(()));
+        }
+        let deadline = timeout.deadline();
+        let err = ErrFlag::default();
+        for k in 0..ceil_log2(n) {
+            let step = 1usize << k;
+            let to = members[(i + step) % n];
+            let from = members[(i + n - step) % n];
+            let send_key =
+                CollKey { group: group.0, seq, phase: BARRIER_PHASE + k, from: self.rank() };
+            self.send_coll_token(to, send_key, Vec::new(), &err);
+            let recv_key = CollKey { group: group.0, seq, phase: BARRIER_PHASE + k, from };
+            self.peek_token(recv_key, &err, deadline)?;
+        }
+        finish(Ok(()))
+    }
+
+    /// Element-wise allreduce over `f64` buffers (`gaspi_allreduce`).
+    /// All members must pass equal-length buffers (≤
+    /// [`ALLREDUCE_MAX_ELEMS`]); every member receives the same result,
+    /// combined in a fixed (deterministic) tree order.
+    pub fn allreduce_f64(
+        &self,
+        group: crate::Group,
+        input: &[f64],
+        op: ReduceOp,
+        timeout: Timeout,
+    ) -> GaspiResult<Vec<f64>> {
+        self.allreduce_impl(
+            group,
+            input,
+            timeout,
+            crate::group::CollKind::AllreduceF64,
+            |acc, x| match op {
+                ReduceOp::Sum => acc + x,
+                ReduceOp::Min => acc.min(x),
+                ReduceOp::Max => acc.max(x),
+            },
+            f64::to_le_bytes,
+            f64::from_le_bytes,
+        )
+    }
+
+    /// Element-wise allreduce over `u64` buffers.
+    pub fn allreduce_u64(
+        &self,
+        group: crate::Group,
+        input: &[u64],
+        op: ReduceOp,
+        timeout: Timeout,
+    ) -> GaspiResult<Vec<u64>> {
+        self.allreduce_impl(
+            group,
+            input,
+            timeout,
+            crate::group::CollKind::AllreduceU64,
+            |acc, x| match op {
+                ReduceOp::Sum => acc.wrapping_add(x),
+                ReduceOp::Min => acc.min(x),
+                ReduceOp::Max => acc.max(x),
+            },
+            u64::to_le_bytes,
+            u64::from_le_bytes,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn allreduce_impl<T: Copy>(
+        &self,
+        group: crate::Group,
+        input: &[T],
+        timeout: Timeout,
+        kind: crate::group::CollKind,
+        combine: impl Fn(T, T) -> T,
+        enc: impl Fn(T) -> [u8; 8],
+        dec: impl Fn([u8; 8]) -> T,
+    ) -> GaspiResult<Vec<T>> {
+        self.check_self();
+        if input.len() > ALLREDUCE_MAX_ELEMS {
+            return Err(GaspiError::InvalidArg("allreduce buffer exceeds 255 elements"));
+        }
+        let (members, seq) = self.shared().groups.collective_ticket(group.0, kind)?;
+        self.shared().coll.purge_group_below(group.0, seq);
+        let n = members.len();
+        let i = members
+            .binary_search(&self.rank())
+            .map_err(|_| GaspiError::Group { what: "allreduce on group not containing self" })?;
+        let deadline = timeout.deadline();
+        let err = ErrFlag::default();
+        let pack = |vs: &[T]| -> Vec<u8> { vs.iter().flat_map(|v| enc(*v)).collect() };
+        let unpack = |bs: &[u8]| -> GaspiResult<Vec<T>> {
+            if bs.len() != input.len() * 8 {
+                return Err(GaspiError::InvalidArg("allreduce buffer length mismatch"));
+            }
+            Ok(bs.chunks_exact(8).map(|c| dec(c.try_into().unwrap())).collect())
+        };
+
+        let mut acc: Vec<T> = input.to_vec();
+        // Reduce phase: binomial tree toward member index 0, combining in
+        // ascending round order (deterministic).
+        let rounds = ceil_log2(n);
+        let mut sent_at_round = None;
+        for k in 0..rounds {
+            let step = 1usize << k;
+            if i % (2 * step) == step {
+                let parent = members[i - step];
+                let key =
+                    CollKey { group: group.0, seq, phase: REDUCE_PHASE + k, from: self.rank() };
+                self.send_coll_token(parent, key, pack(&acc), &err);
+                sent_at_round = Some(k);
+                break;
+            }
+            if i % (2 * step) == 0 && i + step < n {
+                let child = members[i + step];
+                let key = CollKey { group: group.0, seq, phase: REDUCE_PHASE + k, from: child };
+                let data = self.peek_token(key, &err, deadline)?;
+                let theirs = unpack(&data)?;
+                for (a, t) in acc.iter_mut().zip(theirs) {
+                    *a = combine(*a, t);
+                }
+            }
+        }
+        // Broadcast phase: the root's result flows back down the same tree.
+        let my_height = match sent_at_round {
+            Some(k) => {
+                let parent = members[i - (1usize << k)];
+                let key = CollKey { group: group.0, seq, phase: BCAST_PHASE + k, from: parent };
+                let data = self.peek_token(key, &err, deadline)?;
+                acc = unpack(&data)?;
+                k
+            }
+            None => rounds, // root (index 0)
+        };
+        for k in (0..my_height).rev() {
+            let step = 1usize << k;
+            if i + step < n {
+                let child = members[i + step];
+                let key =
+                    CollKey { group: group.0, seq, phase: BCAST_PHASE + k, from: self.rank() };
+                self.send_coll_token(child, key, pack(&acc), &err);
+            }
+        }
+        self.shared().groups.finish_collective(group.0, seq);
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn board_take_and_peek() {
+        let b = CollBoard::default();
+        let k = CollKey { group: 1, seq: 2, phase: 3, from: 4 };
+        b.insert(k, vec![1, 2]);
+        assert_eq!(b.peek(&k), Some(vec![1, 2]));
+        assert_eq!(b.take(&k), Some(vec![1, 2]));
+        assert_eq!(b.take(&k), None);
+    }
+
+    #[test]
+    fn purge_group_scopes_to_group() {
+        let b = CollBoard::default();
+        b.insert(CollKey { group: 1, seq: 0, phase: 0, from: 0 }, vec![]);
+        b.insert(CollKey { group: 2, seq: 0, phase: 0, from: 0 }, vec![]);
+        b.purge_group(1);
+        assert_eq!(b.len(), 1);
+        assert!(b.peek(&CollKey { group: 2, seq: 0, phase: 0, from: 0 }).is_some());
+    }
+
+    #[test]
+    fn errflag_is_set_once() {
+        let e = ErrFlag::default();
+        assert!(e.get().is_none());
+        e.set(GaspiError::Timeout);
+        e.set(GaspiError::Shutdown);
+        assert_eq!(e.get(), Some(GaspiError::Timeout));
+    }
+}

@@ -1,0 +1,108 @@
+//! World configuration.
+
+use std::time::Duration;
+
+use ft_cluster::{LatencyModel, Topology};
+
+/// Configuration for a [`crate::GaspiWorld`].
+#[derive(Debug, Clone)]
+pub struct GaspiConfig {
+    /// Number of GASPI processes (ranks) in the job.
+    pub num_ranks: u32,
+    /// Ranks per simulated node (the paper uses 1).
+    pub ranks_per_node: u32,
+    /// Interconnect latency model.
+    pub model: LatencyModel,
+    /// Seed for transport jitter and anything else stochastic.
+    pub seed: u64,
+    /// Number of application communication queues (GPI-2 default is 8).
+    /// Service traffic (pings, kills, collectives, passive, read
+    /// responses) uses internal queues above this range.
+    pub queues: u16,
+    /// Notification slots per segment.
+    pub notification_slots: u32,
+    /// Granularity of blocking-wait poll laps. Blocked calls re-check
+    /// their condition at least this often, which also bounds how long a
+    /// killed rank keeps blocking before it observes its own death.
+    pub poll_lap: Duration,
+}
+
+impl GaspiConfig {
+    /// A world with `num_ranks` ranks, one per node, default everything.
+    pub fn new(num_ranks: u32) -> Self {
+        Self {
+            num_ranks,
+            ranks_per_node: 1,
+            model: LatencyModel::default_sim(),
+            seed: 0x5EED_CA5C_ADE5,
+            queues: 8,
+            notification_slots: 1024,
+            poll_lap: Duration::from_micros(200),
+        }
+    }
+
+    /// Deterministic latencies (no jitter) — for tests.
+    pub fn deterministic(num_ranks: u32) -> Self {
+        Self { model: LatencyModel::deterministic_fast(), ..Self::new(num_ranks) }
+    }
+
+    /// Set ranks per node.
+    pub fn with_ranks_per_node(mut self, rpn: u32) -> Self {
+        self.ranks_per_node = rpn;
+        self
+    }
+
+    /// Set the latency model.
+    pub fn with_model(mut self, model: LatencyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The rank→node placement implied by this config.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.num_ranks, self.ranks_per_node)
+    }
+
+    /// First internal queue id (service traffic).
+    pub(crate) fn service_queue(&self) -> u16 {
+        self.queues
+    }
+
+    /// Internal queue for collective tokens.
+    pub(crate) fn coll_queue(&self) -> u16 {
+        self.queues + 1
+    }
+
+    /// Internal queue for passive messages.
+    pub(crate) fn passive_queue(&self) -> u16 {
+        self.queues + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = GaspiConfig::new(8).with_ranks_per_node(2).with_seed(7);
+        assert_eq!(c.num_ranks, 8);
+        assert_eq!(c.ranks_per_node, 2);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.topology().num_nodes(), 4);
+    }
+
+    #[test]
+    fn internal_queues_above_app_queues() {
+        let c = GaspiConfig::new(2);
+        assert!(c.service_queue() >= c.queues);
+        assert_ne!(c.coll_queue(), c.service_queue());
+        assert_ne!(c.passive_queue(), c.coll_queue());
+    }
+}

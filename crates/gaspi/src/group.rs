@@ -1,0 +1,258 @@
+//! Groups: named subsets of ranks for collective operations.
+//!
+//! GASPI groups are similar to MPI communicators (§III) and are the object
+//! the paper's recovery rebuilds after a failure (Listing 2): the old
+//! `COMM_MAIN` is deleted, a new group is created, the surviving workers
+//! and rescue processes are added, and `gaspi_group_commit` — a blocking
+//! collective — establishes it.
+//!
+//! Group *handles* are process-local. Members agree on a group by using
+//! the same numeric id: either implicitly (every rank performs the same
+//! sequence of [`crate::GaspiProc::group_create`] calls, as GPI-2 assumes)
+//! or explicitly via [`crate::GaspiProc::group_create_with_id`] — which
+//! the recovery protocol uses, deriving the id from the recovery epoch so
+//! ranks that joined at different times (rescues!) still agree.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+
+use ft_cluster::Rank;
+
+use crate::collectives::{CollKey, ErrFlag, COMMIT_PHASE};
+use crate::error::{GaspiError, GaspiResult, Timeout};
+use crate::proc::GaspiProc;
+
+/// Handle to a group (process-local; members agree via the numeric id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Group(pub u64);
+
+/// Auto-allocated ids live below this; explicit ids should be at or above
+/// it to avoid collisions.
+pub const EXPLICIT_ID_BASE: u64 = 1 << 32;
+
+pub(crate) struct GroupState {
+    pub members: Vec<Rank>, // sorted, deduplicated
+    pub committed: bool,
+    pub coll_seq: u64,
+    /// An interrupted (timed-out) collective that must be *resumed* by
+    /// the next call of the same kind — GASPI semantics: "a procedure
+    /// interrupted by timeout must be called again to complete".
+    pub pending: Option<(CollKind, u64)>,
+}
+
+/// Kind tag for resumable collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CollKind {
+    Barrier,
+    AllreduceF64,
+    AllreduceU64,
+}
+
+/// Per-process group table.
+#[derive(Default)]
+pub(crate) struct GroupRegistry {
+    map: Mutex<HashMap<u64, GroupState>>,
+    auto: AtomicU64,
+}
+
+impl GroupRegistry {
+    pub fn create_auto(&self) -> u64 {
+        let id = self.auto.fetch_add(1, Ordering::Relaxed) + 1;
+        self.map.lock().insert(id, GroupState::new());
+        id
+    }
+
+    pub fn create_with_id(&self, id: u64) -> GaspiResult<()> {
+        let mut m = self.map.lock();
+        if m.contains_key(&id) {
+            return Err(GaspiError::Group { what: "group id already exists" });
+        }
+        m.insert(id, GroupState::new());
+        Ok(())
+    }
+
+    pub fn delete(&self, id: u64) -> GaspiResult<()> {
+        self.map
+            .lock()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(GaspiError::Group { what: "group id not found" })
+    }
+
+    pub fn add(&self, id: u64, rank: Rank) -> GaspiResult<()> {
+        let mut m = self.map.lock();
+        let st = m.get_mut(&id).ok_or(GaspiError::Group { what: "group id not found" })?;
+        if st.committed {
+            return Err(GaspiError::Group { what: "cannot add to committed group" });
+        }
+        if let Err(pos) = st.members.binary_search(&rank) {
+            st.members.insert(pos, rank);
+        }
+        Ok(())
+    }
+
+    pub fn members(&self, id: u64) -> GaspiResult<Vec<Rank>> {
+        let m = self.map.lock();
+        let st = m.get(&id).ok_or(GaspiError::Group { what: "group id not found" })?;
+        Ok(st.members.clone())
+    }
+
+    pub fn mark_committed(&self, id: u64) -> GaspiResult<()> {
+        let mut m = self.map.lock();
+        let st = m.get_mut(&id).ok_or(GaspiError::Group { what: "group id not found" })?;
+        st.committed = true;
+        Ok(())
+    }
+
+    /// Members of a *committed* group plus the sequence number for the
+    /// next collective of `kind`. If a collective of the same kind was
+    /// interrupted by a timeout, its sequence number is *reused* so the
+    /// call resumes instead of desynchronizing the group; a different
+    /// pending kind is an API misuse and errors.
+    pub fn collective_ticket(&self, id: u64, kind: CollKind) -> GaspiResult<(Vec<Rank>, u64)> {
+        let mut m = self.map.lock();
+        let st = m.get_mut(&id).ok_or(GaspiError::Group { what: "group id not found" })?;
+        if !st.committed {
+            return Err(GaspiError::Group { what: "group not committed" });
+        }
+        match st.pending {
+            Some((k, seq)) if k == kind => Ok((st.members.clone(), seq)),
+            Some(_) => Err(GaspiError::Group {
+                what: "a different collective is pending on this group",
+            }),
+            None => {
+                st.coll_seq += 1;
+                st.pending = Some((kind, st.coll_seq));
+                Ok((st.members.clone(), st.coll_seq))
+            }
+        }
+    }
+
+    /// Mark the pending collective of `id` as completed.
+    pub fn finish_collective(&self, id: u64, seq: u64) {
+        let mut m = self.map.lock();
+        if let Some(st) = m.get_mut(&id) {
+            if matches!(st.pending, Some((_, s)) if s == seq) {
+                st.pending = None;
+            }
+        }
+    }
+}
+
+impl GroupState {
+    fn new() -> Self {
+        Self { members: Vec::new(), committed: false, coll_seq: 0, pending: None }
+    }
+}
+
+/// A stable fingerprint of the member list, exchanged during commit so a
+/// member-set mismatch is detected instead of silently mis-pairing
+/// collectives (FNV-1a over the sorted ranks).
+pub(crate) fn members_fingerprint(members: &[Rank]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &r in members {
+        for b in r.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl GaspiProc {
+    /// Create a group with an automatically allocated id. Ids agree across
+    /// ranks only if all ranks create groups in the same order; prefer
+    /// [`GaspiProc::group_create_with_id`] when ranks may diverge (e.g.
+    /// during failure recovery).
+    pub fn group_create(&self) -> Group {
+        self.check_self();
+        Group(self.shared().groups.create_auto())
+    }
+
+    /// Create a group with an explicit id (must be `>=`
+    /// [`EXPLICIT_ID_BASE`] to stay clear of auto ids).
+    pub fn group_create_with_id(&self, id: u64) -> GaspiResult<Group> {
+        self.check_self();
+        if id < EXPLICIT_ID_BASE {
+            return Err(GaspiError::InvalidArg("explicit group id below EXPLICIT_ID_BASE"));
+        }
+        self.shared().groups.create_with_id(id)?;
+        Ok(Group(id))
+    }
+
+    /// Add a rank to an uncommitted group (`gaspi_group_add`).
+    pub fn group_add(&self, group: Group, rank: Rank) -> GaspiResult<()> {
+        self.check_self();
+        if rank >= self.num_ranks() {
+            return Err(GaspiError::InvalidArg("rank out of range"));
+        }
+        self.shared().groups.add(group.0, rank)
+    }
+
+    /// Current member count (`gaspi_group_size`).
+    pub fn group_size(&self, group: Group) -> GaspiResult<u32> {
+        self.check_self();
+        Ok(self.shared().groups.members(group.0)?.len() as u32)
+    }
+
+    /// Member list, sorted ascending.
+    pub fn group_members(&self, group: Group) -> GaspiResult<Vec<Rank>> {
+        self.check_self();
+        self.shared().groups.members(group.0)
+    }
+
+    /// Delete a group handle and purge any collective tokens addressed to
+    /// it (`gaspi_group_delete`). Purging matters after an *abandoned*
+    /// collective: a barrier interrupted by a failure leaves tokens behind
+    /// that must not confuse a future group with a recycled id.
+    pub fn group_delete(&self, group: Group) -> GaspiResult<()> {
+        self.check_self();
+        self.shared().groups.delete(group.0)?;
+        self.shared().coll.purge_group(group.0);
+        Ok(())
+    }
+
+    /// Establish the group collectively (`gaspi_group_commit`).
+    ///
+    /// Every member sends a token (carrying a fingerprint of its member
+    /// list) to every other member and blocks until tokens from all of
+    /// them arrive — the blocking cost the paper calls out as the dominant
+    /// part of the *rebuilding of work group* overhead (OHF2). Commit
+    /// tokens are idempotent: they stay on the board until `group_delete`,
+    /// so a commit that timed out can be retried.
+    pub fn group_commit(&self, group: Group, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        let members = self.shared().groups.members(group.0)?;
+        if !members.contains(&self.rank()) {
+            return Err(GaspiError::Group { what: "commit on group not containing self" });
+        }
+        let fp = members_fingerprint(&members);
+        let err = ErrFlag::default();
+        for &m in &members {
+            if m == self.rank() {
+                continue;
+            }
+            let key = CollKey { group: group.0, seq: 0, phase: COMMIT_PHASE, from: self.rank() };
+            self.send_coll_token(m, key, fp.to_le_bytes().to_vec(), &err);
+        }
+        let deadline = timeout.deadline();
+        for &m in &members {
+            if m == self.rank() {
+                continue;
+            }
+            let key = CollKey { group: group.0, seq: 0, phase: COMMIT_PHASE, from: m };
+            let data = self.poll_deadline(deadline, || {
+                if let Some(e) = err.get() {
+                    return Some(Err(e));
+                }
+                self.shared().coll.peek(&key).map(Ok)
+            })?;
+            let their_fp = u64::from_le_bytes(data[..8].try_into().unwrap());
+            if their_fp != fp {
+                return Err(GaspiError::Group { what: "member set mismatch at commit" });
+            }
+        }
+        self.shared().groups.mark_committed(group.0)
+    }
+}

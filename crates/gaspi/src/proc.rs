@@ -1,0 +1,758 @@
+//! The per-rank process handle: the GASPI API surface.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use ft_cluster::{Envelope, NodeId, Outcome, Rank, RankKilled, Topology};
+
+use crate::bytes;
+use crate::config::GaspiConfig;
+use crate::error::{GaspiError, GaspiResult, ProcState, Timeout};
+use crate::runtime::{RankShared, WorldInner};
+use crate::segment::{NotificationId, SegId};
+
+/// Handle through which a rank performs GASPI operations. Cloneable and
+/// shareable across threads of the same process — the paper's *threaded*
+/// fault detector pings many remotes concurrently through clones of one
+/// handle.
+#[derive(Clone)]
+pub struct GaspiProc {
+    world: Arc<WorldInner>,
+    rank: Rank,
+}
+
+impl GaspiProc {
+    pub(crate) fn new(world: Arc<WorldInner>, rank: Rank) -> Self {
+        Self { world, rank }
+    }
+
+    pub(crate) fn world(&self) -> &Arc<WorldInner> {
+        &self.world
+    }
+
+    pub(crate) fn shared(&self) -> &RankShared {
+        self.world.shared(self.rank)
+    }
+
+    pub(crate) fn shared_arc(&self) -> Arc<RankShared> {
+        Arc::clone(self.world.shared(self.rank))
+    }
+
+    /// This process's rank (`gaspi_proc_rank`).
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total ranks in the job (`gaspi_proc_num`).
+    pub fn num_ranks(&self) -> u32 {
+        self.world.cfg.num_ranks
+    }
+
+    /// The node this rank is placed on.
+    pub fn node(&self) -> NodeId {
+        self.world.topo.node_of(self.rank)
+    }
+
+    /// The job's rank→node placement.
+    pub fn topology(&self) -> &Topology {
+        &self.world.topo
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &GaspiConfig {
+        &self.world.cfg
+    }
+
+    /// Node-local storage of the simulated cluster — the substrate the
+    /// neighbor-level checkpoint library writes to. (A real GPI-2 rank
+    /// would use its node's RAM disk; this is our equivalent.)
+    pub fn cluster_storage(&self) -> Arc<ft_cluster::NodeStorage> {
+        Arc::clone(&self.world.storage)
+    }
+
+    /// Transport handle for latency-costed non-GASPI traffic (the
+    /// checkpoint library's neighbor copies).
+    pub fn cluster_transport(&self) -> ft_cluster::Transport {
+        self.world.transport.clone()
+    }
+
+    /// Number of application communication queues.
+    pub fn num_queues(&self) -> u16 {
+        self.world.cfg.queues
+    }
+
+    /// Fail-stop check: unwinds with [`RankKilled`] if this rank has been
+    /// killed. Every API entry point calls this.
+    pub(crate) fn check_self(&self) {
+        self.world.fault.assert_alive(self.rank);
+    }
+
+    /// Simulated `exit(-1)`: mark self dead and unwind the rank thread.
+    pub fn exit_failure(&self) -> ! {
+        self.world.fault.kill_rank(self.rank);
+        RankKilled { rank: self.rank }.raise()
+    }
+
+    /// Mark `rank` CORRUPT in the local error state vector.
+    pub(crate) fn mark_corrupt(&self, rank: Rank) {
+        self.shared().state_vec[rank as usize].store(1, Ordering::Release);
+    }
+
+    /// Snapshot of the error state vector (`gaspi_state_vec_get`). Set
+    /// after every erroneous non-local operation; used by applications to
+    /// identify the broken partner after a timeout (§III).
+    pub fn state_vec_get(&self) -> Vec<ProcState> {
+        self.check_self();
+        self.shared()
+            .state_vec
+            .iter()
+            .map(|s| {
+                if s.load(Ordering::Acquire) == 0 {
+                    ProcState::Healthy
+                } else {
+                    ProcState::Corrupt
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Poll loops
+    // ------------------------------------------------------------------
+
+    /// Poll `f` until it yields, the deadline passes, or this rank dies.
+    pub(crate) fn poll_deadline<T>(
+        &self,
+        deadline: Option<Instant>,
+        mut f: impl FnMut() -> Option<GaspiResult<T>>,
+    ) -> GaspiResult<T> {
+        let sig = &self.shared().signal;
+        let mut seen = sig.generation();
+        let lap = self.world.cfg.poll_lap;
+        loop {
+            self.check_self();
+            if let Some(r) = f() {
+                return r;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(GaspiError::Timeout);
+                }
+            }
+            sig.wait_lap(&mut seen, lap, deadline);
+        }
+    }
+
+    pub(crate) fn poll<T>(
+        &self,
+        timeout: Timeout,
+        f: impl FnMut() -> Option<GaspiResult<T>>,
+    ) -> GaspiResult<T> {
+        self.poll_deadline(timeout.deadline(), f)
+    }
+
+    // ------------------------------------------------------------------
+    // Segments
+    // ------------------------------------------------------------------
+
+    /// Create (and implicitly register) a segment of `size` bytes
+    /// (`gaspi_segment_create`). Remote ranks can access it immediately.
+    pub fn segment_create(&self, seg: SegId, size: usize) -> GaspiResult<()> {
+        self.check_self();
+        self.shared().segments.create(seg, size, self.world.cfg.notification_slots)
+    }
+
+    /// Delete a segment (`gaspi_segment_delete`).
+    pub fn segment_delete(&self, seg: SegId) -> GaspiResult<()> {
+        self.check_self();
+        self.shared().segments.delete(seg)
+    }
+
+    /// Size of a local segment in bytes.
+    pub fn segment_size(&self, seg: SegId) -> GaspiResult<usize> {
+        self.check_self();
+        Ok(self.shared().segments.require(seg)?.size())
+    }
+
+    /// Read `len` bytes at `off` from a local segment.
+    pub fn segment_read(&self, seg: SegId, off: usize, len: usize) -> GaspiResult<Vec<u8>> {
+        self.check_self();
+        self.shared().segments.require(seg)?.read_at(off, len)
+    }
+
+    /// Write bytes at `off` into a local segment (local access, no
+    /// communication).
+    pub fn segment_write_local(&self, seg: SegId, off: usize, data: &[u8]) -> GaspiResult<()> {
+        self.check_self();
+        self.shared().segments.require(seg)?.write_at(off, data)
+    }
+
+    /// Run `f` over a local segment's bytes (shared borrow).
+    pub fn with_segment<R>(&self, seg: SegId, f: impl FnOnce(&[u8]) -> R) -> GaspiResult<R> {
+        self.check_self();
+        Ok(self.shared().segments.require(seg)?.with(f))
+    }
+
+    /// Run `f` over a local segment's bytes (exclusive borrow).
+    pub fn with_segment_mut<R>(
+        &self,
+        seg: SegId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> GaspiResult<R> {
+        self.check_self();
+        Ok(self.shared().segments.require(seg)?.with_mut(f))
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided communication
+    // ------------------------------------------------------------------
+
+    fn validate_queue(&self, q: u16) -> GaspiResult<()> {
+        if q >= self.world.cfg.queues {
+            return Err(GaspiError::InvalidArg("queue id out of range"));
+        }
+        Ok(())
+    }
+
+    fn validate_rank(&self, r: Rank) -> GaspiResult<()> {
+        if r >= self.num_ranks() {
+            return Err(GaspiError::InvalidArg("rank out of range"));
+        }
+        Ok(())
+    }
+
+    /// One-sided put (`gaspi_write`): copy `len` bytes from local segment
+    /// `(lseg, loff)` into `(rseg, roff)` of `dst`. Non-blocking; complete
+    /// with [`GaspiProc::wait`] on `queue`.
+    #[allow(clippy::too_many_arguments)] // mirrors the GASPI signature
+    pub fn write(
+        &self,
+        lseg: SegId,
+        loff: usize,
+        dst: Rank,
+        rseg: SegId,
+        roff: usize,
+        len: usize,
+        queue: u16,
+    ) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        self.validate_rank(dst)?;
+        let data = self.shared().segments.require(lseg)?.read_at(loff, len)?;
+        self.post_put(dst, rseg, roff, data, None, queue);
+        Ok(())
+    }
+
+    /// Remote notification (`gaspi_notify`): set notification `nid` of
+    /// `(dst, rseg)` to `value` (must be non-zero). Non-blocking.
+    pub fn notify(
+        &self,
+        dst: Rank,
+        rseg: SegId,
+        nid: NotificationId,
+        value: u32,
+        queue: u16,
+    ) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        self.validate_rank(dst)?;
+        if value == 0 {
+            return Err(GaspiError::InvalidArg("notification value must be non-zero"));
+        }
+        self.post_put(dst, rseg, 0, Vec::new(), Some((nid, value)), queue);
+        Ok(())
+    }
+
+    /// Put followed by a notification visible only after the data
+    /// (`gaspi_write_notify`) — the paper's mechanism both for pushing RHS
+    /// halo values before each spMVM and for the fault detector's failure
+    /// acknowledgment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_notify(
+        &self,
+        lseg: SegId,
+        loff: usize,
+        dst: Rank,
+        rseg: SegId,
+        roff: usize,
+        len: usize,
+        nid: NotificationId,
+        value: u32,
+        queue: u16,
+    ) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        self.validate_rank(dst)?;
+        if value == 0 {
+            return Err(GaspiError::InvalidArg("notification value must be non-zero"));
+        }
+        let data = self.shared().segments.require(lseg)?.read_at(loff, len)?;
+        self.post_put(dst, rseg, roff, data, Some((nid, value)), queue);
+        Ok(())
+    }
+
+    /// Shared implementation of write/notify/write_notify.
+    fn post_put(
+        &self,
+        dst: Rank,
+        rseg: SegId,
+        roff: usize,
+        data: Vec<u8>,
+        notif: Option<(NotificationId, u32)>,
+        queue: u16,
+    ) {
+        let me = self.shared_arc();
+        let target = Arc::clone(self.world.shared(dst));
+        let qidx = queue as usize;
+        me.queues[qidx].post();
+        let bytes = data.len() + 4;
+        self.world.transport.post(Envelope {
+            src: self.rank,
+            dst,
+            queue,
+            bytes,
+            action: Box::new(move |_, out| {
+                let ok = out == Outcome::Delivered
+                    && match target.segments.get(rseg) {
+                        Some(seg) => {
+                            let wrote =
+                                data.is_empty() || seg.write_at(roff, &data).is_ok();
+                            let notified = match notif {
+                                Some((nid, val)) if wrote => seg.notify_set(nid, val).is_ok(),
+                                Some(_) => false,
+                                None => true,
+                            };
+                            wrote && notified
+                        }
+                        None => false,
+                    };
+                if ok {
+                    me.queues[qidx].complete_ok();
+                    if notif.is_some() {
+                        target.signal.bump();
+                    }
+                } else {
+                    me.queues[qidx].complete_failed(dst);
+                }
+                me.signal.bump();
+            }),
+        });
+    }
+
+    /// One-sided get (`gaspi_read`): copy `len` bytes from `(dst, rseg,
+    /// roff)` into local `(lseg, loff)`. Non-blocking; complete with
+    /// [`GaspiProc::wait`].
+    #[allow(clippy::too_many_arguments)] // mirrors the GASPI signature
+    pub fn read(
+        &self,
+        lseg: SegId,
+        loff: usize,
+        dst: Rank,
+        rseg: SegId,
+        roff: usize,
+        len: usize,
+        queue: u16,
+    ) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        self.validate_rank(dst)?;
+        // Validate the local landing zone up front.
+        let lsize = self.shared().segments.require(lseg)?.size();
+        if loff.checked_add(len).is_none_or(|end| end > lsize) {
+            return Err(GaspiError::Segment { what: "read landing zone out of bounds" });
+        }
+        let me = self.shared_arc();
+        let target = Arc::clone(self.world.shared(dst));
+        let qidx = queue as usize;
+        me.queues[qidx].post();
+        let src_rank = self.rank;
+        self.world.transport.post(Envelope {
+            src: src_rank,
+            dst,
+            queue,
+            bytes: 16,
+            action: Box::new(move |t, out| {
+                if out != Outcome::Delivered {
+                    me.queues[qidx].complete_failed(dst);
+                    me.signal.bump();
+                    return;
+                }
+                let payload = target.segments.get(rseg).and_then(|s| s.read_at(roff, len).ok());
+                match payload {
+                    None => {
+                        me.queues[qidx].complete_failed(dst);
+                        me.signal.bump();
+                    }
+                    Some(data) => {
+                        // Response leg carries the data back.
+                        let me2 = Arc::clone(&me);
+                        t.post(Envelope {
+                            src: dst,
+                            dst: src_rank,
+                            queue,
+                            bytes: data.len(),
+                            action: Box::new(move |_, out2| {
+                                let ok = out2 == Outcome::Delivered
+                                    && me2
+                                        .segments
+                                        .get(lseg)
+                                        .is_some_and(|s| s.write_at(loff, &data).is_ok());
+                                if ok {
+                                    me2.queues[qidx].complete_ok();
+                                } else {
+                                    me2.queues[qidx].complete_failed(dst);
+                                }
+                                me2.signal.bump();
+                            }),
+                        });
+                    }
+                }
+            }),
+        });
+        Ok(())
+    }
+
+    /// Block until every request posted to `queue` so far has completed
+    /// (`gaspi_wait`). Returns `GASPI_ERROR` (as
+    /// [`GaspiError::QueueFailure`]) if any completed with a broken
+    /// connection; the broken ranks are marked CORRUPT in the state
+    /// vector.
+    pub fn wait(&self, queue: u16, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        let q = &self.shared().queues[queue as usize];
+        let target = q.posted();
+        self.poll(timeout, || q.drained_to(target).then_some(Ok(())))?;
+        let failures = q.take_failures();
+        if failures.is_empty() {
+            return Ok(());
+        }
+        let mut ranks = failures;
+        ranks.sort_unstable();
+        ranks.dedup();
+        for &r in &ranks {
+            self.mark_corrupt(r);
+        }
+        Err(GaspiError::QueueFailure { queue, ranks })
+    }
+
+    /// Outstanding (incomplete) request count on `queue`.
+    pub fn queue_outstanding(&self, queue: u16) -> GaspiResult<u64> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        Ok(self.shared().queues[queue as usize].outstanding())
+    }
+
+    /// Whether `queue` has recorded failures that a future
+    /// [`GaspiProc::wait`] will report. Cheap, non-destructive — useful in
+    /// health checks.
+    pub fn queue_has_failures(&self, queue: u16) -> GaspiResult<bool> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        Ok(self.shared().queues[queue as usize].has_failures())
+    }
+
+    /// Discard the failure history of `queue` after waiting (bounded by
+    /// `timeout`, best effort) for outstanding requests to complete.
+    ///
+    /// Used by post-recovery rewiring: requests posted to a process that
+    /// subsequently failed complete as broken, and those records describe
+    /// an already-acknowledged failure — a fresh epoch must not keep
+    /// reporting it.
+    pub fn queue_purge(&self, queue: u16, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_queue(queue)?;
+        let q = &self.shared().queues[queue as usize];
+        let target = q.posted();
+        let _ = self.poll(timeout, || q.drained_to(target).then_some(Ok(())));
+        let _ = q.take_failures();
+        Ok(())
+    }
+
+    /// Wait until some notification in `[begin, begin+count)` of local
+    /// segment `seg` is non-zero (`gaspi_notify_waitsome`); returns its
+    /// id. Pair with [`GaspiProc::notify_reset`].
+    pub fn notify_waitsome(
+        &self,
+        seg: SegId,
+        begin: NotificationId,
+        count: u32,
+        timeout: Timeout,
+    ) -> GaspiResult<NotificationId> {
+        self.check_self();
+        let segment = self.shared().segments.require(seg)?;
+        self.poll(timeout, || segment.notify_scan(begin, count).map(Ok))
+    }
+
+    /// Atomically read-and-clear a local notification
+    /// (`gaspi_notify_reset`), returning the previous value.
+    pub fn notify_reset(&self, seg: SegId, nid: NotificationId) -> GaspiResult<u32> {
+        self.check_self();
+        self.shared().segments.require(seg)?.notify_reset(nid)
+    }
+
+    /// Non-destructive read of a local notification slot.
+    pub fn notify_peek(&self, seg: SegId, nid: NotificationId) -> GaspiResult<u32> {
+        self.check_self();
+        self.shared().segments.require(seg)?.notify_peek(nid)
+    }
+
+    // ------------------------------------------------------------------
+    // Ping / kill — the paper's fault-tolerance extensions
+    // ------------------------------------------------------------------
+
+    /// Test the availability of a rank (`gaspi_proc_ping`, the GPI-2
+    /// extension introduced by the paper, §III): a ping message round
+    /// trips to `dst`; a detected problem returns `GASPI_ERROR`
+    /// ([`GaspiError::RemoteBroken`]) and marks `dst` CORRUPT.
+    pub fn proc_ping(&self, dst: Rank, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_rank(dst)?;
+        let metrics = self.world.transport.metrics();
+        metrics.pings.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(AtomicU8::new(0));
+        let me = self.shared_arc();
+        let c1 = Arc::clone(&cell);
+        let src_rank = self.rank;
+        let squeue = self.world.cfg.service_queue();
+        self.world.transport.post(Envelope {
+            src: src_rank,
+            dst,
+            queue: squeue,
+            bytes: 0,
+            action: Box::new(move |t, out| match out {
+                Outcome::Delivered => {
+                    // Pong leg.
+                    let me2 = Arc::clone(&me);
+                    let c2 = Arc::clone(&c1);
+                    t.post(Envelope {
+                        src: dst,
+                        dst: src_rank,
+                        queue: squeue,
+                        bytes: 0,
+                        action: Box::new(move |_, out2| {
+                            c2.store(if out2 == Outcome::Delivered { 1 } else { 2 }, Ordering::Release);
+                            me2.signal.bump();
+                        }),
+                    });
+                }
+                Outcome::Broken => {
+                    c1.store(2, Ordering::Release);
+                    me.signal.bump();
+                }
+                Outcome::Cancelled => {
+                    c1.store(3, Ordering::Release);
+                    me.signal.bump();
+                }
+            }),
+        });
+        let res = self.poll(timeout, || match cell.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(Ok(())),
+            2 => Some(Err(GaspiError::RemoteBroken { rank: dst })),
+            _ => Some(Err(GaspiError::Shutdown)),
+        });
+        if matches!(res, Err(GaspiError::RemoteBroken { .. })) {
+            metrics.ping_errors.fetch_add(1, Ordering::Relaxed);
+            self.mark_corrupt(dst);
+        }
+        res
+    }
+
+    /// Enforce the death of a rank (`gaspi_proc_kill`, the second
+    /// extension): used in recovery to make sure suspected processes —
+    /// including false positives that are actually alive — cannot keep
+    /// participating (§IV-B). Best-effort: succeeds both when the target
+    /// dies now and when it was already unreachable.
+    pub fn proc_kill(&self, dst: Rank, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_rank(dst)?;
+        if dst == self.rank {
+            self.exit_failure();
+        }
+        let cell = Arc::new(AtomicU8::new(0));
+        let me = self.shared_arc();
+        let c1 = Arc::clone(&cell);
+        let fault = Arc::clone(&self.world.fault);
+        self.world.transport.post(Envelope {
+            src: self.rank,
+            dst,
+            queue: self.world.cfg.service_queue(),
+            bytes: 0,
+            action: Box::new(move |_, out| {
+                match out {
+                    Outcome::Delivered => {
+                        fault.kill_rank(dst);
+                        c1.store(1, Ordering::Release);
+                    }
+                    // Already dead/unreachable: mission accomplished.
+                    Outcome::Broken => c1.store(1, Ordering::Release),
+                    Outcome::Cancelled => c1.store(3, Ordering::Release),
+                }
+                me.signal.bump();
+            }),
+        });
+        self.poll(timeout, || match cell.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(Ok(())),
+            _ => Some(Err(GaspiError::Shutdown)),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Passive communication
+    // ------------------------------------------------------------------
+
+    /// Two-sided send into `dst`'s passive inbox
+    /// (`gaspi_passive_send`). Blocks until the transfer is accepted.
+    pub fn passive_send(&self, dst: Rank, data: Vec<u8>, timeout: Timeout) -> GaspiResult<()> {
+        self.check_self();
+        self.validate_rank(dst)?;
+        let cell = Arc::new(AtomicU8::new(0));
+        let me = self.shared_arc();
+        let target = Arc::clone(self.world.shared(dst));
+        let c1 = Arc::clone(&cell);
+        let src_rank = self.rank;
+        let bytes = data.len();
+        self.world.transport.post(Envelope {
+            src: src_rank,
+            dst,
+            queue: self.world.cfg.passive_queue(),
+            bytes,
+            action: Box::new(move |_, out| {
+                match out {
+                    Outcome::Delivered => {
+                        target.passive_inbox.lock().push_back((src_rank, data));
+                        target.signal.bump();
+                        c1.store(1, Ordering::Release);
+                    }
+                    Outcome::Broken => c1.store(2, Ordering::Release),
+                    Outcome::Cancelled => c1.store(3, Ordering::Release),
+                }
+                me.signal.bump();
+            }),
+        });
+        let res = self.poll(timeout, || match cell.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(Ok(())),
+            2 => Some(Err(GaspiError::RemoteBroken { rank: dst })),
+            _ => Some(Err(GaspiError::Shutdown)),
+        });
+        if matches!(res, Err(GaspiError::RemoteBroken { .. })) {
+            self.mark_corrupt(dst);
+        }
+        res
+    }
+
+    /// Receive the next passive message addressed to this rank
+    /// (`gaspi_passive_receive`), returning `(sender, payload)`.
+    pub fn passive_receive(&self, timeout: Timeout) -> GaspiResult<(Rank, Vec<u8>)> {
+        self.check_self();
+        self.poll(timeout, || self.shared().passive_inbox.lock().pop_front().map(Ok))
+    }
+
+    // ------------------------------------------------------------------
+    // Global atomics
+    // ------------------------------------------------------------------
+
+    /// Atomic fetch-and-add on a `u64` at `(dst, seg, off)`
+    /// (`gaspi_atomic_fetch_add`); returns the previous value. Atomicity
+    /// holds across all ranks (delivery actions are serialized).
+    pub fn atomic_fetch_add(
+        &self,
+        dst: Rank,
+        seg: SegId,
+        off: usize,
+        delta: u64,
+        timeout: Timeout,
+    ) -> GaspiResult<u64> {
+        self.atomic_rmw(dst, seg, off, timeout, move |old| Some(old.wrapping_add(delta)))
+    }
+
+    /// Atomic compare-and-swap on a `u64` at `(dst, seg, off)`
+    /// (`gaspi_atomic_compare_swap`); writes `new` if the current value
+    /// equals `expect`. Returns the previous value either way.
+    pub fn atomic_compare_swap(
+        &self,
+        dst: Rank,
+        seg: SegId,
+        off: usize,
+        expect: u64,
+        new: u64,
+        timeout: Timeout,
+    ) -> GaspiResult<u64> {
+        self.atomic_rmw(dst, seg, off, timeout, move |old| (old == expect).then_some(new))
+    }
+
+    fn atomic_rmw(
+        &self,
+        dst: Rank,
+        seg: SegId,
+        off: usize,
+        timeout: Timeout,
+        update: impl FnOnce(u64) -> Option<u64> + Send + 'static,
+    ) -> GaspiResult<u64> {
+        self.check_self();
+        self.validate_rank(dst)?;
+        type Cell = Mutex<Option<GaspiResult<u64>>>;
+        let cell: Arc<Cell> = Arc::new(Mutex::new(None));
+        let me = self.shared_arc();
+        let target = Arc::clone(self.world.shared(dst));
+        let c1 = Arc::clone(&cell);
+        let src_rank = self.rank;
+        let squeue = self.world.cfg.service_queue();
+        self.world.transport.post(Envelope {
+            src: src_rank,
+            dst,
+            queue: squeue,
+            bytes: 16,
+            action: Box::new(move |t, out| {
+                if out != Outcome::Delivered {
+                    *c1.lock() = Some(Err(match out {
+                        Outcome::Broken => GaspiError::RemoteBroken { rank: dst },
+                        _ => GaspiError::Shutdown,
+                    }));
+                    me.signal.bump();
+                    return;
+                }
+                // The read-modify-write runs here, on the single network
+                // thread — globally serialized, hence atomic.
+                let result: GaspiResult<u64> = match target.segments.get(seg) {
+                    None => Err(GaspiError::RemoteBroken { rank: dst }),
+                    Some(s) => s.read_at(off, 8).map(|b| {
+                        let old = bytes::get_u64(&b, 0);
+                        if let Some(new) = update(old) {
+                            s.with_mut(|d| bytes::put_u64(d, off, new));
+                        }
+                        old
+                    }),
+                };
+                // Response leg (costed round trip).
+                let me2 = Arc::clone(&me);
+                let c2 = Arc::clone(&c1);
+                t.post(Envelope {
+                    src: dst,
+                    dst: src_rank,
+                    queue: squeue,
+                    bytes: 8,
+                    action: Box::new(move |_, out2| {
+                        *c2.lock() = Some(match out2 {
+                            Outcome::Delivered => result,
+                            Outcome::Broken => Err(GaspiError::RemoteBroken { rank: dst }),
+                            Outcome::Cancelled => Err(GaspiError::Shutdown),
+                        });
+                        me2.signal.bump();
+                    }),
+                });
+            }),
+        });
+        let res = self.poll(timeout, || cell.lock().take());
+        if let Err(GaspiError::RemoteBroken { rank }) = &res {
+            self.mark_corrupt(*rank);
+        }
+        res
+    }
+}

@@ -1,0 +1,311 @@
+//! World construction, rank threads, and job handles.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicU8;
+use std::sync::{Arc, Once, Weak};
+
+use parking_lot::Mutex;
+
+use ft_cluster::{
+    FaultPlane, NodeStorage, Rank, RankKilled, Topology, Transport, TransportOwner,
+};
+
+use crate::collectives::CollBoard;
+use crate::config::GaspiConfig;
+use crate::error::{GaspiError, GaspiResult};
+use crate::group::GroupRegistry;
+use crate::proc::GaspiProc;
+use crate::queue::Queue;
+use crate::segment::SegmentTable;
+use crate::signal::Signal;
+
+/// Shared, remotely accessible state of one rank. Lives in the world (not
+/// the rank thread) so one-sided operations proceed without the target's
+/// involvement — the defining PGAS property.
+pub(crate) struct RankShared {
+    pub segments: SegmentTable,
+    pub queues: Vec<Queue>,
+    pub signal: Signal,
+    pub passive_inbox: Mutex<VecDeque<(Rank, Vec<u8>)>>,
+    pub coll: CollBoard,
+    pub groups: GroupRegistry,
+    /// Error state vector: one entry per remote rank; 0 = HEALTHY,
+    /// 1 = CORRUPT. Local to this process, as in the spec.
+    pub state_vec: Vec<AtomicU8>,
+}
+
+impl RankShared {
+    fn new(cfg: &GaspiConfig) -> Self {
+        // App queues plus service/collective/passive internal queues.
+        let nqueues = cfg.queues as usize + 3;
+        Self {
+            segments: SegmentTable::default(),
+            queues: (0..nqueues).map(|_| Queue::default()).collect(),
+            signal: Signal::default(),
+            passive_inbox: Mutex::new(VecDeque::new()),
+            coll: CollBoard::default(),
+            groups: GroupRegistry::default(),
+            state_vec: (0..cfg.num_ranks).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub cfg: GaspiConfig,
+    pub topo: Topology,
+    pub fault: Arc<FaultPlane>,
+    pub transport: Transport,
+    pub ranks: Vec<Arc<RankShared>>,
+    pub storage: Arc<NodeStorage>,
+}
+
+impl WorldInner {
+    pub fn shared(&self, rank: Rank) -> &Arc<RankShared> {
+        &self.ranks[rank as usize]
+    }
+}
+
+/// A simulated GASPI job: a fault plane, a network, and per-rank shared
+/// state, ready to [`launch`](GaspiWorld::launch) rank threads.
+pub struct GaspiWorld {
+    inner: Arc<WorldInner>,
+    _transport_owner: TransportOwner,
+}
+
+impl GaspiWorld {
+    /// Build a world from `cfg`. The transport scheduler thread starts
+    /// immediately; rank threads start at [`GaspiWorld::launch`].
+    pub fn new(cfg: GaspiConfig) -> Self {
+        install_rank_killed_hook();
+        let topo = cfg.topology();
+        let fault = FaultPlane::new(topo.clone());
+        let owner = Transport::start(cfg.model.clone(), Arc::clone(&fault), cfg.seed);
+        let storage = NodeStorage::new(topo.clone());
+        storage.attach(&fault);
+        let ranks = (0..cfg.num_ranks).map(|_| Arc::new(RankShared::new(&cfg))).collect();
+        let inner = Arc::new(WorldInner {
+            cfg,
+            topo,
+            fault: Arc::clone(&fault),
+            transport: owner.handle(),
+            ranks,
+            storage,
+        });
+        // A dead rank's address space vanishes: wipe its segments and wake
+        // every blocked waiter so they observe the new world.
+        let weak: Weak<WorldInner> = Arc::downgrade(&inner);
+        fault.on_kill(move |ev| {
+            if let Some(w) = weak.upgrade() {
+                for &r in &ev.ranks {
+                    w.ranks[r as usize].segments.clear();
+                }
+                for rs in &w.ranks {
+                    rs.signal.bump();
+                }
+            }
+        });
+        Self { inner, _transport_owner: owner }
+    }
+
+    /// The world's fault plane (inject failures here).
+    pub fn fault(&self) -> Arc<FaultPlane> {
+        Arc::clone(&self.inner.fault)
+    }
+
+    /// Node-local storage (used by the checkpoint library).
+    pub fn storage(&self) -> Arc<NodeStorage> {
+        Arc::clone(&self.inner.storage)
+    }
+
+    /// A transport handle (used by the checkpoint library for costed
+    /// copies).
+    pub fn transport(&self) -> Transport {
+        self.inner.transport.clone()
+    }
+
+    /// The rank→node placement.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    /// The configuration this world was built from.
+    pub fn config(&self) -> &GaspiConfig {
+        &self.inner.cfg
+    }
+
+    /// A process handle without a thread — for driving the world from a
+    /// test or a harness on the current thread. Most code should use
+    /// [`GaspiWorld::launch`].
+    pub fn proc_handle(&self, rank: Rank) -> GaspiProc {
+        GaspiProc::new(Arc::clone(&self.inner), rank)
+    }
+
+    /// Spawn one OS thread per rank, each running `f(proc)`. Returns a
+    /// handle to join all ranks.
+    pub fn launch<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(GaspiProc) -> GaspiResult<T> + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(self.inner.cfg.num_ranks as usize);
+        for rank in 0..self.inner.cfg.num_ranks {
+            let f = Arc::clone(&f);
+            let proc = GaspiProc::new(Arc::clone(&self.inner), rank);
+            let h = std::thread::Builder::new()
+                .name(format!("gaspi-rank-{rank}"))
+                .spawn(move || run_rank(rank, proc, move |p| f(p)))
+                .expect("spawn rank thread");
+            handles.push(h);
+        }
+        JobHandle { handles }
+    }
+}
+
+fn run_rank<T>(
+    rank: Rank,
+    proc: GaspiProc,
+    f: impl FnOnce(GaspiProc) -> GaspiResult<T>,
+) -> RankOutcome<T> {
+    match panic::catch_unwind(AssertUnwindSafe(move || f(proc))) {
+        Ok(Ok(v)) => RankOutcome::Completed(v),
+        Ok(Err(e)) => RankOutcome::Failed(e),
+        Err(payload) => {
+            if let Some(rk) = payload.downcast_ref::<RankKilled>() {
+                RankOutcome::Killed(rk.rank)
+            } else {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| format!("rank {rank}: non-string panic payload"));
+                RankOutcome::Panicked(msg)
+            }
+        }
+    }
+}
+
+/// How one rank's thread ended.
+#[derive(Debug)]
+pub enum RankOutcome<T> {
+    /// The rank function returned `Ok`.
+    Completed(T),
+    /// The rank function returned a GASPI error.
+    Failed(GaspiError),
+    /// The rank was killed (fail-stop) — the simulated failure, not a bug.
+    Killed(Rank),
+    /// The rank panicked for a real reason; the message is preserved.
+    Panicked(String),
+}
+
+impl<T> RankOutcome<T> {
+    /// The completion value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the rank was killed by fault injection.
+    pub fn was_killed(&self) -> bool {
+        matches!(self, RankOutcome::Killed(_))
+    }
+}
+
+/// Joins the rank threads of one [`GaspiWorld::launch`] call.
+pub struct JobHandle<T> {
+    handles: Vec<std::thread::JoinHandle<RankOutcome<T>>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Wait for every rank thread; outcomes are indexed by rank.
+    pub fn join(self) -> Vec<RankOutcome<T>> {
+        self.handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(_) => RankOutcome::Panicked("rank thread poisoned its own panic".into()),
+            })
+            .collect()
+    }
+}
+
+/// Install (once per process) a panic hook that silences the simulated
+/// [`RankKilled`] unwinds while leaving every real panic loud.
+fn install_rank_killed_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankKilled>().is_some() {
+                return; // a scheduled fail-stop failure, not a bug
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Timeout;
+
+    #[test]
+    fn launch_and_join_all_ranks() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+        let job = world.launch(|p| Ok(p.rank() * 10));
+        let outs = job.join();
+        let vals: Vec<u32> = outs.into_iter().map(|o| o.completed().unwrap()).collect();
+        assert_eq!(vals, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn killed_rank_reports_killed_outcome() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+        let fault = world.fault();
+        let job = world.launch(move |p| {
+            if p.rank() == 1 {
+                // Simulated `exit(-1)`.
+                p.exit_failure();
+            }
+            // rank 0: ping rank 1 until it dies, proving liveness queries.
+            loop {
+                if p.proc_ping(1, Timeout::Ms(200)).is_err() {
+                    return Ok(p.rank());
+                }
+            }
+        });
+        let outs = job.join();
+        assert!(matches!(outs[0], RankOutcome::Completed(0)));
+        assert!(outs[1].was_killed());
+        assert!(!fault.is_alive(1));
+    }
+
+    #[test]
+    fn real_panics_are_preserved() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(1));
+        // Suppress the hook's print? The hook passes real panics through,
+        // which is what we want — just check the outcome classification.
+        let job = world.launch(|p| {
+            if p.rank() == 0 {
+                panic!("genuine bug {}", 42);
+            }
+            Ok(())
+        });
+        let outs = job.join();
+        match &outs[0] {
+            RankOutcome::Panicked(msg) => assert!(msg.contains("genuine bug 42")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_outcome_carries_error() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(1));
+        let job = world.launch(|_p| -> GaspiResult<()> { Err(GaspiError::Timeout) });
+        let outs = job.join();
+        assert!(matches!(outs[0], RankOutcome::Failed(GaspiError::Timeout)));
+    }
+}

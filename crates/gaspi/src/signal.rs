@@ -1,0 +1,103 @@
+//! Per-rank wake-up signal for blocking waits.
+//!
+//! Every blocking GASPI call is a poll loop over some condition (queue
+//! drained, notification present, collective token arrived...). The loop
+//! parks on its rank's [`Signal`] and is woken by whoever might have made
+//! the condition true: completion handlers, notification deliveries, kill
+//! events. Waits are additionally bounded by a small lap so a rank always
+//! re-checks its own liveness and its deadline even if no event arrives.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A wait/wake counter: `bump` wakes all current waiters.
+#[derive(Default)]
+pub(crate) struct Signal {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Signal {
+    /// Wake all waiters.
+    pub fn bump(&self) {
+        let mut g = self.gen.lock();
+        *g = g.wrapping_add(1);
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Park until the signal is bumped, `lap` elapses, or `deadline`
+    /// passes — whichever comes first. `seen` carries the last observed
+    /// generation between laps so a bump between checks is never missed.
+    pub fn wait_lap(&self, seen: &mut u64, lap: Duration, deadline: Option<Instant>) {
+        let mut g = self.gen.lock();
+        if *g != *seen {
+            *seen = *g;
+            return;
+        }
+        let until = match deadline {
+            Some(d) => (Instant::now() + lap).min(d),
+            None => Instant::now() + lap,
+        };
+        self.cv.wait_until(&mut g, until);
+        *seen = *g;
+    }
+
+    /// Current generation, for initializing `seen`.
+    pub fn generation(&self) -> u64 {
+        *self.gen.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bump_wakes_waiter() {
+        let s = Arc::new(Signal::default());
+        let s2 = Arc::clone(&s);
+        let mut seen = s.generation();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            s2.bump();
+        });
+        let t0 = Instant::now();
+        // Long lap: the bump must cut it short.
+        s.wait_lap(&mut seen, Duration::from_secs(5), None);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn missed_bump_is_caught_on_next_lap() {
+        let s = Signal::default();
+        let mut seen = s.generation();
+        s.bump(); // happens "between" checks
+        let t0 = Instant::now();
+        s.wait_lap(&mut seen, Duration::from_secs(5), None);
+        assert!(t0.elapsed() < Duration::from_millis(100), "stale generation returns at once");
+    }
+
+    #[test]
+    fn lap_bounds_wait() {
+        let s = Signal::default();
+        let mut seen = s.generation();
+        let t0 = Instant::now();
+        s.wait_lap(&mut seen, Duration::from_millis(5), None);
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_bounds_wait_below_lap() {
+        let s = Signal::default();
+        let mut seen = s.generation();
+        let t0 = Instant::now();
+        let dl = Instant::now() + Duration::from_millis(3);
+        s.wait_lap(&mut seen, Duration::from_secs(10), Some(dl));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+}

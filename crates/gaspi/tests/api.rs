@@ -1,0 +1,395 @@
+//! End-to-end tests of the GASPI API over live rank threads.
+
+use std::time::Duration;
+
+use ft_gaspi::{
+    GaspiConfig, GaspiError, GaspiProc, GaspiResult, GaspiWorld, ProcState, RankOutcome,
+    ReduceOp, Timeout,
+};
+
+const SEG: u16 = 1;
+const Q: u16 = 0;
+
+fn join_ok<T: std::fmt::Debug>(outs: Vec<RankOutcome<T>>) -> Vec<T> {
+    outs.into_iter()
+        .enumerate()
+        .map(|(r, o)| match o {
+            RankOutcome::Completed(v) => v,
+            other => panic!("rank {r} did not complete: {other:?}"),
+        })
+        .collect()
+}
+
+/// All ranks create a segment and barrier on a full group.
+fn setup_world(p: &GaspiProc, seg_size: usize) -> GaspiResult<ft_gaspi::Group> {
+    p.segment_create(SEG, seg_size)?;
+    let g = p.group_create_with_id(1 << 32)?;
+    for r in 0..p.num_ranks() {
+        p.group_add(g, r)?;
+    }
+    p.group_commit(g, Timeout::Ms(60_000))?;
+    p.barrier(g, Timeout::Ms(60_000))?;
+    Ok(g)
+}
+
+#[test]
+fn write_notify_roundtrip() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let outs = world
+        .launch(|p| {
+            let _g = setup_world(&p, 256)?;
+            let me = p.rank();
+            let next = (me + 1) % p.num_ranks();
+            // Put my rank (as u64) into my segment, push it to my neighbor
+            // with a notification.
+            p.with_segment_mut(SEG, |b| ft_gaspi::bytes::put_u64(b, 0, u64::from(me) + 100))?;
+            p.write_notify(SEG, 0, next, SEG, 64, 8, 7, 1, Q)?;
+            p.wait(Q, Timeout::Ms(5000))?;
+            // Await my own notification and read what the previous rank put.
+            let nid = p.notify_waitsome(SEG, 0, 16, Timeout::Ms(5000))?;
+            assert_eq!(nid, 7);
+            assert_eq!(p.notify_reset(SEG, nid)?, 1);
+            let got = p.with_segment(SEG, |b| ft_gaspi::bytes::get_u64(b, 64))?;
+            let prev = (me + p.num_ranks() - 1) % p.num_ranks();
+            Ok(got == u64::from(prev) + 100)
+        })
+        .join();
+    assert!(join_ok(outs).into_iter().all(|ok| ok));
+}
+
+#[test]
+fn read_fetches_remote_data() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let outs = world
+        .launch(|p| {
+            let g = setup_world(&p, 64)?;
+            p.with_segment_mut(SEG, |b| {
+                ft_gaspi::bytes::put_u64(b, 0, u64::from(p.rank()) * 11)
+            })?;
+            p.barrier(g, Timeout::Ms(5000))?; // everyone's data in place
+            let target = (p.rank() + 1) % p.num_ranks();
+            p.read(SEG, 8, target, SEG, 0, 8, Q)?;
+            p.wait(Q, Timeout::Ms(5000))?;
+            let got = p.with_segment(SEG, |b| ft_gaspi::bytes::get_u64(b, 8))?;
+            Ok(got == u64::from(target) * 11)
+        })
+        .join();
+    assert!(join_ok(outs).into_iter().all(|ok| ok));
+}
+
+#[test]
+fn allreduce_sum_min_max_deterministic() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(5));
+    let outs = world
+        .launch(|p| {
+            let g = setup_world(&p, 8)?;
+            let x = f64::from(p.rank()) + 1.0; // 1..=5
+            let sum = p.allreduce_f64(g, &[x, 2.0 * x], ReduceOp::Sum, Timeout::Ms(5000))?;
+            let mn = p.allreduce_f64(g, &[x], ReduceOp::Min, Timeout::Ms(5000))?;
+            let mx = p.allreduce_f64(g, &[x], ReduceOp::Max, Timeout::Ms(5000))?;
+            let cnt = p.allreduce_u64(g, &[1], ReduceOp::Sum, Timeout::Ms(5000))?;
+            Ok((sum, mn, mx, cnt))
+        })
+        .join();
+    for (sum, mn, mx, cnt) in join_ok(outs) {
+        assert_eq!(sum, vec![15.0, 30.0]);
+        assert_eq!(mn, vec![1.0]);
+        assert_eq!(mx, vec![5.0]);
+        assert_eq!(cnt, vec![5]);
+    }
+}
+
+#[test]
+fn allreduce_rejects_oversized_buffers() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            let g = setup_world(&p, 8)?;
+            let big = vec![0.0; 256];
+            match p.allreduce_f64(g, &big, ReduceOp::Sum, Timeout::Ms(1000)) {
+                Err(GaspiError::InvalidArg(_)) => Ok(true),
+                other => panic!("expected InvalidArg, got {other:?}"),
+            }
+        })
+        .join();
+    assert!(join_ok(outs).into_iter().all(|ok| ok));
+}
+
+#[test]
+fn barrier_times_out_when_member_dead() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let outs = world
+        .launch(|p| {
+            let g = setup_world(&p, 8)?;
+            if p.rank() == 2 {
+                p.exit_failure();
+            }
+            // Give the victim a moment to die, then barrier: must not hang.
+            std::thread::sleep(Duration::from_millis(20));
+            match p.barrier(g, Timeout::Ms(300)) {
+                Err(GaspiError::Timeout) | Err(GaspiError::RemoteBroken { rank: 2 }) => Ok(true),
+                other => panic!("expected Timeout/RemoteBroken, got {other:?}"),
+            }
+        })
+        .join();
+    assert!(outs[2].was_killed(), "{outs:?}");
+    assert!(matches!(outs[0], RankOutcome::Completed(true)), "{outs:?}");
+    assert!(matches!(outs[1], RankOutcome::Completed(true)), "{outs:?}");
+}
+
+#[test]
+fn ping_healthy_then_dead_then_state_vec() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let outs = world
+        .launch(|p| {
+            match p.rank() {
+                1 => {
+                    // Live briefly, then die.
+                    std::thread::sleep(Duration::from_millis(30));
+                    p.exit_failure();
+                }
+                0 => {
+                    // Healthy ping first.
+                    p.proc_ping(1, Timeout::Ms(1000))?;
+                    assert_eq!(p.state_vec_get()[1], ProcState::Healthy);
+                    // Wait for death, then ping must fail and set the
+                    // state vector.
+                    std::thread::sleep(Duration::from_millis(60));
+                    match p.proc_ping(1, Timeout::Block) {
+                        Err(GaspiError::RemoteBroken { rank: 1 }) => {}
+                        other => panic!("expected RemoteBroken, got {other:?}"),
+                    }
+                    assert_eq!(p.state_vec_get()[1], ProcState::Corrupt);
+                    assert_eq!(p.state_vec_get()[2], ProcState::Healthy);
+                    Ok(())
+                }
+                _ => {
+                    std::thread::sleep(Duration::from_millis(120));
+                    Ok(())
+                }
+            }
+        })
+        .join();
+    assert!(outs[1].was_killed());
+}
+
+#[test]
+fn proc_kill_enforces_death_of_live_rank() {
+    // The false-positive scenario (§IV-A-a): a healthy process is killed
+    // anyway so it cannot keep participating.
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let fault = world.fault();
+    let outs = world
+        .launch(|p| {
+            if p.rank() == 0 {
+                p.proc_kill(1, Timeout::Ms(2000))?;
+                // Killing an already-dead rank is still a success.
+                p.proc_kill(1, Timeout::Ms(2000))?;
+                Ok(true)
+            } else {
+                // Rank 1 spins doing local work until the kill lands.
+                loop {
+                    p.with_segment(0, |_| ()).ok();
+                    p.proc_ping(0, Timeout::Ms(100)).ok();
+                }
+            }
+        })
+        .join();
+    assert!(matches!(outs[0], RankOutcome::Completed(true)));
+    assert!(outs[1].was_killed());
+    assert!(!fault.is_alive(1));
+}
+
+#[test]
+fn wait_reports_queue_failure_against_dead_target() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            p.segment_create(SEG, 64)?;
+            if p.rank() == 1 {
+                p.exit_failure();
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            p.write(SEG, 0, 1, SEG, 0, 8, Q)?;
+            match p.wait(Q, Timeout::Ms(2000)) {
+                Err(GaspiError::QueueFailure { queue: Q, ranks }) => {
+                    assert_eq!(ranks, vec![1]);
+                    assert_eq!(p.state_vec_get()[1], ProcState::Corrupt);
+                    Ok(true)
+                }
+                other => panic!("expected QueueFailure, got {other:?}"),
+            }
+        })
+        .join();
+    assert!(matches!(outs[0], RankOutcome::Completed(true)));
+}
+
+#[test]
+fn passive_send_receive() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            if p.rank() == 0 {
+                p.passive_send(1, b"hello".to_vec(), Timeout::Ms(2000))?;
+                Ok(None)
+            } else {
+                let (from, data) = p.passive_receive(Timeout::Ms(2000))?;
+                Ok(Some((from, data)))
+            }
+        })
+        .join();
+    let vals = join_ok(outs);
+    assert_eq!(vals[1], Some((0, b"hello".to_vec())));
+}
+
+#[test]
+fn atomics_fetch_add_and_cas() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let outs = world
+        .launch(|p| {
+            let g = setup_world(&p, 64)?;
+            // Everyone increments a counter on rank 0.
+            let old = p.atomic_fetch_add(0, SEG, 0, 1, Timeout::Ms(5000))?;
+            assert!(old < 4);
+            p.barrier(g, Timeout::Ms(5000))?;
+            let total = p.with_segment(SEG, |b| ft_gaspi::bytes::get_u64(b, 0))?;
+            if p.rank() == 0 {
+                assert_eq!(total, 4);
+            }
+            // CAS: only one rank wins the swap 4 → 100.
+            let prev = p.atomic_compare_swap(0, SEG, 8, 0, u64::from(p.rank()) + 1, Timeout::Ms(5000))?;
+            p.barrier(g, Timeout::Ms(5000))?;
+            Ok(prev == 0) // true for the single winner
+        })
+        .join();
+    let winners = join_ok(outs).into_iter().filter(|w| *w).count();
+    assert_eq!(winners, 1);
+}
+
+#[test]
+fn notify_waitsome_timeout_and_test() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(1));
+    let outs = world
+        .launch(|p| {
+            p.segment_create(SEG, 8)?;
+            assert!(matches!(
+                p.notify_waitsome(SEG, 0, 8, Timeout::Ms(20)),
+                Err(GaspiError::Timeout)
+            ));
+            assert!(matches!(
+                p.notify_waitsome(SEG, 0, 8, Timeout::Test),
+                Err(GaspiError::Timeout)
+            ));
+            Ok(())
+        })
+        .join();
+    join_ok(outs);
+}
+
+#[test]
+fn group_commit_detects_member_set_mismatch() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            let g = p.group_create_with_id(1 << 33)?;
+            p.group_add(g, 0)?;
+            p.group_add(g, 1)?;
+            if p.rank() == 0 {
+                // Rank 0 sneaks in a phantom member — fingerprints differ.
+                // (2 ranks only, so add rank 1 twice is dedup'd; instead
+                // rank 0 commits a *smaller* set.)
+            }
+            let res = if p.rank() == 0 {
+                let g2 = p.group_create_with_id(1 << 34)?;
+                p.group_add(g2, 0)?;
+                p.group_add(g2, 1)?;
+                p.group_commit(g2, Timeout::Ms(400))
+            } else {
+                let g2 = p.group_create_with_id(1 << 34)?;
+                p.group_add(g2, 1)?;
+                p.group_commit(g2, Timeout::Ms(400))
+            };
+            Ok(matches!(
+                res,
+                Err(GaspiError::Group { .. }) | Err(GaspiError::Timeout) | Ok(())
+            ))
+        })
+        .join();
+    // Rank 1 commits a singleton {1}: succeeds trivially (no tokens
+    // needed... members without self? it contains self only) while rank 0
+    // waits for a token from rank 1 that must arrive with a *different*
+    // fingerprint → mismatch error. Either way, nobody hangs.
+    let vals = join_ok(outs);
+    assert!(vals.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn segment_errors_are_local_and_immediate() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(1));
+    let outs = world
+        .launch(|p| {
+            assert!(matches!(p.segment_size(9), Err(GaspiError::Segment { .. })));
+            p.segment_create(2, 16)?;
+            assert!(matches!(p.segment_create(2, 16), Err(GaspiError::Segment { .. })));
+            assert!(matches!(
+                p.segment_read(2, 10, 10),
+                Err(GaspiError::Segment { .. })
+            ));
+            assert!(matches!(
+                p.write(2, 0, 0, 9, 0, 8, 99),
+                Err(GaspiError::InvalidArg(_))
+            ));
+            Ok(())
+        })
+        .join();
+    join_ok(outs);
+}
+
+#[test]
+fn write_to_missing_remote_segment_fails_on_wait() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            p.segment_create(SEG, 32)?;
+            if p.rank() == 0 {
+                // Remote segment 5 never exists on rank 1.
+                p.write(SEG, 0, 1, 5, 0, 8, Q)?;
+                match p.wait(Q, Timeout::Ms(2000)) {
+                    Err(GaspiError::QueueFailure { ranks, .. }) => Ok(ranks == vec![1]),
+                    other => panic!("expected QueueFailure, got {other:?}"),
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                Ok(true)
+            }
+        })
+        .join();
+    assert!(join_ok(outs).into_iter().all(|ok| ok));
+}
+
+#[test]
+fn threaded_pings_share_one_handle() {
+    // The threaded FD pattern: clone the proc handle into scoped threads
+    // and ping different targets concurrently.
+    let world = GaspiWorld::new(GaspiConfig::deterministic(9));
+    let outs = world
+        .launch(|p| {
+            if p.rank() == 0 {
+                let results: Vec<GaspiResult<()>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (1..9)
+                        .map(|r| {
+                            let p = p.clone();
+                            s.spawn(move || p.proc_ping(r, Timeout::Ms(2000)))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                Ok(results.into_iter().all(|r| r.is_ok()))
+            } else {
+                std::thread::sleep(Duration::from_millis(100));
+                Ok(true)
+            }
+        })
+        .join();
+    assert!(join_ok(outs).into_iter().all(|ok| ok));
+}

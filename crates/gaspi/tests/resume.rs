@@ -1,0 +1,176 @@
+//! Tests of the GASPI timeout/resume contract for collectives: "a
+//! procedure interrupted by a timeout must be called again with the same
+//! arguments to complete". This is what keeps a group synchronized when
+//! members enter a collective at very different times — the situation
+//! every failure recovery creates.
+
+use std::time::Duration;
+
+use ft_gaspi::{GaspiConfig, GaspiError, GaspiWorld, RankOutcome, ReduceOp, Timeout};
+
+fn full_group(p: &ft_gaspi::GaspiProc) -> ft_gaspi::Group {
+    let g = p.group_create_with_id(1 << 32).unwrap();
+    for r in 0..p.num_ranks() {
+        p.group_add(g, r).unwrap();
+    }
+    p.group_commit(g, Timeout::Ms(5000)).unwrap();
+    g
+}
+
+#[test]
+fn barrier_timeout_then_resume_completes() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let outs = world
+        .launch(|p| {
+            let g = full_group(&p);
+            if p.rank() == 2 {
+                // Latecomer: everyone else will time out first.
+                std::thread::sleep(Duration::from_millis(60));
+                p.barrier(g, Timeout::Ms(5000))?;
+                return Ok(0u32);
+            }
+            // Early ranks: the first (short) call times out, the retry
+            // resumes the *same* barrier instance and completes once the
+            // latecomer arrives.
+            let mut timeouts = 0u32;
+            loop {
+                match p.barrier(g, Timeout::Ms(5)) {
+                    Ok(()) => break,
+                    Err(GaspiError::Timeout) => timeouts += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(timeouts)
+        })
+        .join();
+    for (r, o) in outs.into_iter().enumerate() {
+        match o {
+            RankOutcome::Completed(t) => {
+                if r != 2 {
+                    assert!(t >= 1, "rank {r} should have timed out at least once, got {t}");
+                }
+            }
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn allreduce_timeout_then_resume_is_exact() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let outs = world
+        .launch(|p| {
+            let g = full_group(&p);
+            let x = [f64::from(p.rank()) + 1.0];
+            if p.rank() == 3 {
+                std::thread::sleep(Duration::from_millis(60));
+                return Ok(p.allreduce_f64(g, &x, ReduceOp::Sum, Timeout::Ms(5000))?[0]);
+            }
+            loop {
+                match p.allreduce_f64(g, &x, ReduceOp::Sum, Timeout::Ms(5)) {
+                    Ok(v) => return Ok(v[0]),
+                    Err(GaspiError::Timeout) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+        .join();
+    for o in outs {
+        match o {
+            RankOutcome::Completed(v) => assert_eq!(v, 10.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn interleaved_collectives_stay_paired_under_timeouts() {
+    // The regression that motivated resumption: ranks retrying with
+    // per-attempt timeouts while others proceed must never pair one
+    // logical collective with another.
+    let world = GaspiWorld::new(GaspiConfig::deterministic(3));
+    let outs = world
+        .launch(|p| {
+            let g = full_group(&p);
+            let mut results = Vec::new();
+            for round in 0..20u32 {
+                // Jitter: every rank stalls a different amount each round.
+                let stall = u64::from((p.rank() + round) % 3) * 3;
+                std::thread::sleep(Duration::from_millis(stall));
+                let x = [f64::from(round) + f64::from(p.rank())];
+                let v = loop {
+                    match p.allreduce_f64(g, &x, ReduceOp::Sum, Timeout::Ms(2)) {
+                        Ok(v) => break v[0],
+                        Err(GaspiError::Timeout) => continue,
+                        Err(e) => return Err(e),
+                    }
+                };
+                results.push(v);
+            }
+            Ok(results)
+        })
+        .join();
+    let expect: Vec<f64> = (0..20).map(|r| 3.0 * f64::from(r) + 3.0).collect();
+    for o in outs {
+        match o {
+            RankOutcome::Completed(v) => assert_eq!(v, expect),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mismatched_pending_collective_is_rejected() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            let g = full_group(&p);
+            if p.rank() == 0 {
+                // Start a barrier that cannot complete yet (rank 1 never
+                // barriers), then try an allreduce: must be rejected as a
+                // different pending collective, not silently mixed.
+                assert!(matches!(p.barrier(g, Timeout::Ms(5)), Err(GaspiError::Timeout)));
+                match p.allreduce_f64(g, &[1.0], ReduceOp::Sum, Timeout::Ms(5)) {
+                    Err(GaspiError::Group { .. }) => Ok(true),
+                    other => panic!("expected Group error, got {other:?}"),
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                Ok(true)
+            }
+        })
+        .join();
+    for o in outs {
+        assert!(matches!(o, RankOutcome::Completed(true)));
+    }
+}
+
+#[test]
+fn group_delete_clears_pending_and_tokens() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let outs = world
+        .launch(|p| {
+            let g = full_group(&p);
+            if p.rank() == 0 {
+                // Abandon a barrier (rank 1 isn't participating), delete
+                // the group, rebuild with a fresh id — the new group's
+                // collectives work.
+                let _ = p.barrier(g, Timeout::Ms(5));
+                p.group_delete(g)?;
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+                p.group_delete(g)?;
+            }
+            let g2 = p.group_create_with_id((1 << 32) + 1)?;
+            for r in 0..p.num_ranks() {
+                p.group_add(g2, r)?;
+            }
+            p.group_commit(g2, Timeout::Ms(5000))?;
+            p.barrier(g2, Timeout::Ms(5000))?;
+            Ok(true)
+        })
+        .join();
+    for o in outs {
+        assert!(matches!(o, RankOutcome::Completed(true)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Seeded random symmetric band matrices, generated on the fly.
+//!
+//! Symmetry without materialization: whether the unordered pair `(i, j)`
+//! is a nonzero — and its value — is a pure hash of `(min, max, seed)`,
+//! so row `i` and row `j` independently agree on the entry.
+
+use crate::{RowEntry, RowGen};
+
+/// Random symmetric matrix with entries confined to a band.
+#[derive(Debug, Clone)]
+pub struct RandomSym {
+    n: u64,
+    /// Half-bandwidth: entries satisfy `|i − j| ≤ bandwidth`.
+    pub bandwidth: u64,
+    /// Fill probability for each in-band off-diagonal pair.
+    pub density: f64,
+    /// Hash seed.
+    pub seed: u64,
+    /// Value added to every diagonal entry (diagonal dominance knob).
+    pub diag_shift: f64,
+}
+
+impl RandomSym {
+    /// `n × n` random symmetric matrix.
+    pub fn new(n: u64, bandwidth: u64, density: f64, seed: u64) -> Self {
+        assert!(n >= 1);
+        assert!((0.0..=1.0).contains(&density));
+        Self { n, bandwidth, density, seed, diag_shift: 0.0 }
+    }
+
+    /// Add `s` to every diagonal entry.
+    pub fn with_diag_shift(mut self, s: f64) -> Self {
+        self.diag_shift = s;
+        self
+    }
+
+    fn pair_hash(&self, i: u64, j: u64) -> u64 {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn u01(&self, h: u64) -> f64 {
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn entry(&self, i: u64, j: u64) -> Option<f64> {
+        let h = self.pair_hash(i, j);
+        if i == j {
+            return Some(self.u01(h) - 0.5 + self.diag_shift);
+        }
+        if self.u01(h) < self.density {
+            // Value from a second hash round, in [-0.5, 0.5).
+            Some(self.u01(h.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1)) - 0.5)
+        } else {
+            None
+        }
+    }
+}
+
+impl RowGen for RandomSym {
+    fn dim(&self) -> u64 {
+        self.n
+    }
+
+    fn max_row_entries(&self) -> usize {
+        (2 * self.bandwidth + 1) as usize
+    }
+
+    fn row(&self, row: u64, out: &mut Vec<RowEntry>) {
+        out.clear();
+        let lo = row.saturating_sub(self.bandwidth);
+        let hi = (row + self.bandwidth).min(self.n - 1);
+        for j in lo..=hi {
+            if let Some(v) = self.entry(row, j) {
+                out.push(RowEntry { col: j, val: v });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_rows;
+
+    #[test]
+    fn symmetric_and_valid() {
+        let g = RandomSym::new(64, 5, 0.5, 1234).with_diag_shift(4.0);
+        validate_rows(&g, 0..g.dim(), true);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = RandomSym::new(100, 8, 0.3, 9);
+        let b = RandomSym::new(100, 8, 0.3, 9);
+        for i in (0..100).step_by(7) {
+            assert_eq!(a.row_vec(i), b.row_vec(i));
+        }
+    }
+
+    #[test]
+    fn density_controls_fill() {
+        let sparse = RandomSym::new(400, 10, 0.1, 5);
+        let dense = RandomSym::new(400, 10, 0.9, 5);
+        let count = |g: &RandomSym| -> usize { (0..400).map(|i| g.row_vec(i).len()).sum() };
+        assert!(count(&dense) > 2 * count(&sparse));
+    }
+
+    #[test]
+    fn diagonal_always_present() {
+        let g = RandomSym::new(32, 3, 0.0, 77);
+        for i in 0..32 {
+            let r = g.row_vec(i);
+            assert_eq!(r.len(), 1);
+            assert_eq!(r[0].col, i);
+        }
+    }
+}

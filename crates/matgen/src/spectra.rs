@@ -1,0 +1,115 @@
+//! Matrices with analytically known spectra — ground truth for the
+//! Lanczos + QL eigensolver tests.
+
+use crate::{RowEntry, RowGen};
+
+/// Diagonal matrix with the given eigenvalues (trivially known spectrum).
+#[derive(Debug, Clone)]
+pub struct Diagonal {
+    values: Vec<f64>,
+}
+
+impl Diagonal {
+    /// Diagonal matrix `diag(values)`.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty());
+        Self { values }
+    }
+
+    /// The exact eigenvalues, ascending.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+}
+
+impl RowGen for Diagonal {
+    fn dim(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn max_row_entries(&self) -> usize {
+        1
+    }
+
+    fn row(&self, row: u64, out: &mut Vec<RowEntry>) {
+        out.clear();
+        out.push(RowEntry { col: row, val: self.values[row as usize] });
+    }
+}
+
+/// Tridiagonal Toeplitz matrix: `a` on the diagonal, `b` on both
+/// off-diagonals. Eigenvalues: `a + 2b·cos(kπ/(n+1))`, `k = 1..=n`.
+#[derive(Debug, Clone)]
+pub struct ToeplitzTridiag {
+    n: u64,
+    /// Diagonal value.
+    pub a: f64,
+    /// Off-diagonal value.
+    pub b: f64,
+}
+
+impl ToeplitzTridiag {
+    /// `n × n` tridiagonal Toeplitz matrix.
+    pub fn new(n: u64, a: f64, b: f64) -> Self {
+        assert!(n >= 1);
+        Self { n, a, b }
+    }
+
+    /// The exact eigenvalues, ascending.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let n = self.n as usize;
+        let mut v: Vec<f64> = (1..=n)
+            .map(|k| self.a + 2.0 * self.b * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+}
+
+impl RowGen for ToeplitzTridiag {
+    fn dim(&self) -> u64 {
+        self.n
+    }
+
+    fn max_row_entries(&self) -> usize {
+        3
+    }
+
+    fn row(&self, row: u64, out: &mut Vec<RowEntry>) {
+        out.clear();
+        if row > 0 {
+            out.push(RowEntry { col: row - 1, val: self.b });
+        }
+        out.push(RowEntry { col: row, val: self.a });
+        if row + 1 < self.n {
+            out.push(RowEntry { col: row + 1, val: self.b });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_rows;
+
+    #[test]
+    fn diagonal_rows_and_spectrum() {
+        let d = Diagonal::new(vec![3.0, -1.0, 2.0]);
+        validate_rows(&d, 0..3, true);
+        assert_eq!(d.eigenvalues(), vec![-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn toeplitz_rows_and_known_eigenvalues() {
+        let t = ToeplitzTridiag::new(4, 2.0, -1.0);
+        validate_rows(&t, 0..4, true);
+        let eig = t.eigenvalues();
+        // Known: 2 − 2cos(kπ/5) for the (2, −1) Laplacian-like matrix.
+        for (k, &l) in (1..=4).zip(eig.iter().rev()) {
+            let want = 2.0 + 2.0 * (k as f64 * std::f64::consts::PI / 5.0).cos();
+            assert!((l - want).abs() < 1e-12, "k={k}: {l} vs {want}");
+        }
+    }
+}

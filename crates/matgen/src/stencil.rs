@@ -1,0 +1,143 @@
+//! Finite-difference Laplacian stencils — the "other applications" class
+//! the paper's technique generalizes to (and the substrate of the
+//! heat-equation example).
+
+use crate::{RowEntry, RowGen};
+
+/// 5-point 2D Laplacian on an `nx × ny` grid (Dirichlet boundaries).
+#[derive(Debug, Clone)]
+pub struct Laplace2d {
+    nx: u64,
+    ny: u64,
+}
+
+impl Laplace2d {
+    /// Grid of `nx × ny` interior points.
+    pub fn new(nx: u64, ny: u64) -> Self {
+        assert!(nx >= 1 && ny >= 1);
+        Self { nx, ny }
+    }
+}
+
+impl RowGen for Laplace2d {
+    fn dim(&self) -> u64 {
+        self.nx * self.ny
+    }
+
+    fn max_row_entries(&self) -> usize {
+        5
+    }
+
+    fn row(&self, row: u64, out: &mut Vec<RowEntry>) {
+        out.clear();
+        let x = row % self.nx;
+        let y = row / self.nx;
+        if y > 0 {
+            out.push(RowEntry { col: row - self.nx, val: -1.0 });
+        }
+        if x > 0 {
+            out.push(RowEntry { col: row - 1, val: -1.0 });
+        }
+        out.push(RowEntry { col: row, val: 4.0 });
+        if x + 1 < self.nx {
+            out.push(RowEntry { col: row + 1, val: -1.0 });
+        }
+        if y + 1 < self.ny {
+            out.push(RowEntry { col: row + self.nx, val: -1.0 });
+        }
+    }
+}
+
+/// 7-point 3D Laplacian on an `nx × ny × nz` grid (Dirichlet boundaries).
+#[derive(Debug, Clone)]
+pub struct Laplace3d {
+    nx: u64,
+    ny: u64,
+    nz: u64,
+}
+
+impl Laplace3d {
+    /// Grid of `nx × ny × nz` interior points.
+    pub fn new(nx: u64, ny: u64, nz: u64) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        Self { nx, ny, nz }
+    }
+}
+
+impl RowGen for Laplace3d {
+    fn dim(&self) -> u64 {
+        self.nx * self.ny * self.nz
+    }
+
+    fn max_row_entries(&self) -> usize {
+        7
+    }
+
+    fn row(&self, row: u64, out: &mut Vec<RowEntry>) {
+        out.clear();
+        let plane = self.nx * self.ny;
+        let z = row / plane;
+        let rem = row % plane;
+        let y = rem / self.nx;
+        let x = rem % self.nx;
+        if z > 0 {
+            out.push(RowEntry { col: row - plane, val: -1.0 });
+        }
+        if y > 0 {
+            out.push(RowEntry { col: row - self.nx, val: -1.0 });
+        }
+        if x > 0 {
+            out.push(RowEntry { col: row - 1, val: -1.0 });
+        }
+        out.push(RowEntry { col: row, val: 6.0 });
+        if x + 1 < self.nx {
+            out.push(RowEntry { col: row + 1, val: -1.0 });
+        }
+        if y + 1 < self.ny {
+            out.push(RowEntry { col: row + self.nx, val: -1.0 });
+        }
+        if z + 1 < self.nz {
+            out.push(RowEntry { col: row + plane, val: -1.0 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_rows;
+
+    #[test]
+    fn laplace2d_interior_row() {
+        let g = Laplace2d::new(4, 4);
+        let r = g.row_vec(5); // (x=1, y=1): full 5-point star
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.iter().map(|e| e.val).sum::<f64>(), 0.0);
+        let diag = r.iter().find(|e| e.col == 5).unwrap();
+        assert_eq!(diag.val, 4.0);
+    }
+
+    #[test]
+    fn laplace2d_valid_and_symmetric() {
+        let g = Laplace2d::new(5, 3);
+        validate_rows(&g, 0..g.dim(), true);
+    }
+
+    #[test]
+    fn laplace3d_valid_and_symmetric() {
+        let g = Laplace3d::new(3, 4, 3);
+        assert_eq!(g.dim(), 36);
+        validate_rows(&g, 0..g.dim(), true);
+        // Interior point (x=1, y=1, z=1) has the full 7-point star.
+        let r = g.row_vec(12 + 3 + 1);
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn degenerate_1d_cases() {
+        let g = Laplace2d::new(6, 1);
+        validate_rows(&g, 0..g.dim(), true);
+        assert_eq!(g.row_vec(0).len(), 2);
+        assert_eq!(g.row_vec(3).len(), 3);
+    }
+}

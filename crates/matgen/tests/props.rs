@@ -1,0 +1,64 @@
+//! Property tests: every generator produces valid, symmetric rows for
+//! arbitrary geometries, and generation is deterministic.
+
+use proptest::prelude::*;
+
+use ft_matgen::graphene::Graphene;
+use ft_matgen::random::RandomSym;
+use ft_matgen::spectra::ToeplitzTridiag;
+use ft_matgen::stencil::{Laplace2d, Laplace3d};
+use ft_matgen::{validate_rows, RowGen};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn graphene_always_valid(
+        lx in 1u64..10,
+        ly in 1u64..10,
+        nnn in any::<bool>(),
+        periodic in any::<bool>(),
+        disorder in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graphene::new(lx, ly).with_disorder(disorder, seed).with_periodic(periodic);
+        if nnn {
+            g = g.with_nnn(-0.2);
+        }
+        validate_rows(&g, 0..g.dim(), true);
+    }
+
+    #[test]
+    fn stencils_always_valid(nx in 1u64..12, ny in 1u64..12, nz in 1u64..6) {
+        let g2 = Laplace2d::new(nx, ny);
+        validate_rows(&g2, 0..g2.dim(), true);
+        let g3 = Laplace3d::new(nx, ny, nz);
+        validate_rows(&g3, 0..g3.dim(), true);
+    }
+
+    #[test]
+    fn random_sym_valid_and_deterministic(
+        n in 1u64..200,
+        bw in 0u64..12,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = RandomSym::new(n, bw, density, seed);
+        validate_rows(&g, 0..g.dim().min(64), true);
+        let h = RandomSym::new(n, bw, density, seed);
+        for i in (0..n).step_by(17) {
+            prop_assert_eq!(g.row_vec(i), h.row_vec(i));
+        }
+    }
+
+    /// Toeplitz eigenvalues stay within the Gershgorin disc.
+    #[test]
+    fn toeplitz_gershgorin(n in 1u64..80, a in -5.0f64..5.0, b in -3.0f64..3.0) {
+        let t = ToeplitzTridiag::new(n, a, b);
+        validate_rows(&t, 0..t.dim(), true);
+        for l in t.eigenvalues() {
+            prop_assert!(l >= a - 2.0 * b.abs() - 1e-9);
+            prop_assert!(l <= a + 2.0 * b.abs() + 1e-9);
+        }
+    }
+}

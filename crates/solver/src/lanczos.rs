@@ -1,0 +1,165 @@
+//! The distributed Lanczos iteration (the paper's Algorithm 1).
+//!
+//! Each step is one halo exchange + spMVM and two global reductions. All
+//! reductions go through [`ft_sparse::det_allreduce_sum`], so α/β
+//! sequences are **bit-for-bit reproducible** across runs and across
+//! recoveries — the property the integration tests assert.
+
+use ft_checkpoint::{CodecError, Dec, Enc};
+use ft_core::{FtCtx, FtResult};
+use ft_sparse::{det_allreduce_sum, DistMatrix, SpmvComm};
+
+use crate::tridiag::tridiag_eigenvalues;
+
+/// The evolving Lanczos state of one rank: the two live Lanczos vectors
+/// (local chunks) and the α/β history — exactly the paper's checkpoint
+/// content ("two consecutive Lanczos vectors, α, and β", §II/§VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanczosState {
+    /// `v_{j-1}` local chunk.
+    pub v_prev: Vec<f64>,
+    /// `v_j` local chunk.
+    pub v: Vec<f64>,
+    /// `α_1..α_j`.
+    pub alphas: Vec<f64>,
+    /// `β_2..β_{j+1}` (the norm produced by each step).
+    pub betas: Vec<f64>,
+    /// Completed iterations (`== alphas.len()`).
+    pub iter: u64,
+}
+
+impl LanczosState {
+    /// Deterministic pseudo-random start vector, identical regardless of
+    /// how rows are partitioned: entry `i` of the global vector depends
+    /// only on `(seed, i)`. Normalized globally by the caller via
+    /// [`LanczosState::normalize`].
+    pub fn init(local_start: u64, local_len: usize, seed: u64) -> Self {
+        let v: Vec<f64> = (0..local_len as u64)
+            .map(|k| splitmix_u01(seed ^ (local_start + k).wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5)
+            .collect();
+        Self { v_prev: vec![0.0; local_len], v, alphas: Vec::new(), betas: Vec::new(), iter: 0 }
+    }
+
+    /// Normalize `v` globally (collective).
+    pub fn normalize(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        let local: f64 = self.v.iter().map(|x| x * x).sum();
+        let norm = det_allreduce_sum(ctx, local)?.sqrt();
+        for x in &mut self.v {
+            *x /= norm;
+        }
+        Ok(())
+    }
+
+    /// One Lanczos step: `w = A·v_j`, `α_j = w·v_j`,
+    /// `w ← w − α_j v_j − β_j v_{j−1}`, `β_{j+1} = ‖w‖`,
+    /// `v_{j+1} = w / β_{j+1}` (collective).
+    pub fn step(
+        &mut self,
+        ctx: &FtCtx,
+        dm: &DistMatrix,
+        comm: &SpmvComm,
+        halo: &mut Vec<f64>,
+    ) -> FtResult<()> {
+        let tag = SpmvComm::tag_for_iter(self.iter);
+        comm.exchange(ctx, &dm.plan, &self.v, tag, halo)?;
+        let mut w = vec![0.0; self.v.len()];
+        dm.spmv(&self.v, halo, &mut w);
+        let alpha = det_allreduce_sum(ctx, dot(&w, &self.v))?;
+        let beta_prev = self.betas.last().copied().unwrap_or(0.0);
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi -= alpha * self.v[i] + beta_prev * self.v_prev[i];
+        }
+        let beta = det_allreduce_sum(ctx, dot(&w, &w))?.sqrt();
+        self.alphas.push(alpha);
+        self.betas.push(beta);
+        std::mem::swap(&mut self.v_prev, &mut self.v);
+        if beta > 0.0 {
+            for (vi, wi) in self.v.iter_mut().zip(&w) {
+                *vi = wi / beta;
+            }
+        } else {
+            // Invariant subspace reached (exact breakdown): keep a zero
+            // vector; eigenvalues of T_j are already exact.
+            self.v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.iter += 1;
+        Ok(())
+    }
+
+    /// Eigenvalue estimates of the current Lanczos tridiagonal `T_j`
+    /// (ascending); the paper's `CalcMinimumEigenVal` via the QL method.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        if self.alphas.is_empty() {
+            return Vec::new();
+        }
+        tridiag_eigenvalues(&self.alphas, &self.betas[..self.alphas.len() - 1])
+    }
+
+    /// Checkpoint payload: iteration, α, β, and the two Lanczos vectors.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(32 + 8 * (self.alphas.len() * 2 + self.v.len() * 2));
+        e.u64(self.iter)
+            .f64s(&self.alphas)
+            .f64s(&self.betas)
+            .f64s(&self.v_prev)
+            .f64s(&self.v);
+        e.finish()
+    }
+
+    /// Restore from a checkpoint payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(buf);
+        let iter = d.u64()?;
+        let alphas = d.f64s()?;
+        let betas = d.f64s()?;
+        let v_prev = d.f64s()?;
+        let v = d.f64s()?;
+        d.expect_end()?;
+        Ok(Self { v_prev, v, alphas, betas, iter })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn splitmix_u01(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_partition_independent() {
+        // The global start vector must not depend on the chunking.
+        let whole = LanczosState::init(0, 10, 42);
+        let left = LanczosState::init(0, 4, 42);
+        let right = LanczosState::init(4, 6, 42);
+        assert_eq!(&whole.v[..4], &left.v[..]);
+        assert_eq!(&whole.v[4..], &right.v[..]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        let mut s = LanczosState::init(3, 7, 9);
+        s.alphas = vec![0.25, -1.5];
+        s.betas = vec![0.75, 2.0];
+        s.iter = 2;
+        let buf = s.encode();
+        let t = LanczosState::decode(&buf).unwrap();
+        assert_eq!(s, t);
+        assert!(LanczosState::decode(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn eigenvalues_of_empty_state() {
+        let s = LanczosState::init(0, 4, 1);
+        assert!(s.eigenvalues().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Single-process reference Lanczos, for validating the distributed
+//! solver against ground truth and against itself.
+
+use ft_matgen::RowGen;
+
+use crate::tridiag::tridiag_eigenvalues;
+
+/// Result of a sequential Lanczos run.
+#[derive(Debug, Clone)]
+pub struct SeqLanczos {
+    /// α history.
+    pub alphas: Vec<f64>,
+    /// β history (the norms produced by each step).
+    pub betas: Vec<f64>,
+}
+
+impl SeqLanczos {
+    /// Run `iters` Lanczos steps on the full matrix from `gen`, starting
+    /// from the same deterministic vector the distributed solver uses.
+    pub fn run<G: RowGen>(gen: &G, iters: u64, seed: u64) -> Self {
+        let n = gen.dim() as usize;
+        let mut v: Vec<f64> = (0..n as u64)
+            .map(|k| {
+                splitmix_u01(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5
+            })
+            .collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        v.iter_mut().for_each(|x| *x /= norm);
+        let mut v_prev = vec![0.0; n];
+        let mut alphas = Vec::new();
+        let mut betas: Vec<f64> = Vec::new();
+        let mut row = Vec::with_capacity(gen.max_row_entries());
+        for _ in 0..iters {
+            // w = A v
+            let mut w = vec![0.0; n];
+            for (i, wi) in w.iter_mut().enumerate() {
+                gen.row(i as u64, &mut row);
+                let mut acc = 0.0;
+                for e in &row {
+                    acc += e.val * v[e.col as usize];
+                }
+                *wi = acc;
+            }
+            let alpha: f64 = w.iter().zip(&v).map(|(a, b)| a * b).sum();
+            let beta_prev = betas.last().copied().unwrap_or(0.0);
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi -= alpha * v[i] + beta_prev * v_prev[i];
+            }
+            let beta = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            alphas.push(alpha);
+            betas.push(beta);
+            std::mem::swap(&mut v_prev, &mut v);
+            if beta > 0.0 {
+                for (vi, wi) in v.iter_mut().zip(&w) {
+                    *vi = wi / beta;
+                }
+            } else {
+                v.iter_mut().for_each(|x| *x = 0.0);
+            }
+        }
+        Self { alphas, betas }
+    }
+
+    /// Eigenvalue estimates (ascending) of the Lanczos tridiagonal.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        tridiag_eigenvalues(&self.alphas, &self.betas[..self.alphas.len() - 1])
+    }
+}
+
+fn splitmix_u01(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matgen::spectra::{Diagonal, ToeplitzTridiag};
+
+    #[test]
+    fn lanczos_finds_extreme_eigenvalues_of_diagonal() {
+        let d = Diagonal::new((0..40).map(|i| f64::from(i) * 0.5).collect());
+        let run = SeqLanczos::run(&d, 40, 7);
+        let eig = run.eigenvalues();
+        let exact = d.eigenvalues();
+        // With a full Krylov space, extremes are essentially exact.
+        assert!((eig[0] - exact[0]).abs() < 1e-8, "{} vs {}", eig[0], exact[0]);
+        assert!(
+            (eig.last().unwrap() - exact.last().unwrap()).abs() < 1e-8,
+            "{} vs {}",
+            eig.last().unwrap(),
+            exact.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn lanczos_converges_on_toeplitz_lowest() {
+        // The (2,−1) Laplacian's edge eigenvalues cluster quadratically,
+        // so convergence of the lowest one is slow; monotone improvement
+        // plus a modest absolute error is the right check here.
+        let t = ToeplitzTridiag::new(200, 2.0, -1.0);
+        let exact = t.eigenvalues();
+        let err = |iters: u64| {
+            let run = SeqLanczos::run(&t, iters, 3);
+            (run.eigenvalues()[0] - exact[0]).abs()
+        };
+        let (e40, e80, e160) = (err(40), err(80), err(160));
+        assert!(e80 < e40 && e160 < e80, "errors must shrink: {e40} {e80} {e160}");
+        assert!(e160 < 1e-4, "lowest eigenvalue error after 160 steps: {e160}");
+    }
+}

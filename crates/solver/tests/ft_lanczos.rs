@@ -1,0 +1,180 @@
+//! End-to-end tests of the fault-tolerant Lanczos application.
+
+use std::sync::Arc;
+
+use ft_checkpoint::{Pfs, PfsConfig};
+use ft_cluster::FaultSchedule;
+use ft_core::{run_ft_job, FtConfig, JobReport, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld};
+use ft_matgen::graphene::Graphene;
+use ft_matgen::spectra::{Diagonal, ToeplitzTridiag};
+use ft_matgen::RowGen;
+use ft_solver::ft_lanczos::{FtLanczos, FtLanczosConfig, LanczosSummary};
+use ft_solver::seq::SeqLanczos;
+
+fn run_job(
+    gen: Arc<dyn RowGen>,
+    workers: u32,
+    spares: u32,
+    iters: u64,
+    ckpt_every: u64,
+    schedule: FaultSchedule,
+) -> JobReport<LanczosSummary> {
+    let layout = WorldLayout::new(workers, spares);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = ckpt_every;
+    cfg.max_iters = iters;
+    cfg.policy.abandon = std::time::Duration::from_secs(30);
+    let app_cfg = Arc::new(FtLanczosConfig {
+        pfs: Some(Pfs::new(PfsConfig::instant())),
+        ..FtLanczosConfig::fixed_iters(gen)
+    });
+    run_ft_job(&world, cfg, schedule, move |ctx| FtLanczos::new(ctx, Arc::clone(&app_cfg)))
+}
+
+fn summaries(report: &JobReport<LanczosSummary>, workers: u32) -> Vec<LanczosSummary> {
+    let s = report.worker_summaries();
+    assert_eq!(s.len(), workers as usize, "all app ranks must finish");
+    s.into_iter().map(|(_, x)| x.clone()).collect()
+}
+
+#[test]
+fn distributed_matches_sequential_reference() {
+    let gen = Graphene::new(8, 6).with_nnn(-0.15);
+    let iters = 40;
+    let seq = SeqLanczos::run(&gen, iters, 0x1A5C_205E);
+    let report = run_job(Arc::new(gen), 3, 1, iters, 10, FaultSchedule::none());
+    for s in summaries(&report, 3) {
+        assert_eq!(s.iters, iters);
+        // Distributed reductions reorder the sums relative to the
+        // sequential reference; agreement is to rounding, not bitwise.
+        for (a, b) in s.alphas.iter().zip(&seq.alphas) {
+            assert!((a - b).abs() < 1e-9, "alpha {a} vs {b}");
+        }
+        for (a, b) in s.betas.iter().zip(&seq.betas) {
+            assert!((a - b).abs() < 1e-9, "beta {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn eigenvalues_match_known_spectrum() {
+    // Full Krylov space on a diagonal matrix: extremes are exact.
+    let gen = Diagonal::new((0..48).map(|i| 1.0 + 0.25 * f64::from(i)).collect());
+    let exact = gen.eigenvalues();
+    let report = run_job(Arc::new(gen), 4, 1, 48, 12, FaultSchedule::none());
+    for s in summaries(&report, 4) {
+        let eig = &s.eigenvalues;
+        assert!((eig[0] - exact[0]).abs() < 1e-7, "{} vs {}", eig[0], exact[0]);
+        assert!(
+            (eig.last().unwrap() - exact.last().unwrap()).abs() < 1e-7,
+            "{} vs {}",
+            eig.last().unwrap(),
+            exact.last().unwrap()
+        );
+    }
+}
+
+#[test]
+fn recovered_run_reproduces_failure_free_bit_for_bit() {
+    // The headline determinism claim: kill a worker mid-run; after
+    // recovery and redo, the α/β sequences (and thus every eigenvalue)
+    // must equal the failure-free run's *exactly*.
+    let gen = Graphene::new(6, 5).with_nnn(-0.1);
+    let iters = 60;
+    let clean = run_job(Arc::new(gen.clone()), 4, 3, iters, 10, FaultSchedule::none());
+    let clean_s = summaries(&clean, 4);
+
+    let schedule = FaultSchedule::none().kill_rank_at_iteration(1, 37);
+    let faulty = run_job(Arc::new(gen), 4, 3, iters, 10, schedule);
+    assert_eq!(faulty.killed(), vec![1]);
+    let faulty_s = summaries(&faulty, 4);
+
+    assert_eq!(clean_s[0].alphas, faulty_s[0].alphas, "alpha sequence must be bit-identical");
+    assert_eq!(clean_s[0].betas, faulty_s[0].betas, "beta sequence must be bit-identical");
+    assert_eq!(clean_s[0].eigenvalues, faulty_s[0].eigenvalues);
+    // And all workers agree among themselves.
+    for s in &faulty_s {
+        assert_eq!(s.alphas, faulty_s[0].alphas);
+    }
+}
+
+#[test]
+fn two_failures_still_bitwise_identical() {
+    let gen = ToeplitzTridiag::new(240, 2.0, -1.0);
+    let iters = 50;
+    let clean = run_job(Arc::new(gen.clone()), 4, 4, iters, 10, FaultSchedule::none());
+    let clean_s = summaries(&clean, 4);
+
+    let schedule = FaultSchedule::none()
+        .kill_rank_at_iteration(0, 23)
+        .kill_rank_at_iteration(2, 41);
+    let faulty = run_job(Arc::new(gen), 4, 4, iters, 10, schedule);
+    let faulty_s = summaries(&faulty, 4);
+    assert_eq!(clean_s[0].alphas, faulty_s[0].alphas);
+    assert_eq!(clean_s[0].betas, faulty_s[0].betas);
+    // Spectrum estimates stay inside the true spectral interval [~0, ~4]
+    // (Ritz values are bounded by the extremes of the operator).
+    let exact = ToeplitzTridiag::new(240, 2.0, -1.0).eigenvalues();
+    let (lo, hi) = (exact[0], *exact.last().unwrap());
+    for &e in &faulty_s[0].eigenvalues {
+        assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "Ritz value {e} outside [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn convergence_check_stops_early_and_agrees() {
+    let gen = Diagonal::new((0..64).map(f64::from).collect());
+    let layout = WorldLayout::new(4, 1);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 10;
+    cfg.max_iters = 64;
+    let app_cfg = Arc::new(FtLanczosConfig {
+        conv_check_every: 5,
+        conv_tol: 1e-9,
+        ..FtLanczosConfig::fixed_iters(Arc::new(gen))
+    });
+    let report =
+        run_ft_job(&world, cfg, FaultSchedule::none(), move |ctx| {
+            FtLanczos::new(ctx, Arc::clone(&app_cfg))
+        });
+    let s = summaries(&report, 4);
+    // All ranks stopped at the same iteration, before the cap.
+    assert!(s.iter().all(|x| x.iters == s[0].iters));
+    assert!(s[0].iters < 64, "convergence should stop early, got {}", s[0].iters);
+}
+
+#[test]
+fn sell_kernels_are_bitwise_identical_to_csr() {
+    // Same run with CSR kernels vs SELL-C-σ kernels (GHOST's format):
+    // α/β must agree bit for bit, even across a failure recovery.
+    let gen = Graphene::new(8, 6).with_nnn(-0.1);
+    let iters = 40;
+    let run_with = |sell: Option<(usize, usize)>, schedule: FaultSchedule| {
+        let layout = WorldLayout::new(3, 2);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let mut cfg = FtConfig::new(layout);
+        cfg.checkpoint_every = 10;
+        cfg.max_iters = iters;
+        cfg.policy.abandon = std::time::Duration::from_secs(30);
+        let app_cfg = Arc::new(FtLanczosConfig {
+            pfs: Some(Pfs::new(PfsConfig::instant())),
+            sell,
+            ..FtLanczosConfig::fixed_iters(Arc::new(gen.clone()))
+        });
+        let report = run_ft_job(&world, cfg, schedule, move |ctx| {
+            FtLanczos::new(ctx, Arc::clone(&app_cfg))
+        });
+        summaries(&report, 3)
+    };
+    let csr = run_with(None, FaultSchedule::none());
+    let sell = run_with(Some((8, 32)), FaultSchedule::none());
+    assert_eq!(csr[0].alphas, sell[0].alphas);
+    assert_eq!(csr[0].betas, sell[0].betas);
+    // And with a failure in the SELL run: still identical.
+    let sell_faulty =
+        run_with(Some((8, 32)), FaultSchedule::none().kill_rank_at_iteration(1, 23));
+    assert_eq!(csr[0].alphas, sell_faulty[0].alphas);
+}

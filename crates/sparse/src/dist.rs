@@ -1,0 +1,236 @@
+//! The distributed matrix: local/remote split and deterministic
+//! reductions.
+
+use std::collections::BTreeMap;
+
+use ft_core::{FtCtx, FtResult};
+use ft_gaspi::ReduceOp;
+use ft_matgen::RowGen;
+
+use crate::csr::Csr;
+use crate::partition::RowPartition;
+use crate::plan::CommPlan;
+
+/// One rank's chunk of a row-block-distributed sparse matrix, split into
+/// the part whose columns are locally owned (`a_loc`, columns index the
+/// local vector chunk) and the part whose columns live elsewhere
+/// (`a_rem`, columns index the halo buffer) — the structure the paper's
+/// spMVM library uses (§V).
+#[derive(Debug, Clone)]
+pub struct DistMatrix {
+    /// The global partition.
+    pub part: RowPartition,
+    /// This chunk's application rank.
+    pub me: u32,
+    /// Local part: columns in `0..local_len`.
+    pub a_loc: Csr,
+    /// Remote part: columns in `0..plan.halo_len`.
+    pub a_rem: Csr,
+    /// The communication plan (receive side describes the halo layout).
+    pub plan: CommPlan,
+    /// Optional SELL-C-σ views of both parts (GHOST's kernel format);
+    /// when present, [`DistMatrix::spmv`] uses them.
+    pub sell: Option<(crate::sell::SellCSigma, crate::sell::SellCSigma)>,
+}
+
+impl DistMatrix {
+    /// The needed-columns map for `me`: owner → ascending global columns
+    /// (the input of pre-processing).
+    pub fn needed_columns<G: RowGen + ?Sized>(
+        gen: &G,
+        part: &RowPartition,
+        me: u32,
+    ) -> BTreeMap<u32, Vec<u64>> {
+        let my_rows = part.range(me);
+        let mut needed: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        let mut buf = Vec::with_capacity(gen.max_row_entries());
+        for row in my_rows.clone() {
+            gen.row(row, &mut buf);
+            for e in &buf {
+                if !my_rows.contains(&e.col) {
+                    needed.entry(part.owner(e.col)).or_default().push(e.col);
+                }
+            }
+        }
+        for cols in needed.values_mut() {
+            cols.sort_unstable();
+            cols.dedup();
+        }
+        needed
+    }
+
+    /// Build the split chunk from a generator and a finished plan. Works
+    /// identically for the initial build (after negotiation) and for a
+    /// rescue process that restored the plan from a checkpoint and
+    /// regenerates the matrix chunk on the fly.
+    pub fn assemble<G: RowGen + ?Sized>(gen: &G, part: RowPartition, me: u32, plan: CommPlan) -> Self {
+        let my_rows = part.range(me);
+        let local_len = part.len(me);
+        let start = my_rows.start;
+        let mut rows_loc: Vec<Vec<(u32, f64)>> = Vec::with_capacity(local_len);
+        let mut rows_rem: Vec<Vec<(u32, f64)>> = Vec::with_capacity(local_len);
+        let mut buf = Vec::with_capacity(gen.max_row_entries());
+        for row in my_rows.clone() {
+            gen.row(row, &mut buf);
+            let mut rl = Vec::new();
+            let mut rr = Vec::new();
+            for e in &buf {
+                if my_rows.contains(&e.col) {
+                    rl.push(((e.col - start) as u32, e.val));
+                } else {
+                    let slot = plan
+                        .halo_slot(e.col)
+                        .expect("plan must cover every remote column of the chunk");
+                    rr.push((slot as u32, e.val));
+                }
+            }
+            // Halo slots are not globally ordered within a row; CSR wants
+            // ascending columns.
+            rr.sort_by_key(|&(c, _)| c);
+            rows_loc.push(rl);
+            rows_rem.push(rr);
+        }
+        let a_loc = Csr::from_rows(&rows_loc, local_len);
+        let a_rem = Csr::from_rows(&rows_rem, plan.halo_len.max(1));
+        Self { part, me, a_loc, a_rem, plan, sell: None }
+    }
+
+    /// Switch the local kernels to SELL-C-σ (bitwise-identical results;
+    /// per-row addition order is preserved by construction).
+    pub fn with_sell(mut self, c: usize, sigma: usize) -> Self {
+        self.sell = Some((
+            crate::sell::SellCSigma::from_csr(&self.a_loc, c, sigma),
+            crate::sell::SellCSigma::from_csr(&self.a_rem, c, sigma),
+        ));
+        self
+    }
+
+    /// Rows owned locally.
+    pub fn local_len(&self) -> usize {
+        self.part.len(self.me)
+    }
+
+    /// `y = A·x` for this chunk, given the local vector chunk and the
+    /// freshly exchanged halo values.
+    pub fn spmv(&self, x_local: &[f64], halo: &[f64], y: &mut [f64]) {
+        if let Some((sl, sr)) = &self.sell {
+            sl.spmv(x_local, y);
+            if self.a_rem.nnz() > 0 {
+                sr.spmv_add(halo, y);
+            }
+            return;
+        }
+        self.a_loc.spmv(x_local, y);
+        if self.a_rem.nnz() > 0 {
+            self.a_rem.spmv_add(halo, y);
+        }
+    }
+}
+
+/// Deterministic (run-to-run and membership-order independent) global sum
+/// over one value per application rank.
+///
+/// Each rank contributes its value in its own slot of a `nparts`-wide
+/// buffer; the tree reduction only ever adds exact zeros to it, so the
+/// slots arrive exactly; the final summation then runs in application-rank
+/// order on every rank. A recovered run therefore reproduces the
+/// failure-free run's floating-point results *bit for bit*, even though
+/// the rebuilt group reduces in a different tree shape.
+///
+/// Falls back to a plain (order-dependent) allreduce when `nparts`
+/// exceeds the GASPI 255-element buffer limit.
+pub fn det_allreduce_sum(ctx: &FtCtx, value: f64) -> FtResult<f64> {
+    let nparts = ctx.num_app_ranks() as usize;
+    if nparts > ft_gaspi::ALLREDUCE_MAX_ELEMS {
+        let s = ctx.allreduce_f64_ft(&[value], ReduceOp::Sum)?;
+        return Ok(s[0]);
+    }
+    let mut buf = vec![0.0f64; nparts];
+    buf[ctx.app_rank() as usize] = value;
+    let out = ctx.allreduce_f64_ft(&buf, ReduceOp::Sum)?;
+    Ok(out.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matgen::graphene::Graphene;
+    use ft_matgen::spectra::ToeplitzTridiag;
+
+    fn full_plan<G: RowGen>(gen: &G, part: &RowPartition, me: u32) -> CommPlan {
+        let needed = DistMatrix::needed_columns(gen, part, me);
+        CommPlan::receives_from_needs(me, part.parts(), &needed)
+    }
+
+    /// Distributed SpMV with manually filled halo must equal the global
+    /// product.
+    #[test]
+    fn chunked_spmv_matches_global() {
+        let gen = Graphene::new(4, 3).with_nnn(-0.2);
+        let n = gen.dim();
+        let parts = 3;
+        let part = RowPartition::new(n, parts);
+        // Global reference.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_ref = vec![0.0; n as usize];
+        for i in 0..n {
+            for e in gen.row_vec(i) {
+                y_ref[i as usize] += e.val * x[e.col as usize];
+            }
+        }
+        for me in 0..parts {
+            let plan = full_plan(&gen, &part, me);
+            let dm = DistMatrix::assemble(&gen, part, me, plan);
+            dm.a_loc.validate();
+            dm.a_rem.validate();
+            let r = part.range(me);
+            let x_local: Vec<f64> = r.clone().map(|i| x[i as usize]).collect();
+            // Fill the halo from the global vector via the plan layout.
+            let mut halo = vec![0.0; dm.plan.halo_len];
+            for recv in &dm.plan.recvs {
+                for (k, &c) in recv.cols.iter().enumerate() {
+                    halo[recv.halo_offset + k] = x[c as usize];
+                }
+            }
+            let mut y = vec![0.0; dm.local_len()];
+            dm.spmv(&x_local, &halo, &mut y);
+            for (k, row) in r.enumerate() {
+                assert!(
+                    (y[k] - y_ref[row as usize]).abs() < 1e-12,
+                    "row {row}: {} vs {}",
+                    y[k],
+                    y_ref[row as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn needed_columns_are_remote_sorted_unique() {
+        let gen = ToeplitzTridiag::new(30, 2.0, -1.0);
+        let part = RowPartition::new(30, 3);
+        let needed = DistMatrix::needed_columns(&gen, &part, 1);
+        // Middle chunk (rows 10..20) touches rows 9 and 20.
+        assert_eq!(needed.get(&0), Some(&vec![9u64]));
+        assert_eq!(needed.get(&2), Some(&vec![20u64]));
+        for (owner, cols) in &needed {
+            for &c in cols {
+                assert_eq!(part.owner(c), *owner);
+                assert!(!part.range(1).contains(&c));
+            }
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn no_remote_columns_means_empty_plan() {
+        let gen = ToeplitzTridiag::new(10, 1.0, 0.5);
+        let part = RowPartition::new(10, 1);
+        let needed = DistMatrix::needed_columns(&gen, &part, 0);
+        assert!(needed.is_empty());
+        let plan = full_plan(&gen, &part, 0);
+        assert_eq!(plan.halo_len, 0);
+        let dm = DistMatrix::assemble(&gen, part, 0, plan);
+        assert_eq!(dm.a_rem.nnz(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The per-iteration halo exchange over one-sided `write_notify`.
+//!
+//! Senders *push*: each rank gathers the RHS values its partners need
+//! into a staging segment and `write_notify`s them into the partners'
+//! halo segments, tagging the notification with the iteration number.
+//! Receivers wait for one notification per incoming block, check the tag
+//! (stale tags from before a recovery are discarded), and read the halo.
+//!
+//! Synchronization note: a sender may only overwrite a receiver's halo
+//! block for iteration `k+1` after the receiver has consumed iteration
+//! `k`. In the Lanczos loop this is guaranteed for free by the two
+//! allreduces that follow every spMVM; applications without a natural
+//! collective per iteration must add one (see the heat example).
+
+use ft_core::{FtCtx, FtResult};
+use ft_gaspi::{bytes, GaspiProc, GaspiResult, SegId};
+
+use crate::plan::CommPlan;
+
+/// The communication state of one rank's spMVM: two segments and the
+/// staging layout.
+#[derive(Debug)]
+pub struct SpmvComm {
+    /// Halo segment id (partners write into it).
+    pub seg_halo: SegId,
+    /// Staging segment id (we gather outgoing values here).
+    pub seg_stage: SegId,
+    /// Queue for the halo writes.
+    pub queue: u16,
+    /// Per-send staging offsets (slots).
+    stage_offsets: Vec<usize>,
+}
+
+impl SpmvComm {
+    /// Create the halo and staging segments for `plan`.
+    pub fn new(
+        proc: &GaspiProc,
+        plan: &CommPlan,
+        seg_halo: SegId,
+        seg_stage: SegId,
+        queue: u16,
+    ) -> GaspiResult<Self> {
+        let mut stage_offsets = Vec::with_capacity(plan.sends.len());
+        let mut off = 0usize;
+        for s in &plan.sends {
+            stage_offsets.push(off);
+            off += s.local_rows.len();
+        }
+        proc.segment_create(seg_halo, 8 * plan.halo_len.max(1))?;
+        proc.segment_create(seg_stage, 8 * off.max(1))?;
+        Ok(Self { seg_halo, seg_stage, queue, stage_offsets })
+    }
+
+    /// Notification tag for an iteration (non-zero as GASPI requires).
+    pub fn tag_for_iter(iter: u64) -> u32 {
+        (iter as u32).wrapping_add(1).max(1)
+    }
+
+    /// Push our values, await our partners', and read the halo into
+    /// `halo_out`. `x_local` is this rank's vector chunk; `tag` must be
+    /// [`SpmvComm::tag_for_iter`] of the current iteration on every rank.
+    pub fn exchange(
+        &self,
+        ctx: &FtCtx,
+        plan: &CommPlan,
+        x_local: &[f64],
+        tag: u32,
+        halo_out: &mut Vec<f64>,
+    ) -> FtResult<()> {
+        let proc = &ctx.proc;
+        // Gather and push to every partner.
+        for (send, &off) in plan.sends.iter().zip(&self.stage_offsets) {
+            proc.with_segment_mut(self.seg_stage, |b| {
+                for (k, &li) in send.local_rows.iter().enumerate() {
+                    bytes::put_f64(b, 8 * (off + k), x_local[li as usize]);
+                }
+            })?;
+            let dst = ctx.gaspi_of(send.to);
+            proc.write_notify(
+                self.seg_stage,
+                8 * off,
+                dst,
+                self.seg_halo,
+                8 * send.dest_offset,
+                8 * send.local_rows.len(),
+                plan.me, // receiver keys the notification by *sender* app rank
+                tag,
+                self.queue,
+            )?;
+        }
+        // Await one tagged notification per incoming block; drop stale
+        // tags left over from pre-recovery traffic.
+        for recv in &plan.recvs {
+            loop {
+                ctx.notify_waitsome_ft(self.seg_halo, recv.from, 1)?;
+                let v = proc.notify_reset(self.seg_halo, recv.from)?;
+                if v == tag {
+                    break;
+                }
+            }
+        }
+        // Read the full halo.
+        halo_out.resize(plan.halo_len, 0.0);
+        proc.with_segment(self.seg_halo, |b| {
+            for (i, h) in halo_out.iter_mut().enumerate() {
+                *h = bytes::get_f64(b, 8 * i);
+            }
+        })?;
+        // Flush our writes before the iteration's collectives.
+        ctx.wait_ft(self.queue)?;
+        Ok(())
+    }
+
+    /// Clear all halo notifications — part of post-recovery rewiring, so
+    /// no pre-failure notification can satisfy a post-restore wait.
+    pub fn reset_notifications(&self, proc: &GaspiProc, plan: &CommPlan) -> GaspiResult<()> {
+        for from in 0..plan.nparts {
+            let _ = proc.notify_reset(self.seg_halo, from)?;
+        }
+        Ok(())
+    }
+
+    /// Full post-recovery rewire: drop stale notifications *and* the halo
+    /// queue's failure records (writes posted to the now-dead partner
+    /// completed as broken; that failure has been acknowledged and must
+    /// not poison the next `wait`).
+    pub fn rewire(&self, proc: &GaspiProc, plan: &CommPlan) -> GaspiResult<()> {
+        self.reset_notifications(proc, plan)?;
+        proc.queue_purge(self.queue, ft_gaspi::Timeout::Ms(200))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_tags_are_nonzero_and_distinct() {
+        assert_eq!(SpmvComm::tag_for_iter(0), 1);
+        assert_eq!(SpmvComm::tag_for_iter(1), 2);
+        assert_ne!(SpmvComm::tag_for_iter(7), SpmvComm::tag_for_iter(8));
+        // Wraparound still never zero.
+        assert!(SpmvComm::tag_for_iter(u64::from(u32::MAX)) >= 1);
+    }
+}

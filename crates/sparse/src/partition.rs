@@ -1,0 +1,110 @@
+//! Row-block partitioning across application ranks.
+
+use std::ops::Range;
+
+/// Contiguous row-block partition of `n` rows over `parts` application
+/// ranks; the first `n % parts` ranks get one extra row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPartition {
+    n: u64,
+    parts: u32,
+}
+
+impl RowPartition {
+    /// Partition `n` rows over `parts` ranks.
+    pub fn new(n: u64, parts: u32) -> Self {
+        assert!(parts >= 1);
+        assert!(n >= u64::from(parts), "need at least one row per rank");
+        Self { n, parts }
+    }
+
+    /// Global dimension.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// Row range owned by `part`.
+    pub fn range(&self, part: u32) -> Range<u64> {
+        assert!(part < self.parts);
+        let base = self.n / u64::from(self.parts);
+        let extra = self.n % u64::from(self.parts);
+        let p = u64::from(part);
+        let start = p * base + p.min(extra);
+        let len = base + u64::from(p < extra);
+        start..start + len
+    }
+
+    /// Number of rows owned by `part`.
+    pub fn len(&self, part: u32) -> usize {
+        let r = self.range(part);
+        (r.end - r.start) as usize
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The application rank owning `row`.
+    pub fn owner(&self, row: u64) -> u32 {
+        assert!(row < self.n);
+        let base = self.n / u64::from(self.parts);
+        let extra = self.n % u64::from(self.parts);
+        let fat = (base + 1) * extra; // rows held by the first `extra` parts
+        if row < fat {
+            (row / (base + 1)) as u32
+        } else {
+            (extra + (row - fat) / base) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = RowPartition::new(12, 4);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..12);
+        assert_eq!(p.len(1), 3);
+    }
+
+    #[test]
+    fn uneven_split_front_loaded() {
+        let p = RowPartition::new(10, 4); // 3,3,2,2
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..8);
+        assert_eq!(p.range(3), 8..10);
+    }
+
+    #[test]
+    fn ranges_tile_and_owner_agrees() {
+        for (n, parts) in [(10u64, 4u32), (17, 5), (64, 8), (7, 7), (100, 3)] {
+            let p = RowPartition::new(n, parts);
+            let mut covered = 0;
+            for part in 0..parts {
+                let r = p.range(part);
+                assert_eq!(r.start, covered, "ranges must tile");
+                covered = r.end;
+                for row in r.clone() {
+                    assert_eq!(p.owner(row), part, "owner({row}) with n={n}, parts={parts}");
+                }
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn rejects_more_parts_than_rows() {
+        RowPartition::new(3, 4);
+    }
+}

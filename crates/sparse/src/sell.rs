@@ -1,0 +1,280 @@
+//! SELL-C-σ sparse storage — the format of the GHOST spMVM library the
+//! paper's application builds on (Kreutzer et al., the paper's co-author
+//! group).
+//!
+//! Rows are sorted by length within windows of σ rows, grouped into
+//! chunks of C rows, and each chunk is stored column-major, padded to its
+//! longest row — the layout that makes spMVM vectorizable on wide-SIMD
+//! hardware. This implementation exists (a) for fidelity to the paper's
+//! substrate and (b) to let the micro-benchmarks compare kernel formats;
+//! the distributed layer works with either format since both consume the
+//! same local/halo column spaces.
+
+use crate::csr::Csr;
+
+/// A SELL-C-σ matrix over the same column space as the [`Csr`] it was
+/// built from.
+#[derive(Debug, Clone)]
+pub struct SellCSigma {
+    /// Chunk height C.
+    pub c: usize,
+    /// Sorting window σ (a multiple of C).
+    pub sigma: usize,
+    /// Start of each chunk in `cols`/`vals`.
+    chunk_ptr: Vec<usize>,
+    /// Padded row length of each chunk.
+    chunk_len: Vec<usize>,
+    /// Column indices, chunk-by-chunk, column-major, padded.
+    cols: Vec<u32>,
+    /// Values, parallel to `cols` (padding is 0.0 so it never contributes).
+    vals: Vec<f64>,
+    /// `perm[k]` = original row index stored at sorted position `k`.
+    perm: Vec<u32>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl SellCSigma {
+    /// Convert from CSR with chunk height `c` and sorting window `sigma`
+    /// (`sigma` is rounded up to a multiple of `c`; `sigma = 1` disables
+    /// sorting).
+    pub fn from_csr(a: &Csr, c: usize, sigma: usize) -> Self {
+        assert!(c >= 1, "chunk height must be positive");
+        let nrows = a.nrows();
+        let sigma = sigma.max(1).div_ceil(c) * c;
+        // Sort rows by descending length within each σ-window.
+        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&r| {
+                let r = r as usize;
+                std::cmp::Reverse(a.row_ptr[r + 1] - a.row_ptr[r])
+            });
+        }
+        let nchunks = nrows.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
+        let mut chunk_len = Vec::with_capacity(nchunks);
+        chunk_ptr.push(0);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for chunk in 0..nchunks {
+            let rows: Vec<usize> = (chunk * c..((chunk + 1) * c).min(nrows))
+                .map(|k| perm[k] as usize)
+                .collect();
+            let width = rows
+                .iter()
+                .map(|&r| a.row_ptr[r + 1] - a.row_ptr[r])
+                .max()
+                .unwrap_or(0);
+            chunk_len.push(width);
+            // Column-major: entry j of every row in the chunk, then j+1...
+            for j in 0..width {
+                for lane in 0..c {
+                    if let Some(&r) = rows.get(lane) {
+                        let lo = a.row_ptr[r];
+                        let hi = a.row_ptr[r + 1];
+                        if lo + j < hi {
+                            cols.push(a.cols[lo + j]);
+                            vals.push(a.vals[lo + j]);
+                            continue;
+                        }
+                    }
+                    // Padding lane: column 0, value 0 (never contributes).
+                    cols.push(0);
+                    vals.push(0.0);
+                }
+            }
+            chunk_ptr.push(cols.len());
+        }
+        Self { c, sigma, chunk_ptr, chunk_len, cols, vals, perm, nrows, ncols: a.ncols }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Stored entries including padding.
+    pub fn stored(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Padding overhead: stored entries / real nonzeros (β ≥ 1; the
+    /// SELL-C-σ papers call its inverse the chunk occupancy).
+    pub fn padding_factor(&self, nnz: usize) -> f64 {
+        if nnz == 0 {
+            return 1.0;
+        }
+        self.stored() as f64 / nnz as f64
+    }
+
+    /// `y = A·x` (same semantics as [`Csr::spmv`]).
+    #[allow(clippy::needless_range_loop)] // hot kernel, explicit indexing
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert!(x.len() >= self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        let nchunks = self.chunk_len.len();
+        let mut acc = vec![0.0f64; self.c];
+        for chunk in 0..nchunks {
+            let width = self.chunk_len[chunk];
+            let base = self.chunk_ptr[chunk];
+            acc[..].fill(0.0);
+            // Column-major sweep: the inner loop over lanes is the
+            // SIMD-friendly one.
+            for j in 0..width {
+                let off = base + j * self.c;
+                for lane in 0..self.c {
+                    let idx = off + lane;
+                    acc[lane] += self.vals[idx] * x[self.cols[idx] as usize];
+                }
+            }
+            for lane in 0..self.c {
+                let k = chunk * self.c + lane;
+                if k < self.nrows {
+                    y[self.perm[k] as usize] = acc[lane];
+                }
+            }
+        }
+    }
+
+    /// `y += A·x`.
+    #[allow(clippy::needless_range_loop)] // hot kernel, explicit indexing
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert!(x.len() >= self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        let nchunks = self.chunk_len.len();
+        let mut acc = vec![0.0f64; self.c];
+        for chunk in 0..nchunks {
+            let width = self.chunk_len[chunk];
+            let base = self.chunk_ptr[chunk];
+            acc[..].fill(0.0);
+            for j in 0..width {
+                let off = base + j * self.c;
+                for lane in 0..self.c {
+                    let idx = off + lane;
+                    acc[lane] += self.vals[idx] * x[self.cols[idx] as usize];
+                }
+            }
+            for lane in 0..self.c {
+                let k = chunk * self.c + lane;
+                if k < self.nrows {
+                    y[self.perm[k] as usize] += acc[lane];
+                }
+            }
+        }
+    }
+
+    /// Structural sanity checks (chunk bounds, permutation bijectivity).
+    pub fn validate(&self) {
+        assert_eq!(self.chunk_ptr.len(), self.chunk_len.len() + 1);
+        assert_eq!(*self.chunk_ptr.last().unwrap(), self.cols.len());
+        assert_eq!(self.cols.len(), self.vals.len());
+        for (i, (&p, &w)) in self.chunk_ptr.iter().zip(&self.chunk_len).enumerate() {
+            assert_eq!(self.chunk_ptr[i + 1] - p, w * self.c, "chunk {i} extent");
+        }
+        let mut seen = vec![false; self.nrows];
+        for &r in &self.perm {
+            assert!(!seen[r as usize], "permutation must be a bijection");
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for &c in &self.cols {
+            assert!((c as usize) < self.ncols.max(1), "column {c} out of range");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // Ragged rows to exercise padding and sorting.
+        Csr::from_rows(
+            &[
+                vec![(0, 1.0)],
+                vec![(0, 2.0), (1, 3.0), (3, 4.0)],
+                vec![],
+                vec![(2, 5.0), (3, 6.0)],
+                vec![(1, 7.0)],
+            ],
+            4,
+        )
+    }
+
+    fn dense_ref(a: &Csr, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.nrows()];
+        a.spmv(x, &mut y);
+        y
+    }
+
+    #[test]
+    fn matches_csr_for_various_c_sigma() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let want = dense_ref(&a, &x);
+        for (c, sigma) in [(1, 1), (2, 1), (2, 4), (4, 4), (8, 8), (3, 6)] {
+            let s = SellCSigma::from_csr(&a, c, sigma);
+            s.validate();
+            let mut y = vec![0.0; a.nrows()];
+            s.spmv(&x, &mut y);
+            assert_eq!(y, want, "C={c} σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn sorting_reduces_padding() {
+        // One long row among short ones: with σ=1 (no sorting) every
+        // chunk containing it pads heavily; σ=n groups long rows together.
+        let rows: Vec<Vec<(u32, f64)>> = (0..32)
+            .map(|i| {
+                if i % 8 == 0 {
+                    (0..16).map(|j| (j as u32, 1.0)).collect()
+                } else {
+                    vec![(0, 1.0)]
+                }
+            })
+            .collect();
+        let a = Csr::from_rows(&rows, 16);
+        let unsorted = SellCSigma::from_csr(&a, 4, 1);
+        let sorted = SellCSigma::from_csr(&a, 4, 32);
+        assert!(
+            sorted.stored() < unsorted.stored(),
+            "σ-sorting must reduce padding: {} vs {}",
+            sorted.stored(),
+            unsorted.stored()
+        );
+        let x = vec![1.0; 16];
+        let (mut y1, mut y2) = (vec![0.0; 32], vec![0.0; 32]);
+        unsorted.spmv(&x, &mut y1);
+        sorted.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn empty_and_single_row_edge_cases() {
+        let a = Csr::from_rows(&[vec![]], 1);
+        let s = SellCSigma::from_csr(&a, 4, 4);
+        s.validate();
+        let mut y = vec![9.0];
+        s.spmv(&[2.0], &mut y);
+        assert_eq!(y, vec![0.0]);
+
+        let a = Csr::from_rows(&[vec![(0, 3.0)]], 1);
+        let s = SellCSigma::from_csr(&a, 8, 16);
+        let mut y = vec![0.0];
+        s.spmv(&[2.0], &mut y);
+        assert_eq!(y, vec![6.0]);
+    }
+
+    #[test]
+    fn padding_factor_accounting() {
+        let a = sample();
+        let s = SellCSigma::from_csr(&a, 2, 2);
+        s.validate();
+        assert!(s.padding_factor(a.nnz()) >= 1.0);
+        // C=1 never pads.
+        let s1 = SellCSigma::from_csr(&a, 1, 1);
+        assert_eq!(s1.stored(), a.nnz());
+        assert_eq!(s1.padding_factor(a.nnz()), 1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the GASPI communication layer in five minutes.
+//!
+//! Launches a small simulated GASPI job and walks through the API pieces
+//! the paper's fault-tolerance machinery is made of: segments, one-sided
+//! `write_notify`, queues, groups/collectives, the timeout mechanism, the
+//! error state vector, and the `proc_ping` extension.
+//!
+//! Run: `cargo run --example quickstart`
+
+use gaspi_ft::gaspi::{
+    bytes, GaspiConfig, GaspiError, GaspiResult, GaspiWorld, ProcState, ReduceOp, Timeout,
+};
+
+const SEG: u16 = 1;
+const Q: u16 = 0;
+
+fn main() -> GaspiResult<()> {
+    let n = 4;
+    let world = GaspiWorld::new(GaspiConfig::new(n));
+    let fault = world.fault();
+
+    let job = world.launch(move |p| {
+        let me = p.rank();
+        // 1. Segments: remotely accessible memory.
+        p.segment_create(SEG, 256)?;
+
+        // 2. A group over all ranks, committed collectively.
+        let g = p.group_create_with_id(1 << 32)?;
+        for r in 0..p.num_ranks() {
+            p.group_add(g, r)?;
+        }
+        p.group_commit(g, Timeout::Ms(5000))?;
+        p.barrier(g, Timeout::Ms(5000))?;
+
+        // 3. One-sided write_notify into the right neighbor's segment.
+        let next = (me + 1) % p.num_ranks();
+        p.with_segment_mut(SEG, |b| bytes::put_u64(b, 0, u64::from(me) * 100))?;
+        p.write_notify(SEG, 0, next, SEG, 64, 8, 5, 1, Q)?;
+        p.wait(Q, Timeout::Ms(5000))?;
+
+        // 4. Remote completion: wait for our own notification.
+        let nid = p.notify_waitsome(SEG, 0, 16, Timeout::Ms(5000))?;
+        p.notify_reset(SEG, nid)?;
+        let got = p.with_segment(SEG, |b| bytes::get_u64(b, 64))?;
+        let prev = (me + p.num_ranks() - 1) % p.num_ranks();
+        assert_eq!(got, u64::from(prev) * 100);
+
+        // 5. Collectives: a deterministic allreduce.
+        let sum = p.allreduce_f64(g, &[f64::from(me) + 1.0], ReduceOp::Sum, Timeout::Ms(5000))?;
+        assert_eq!(sum[0], 10.0); // 1+2+3+4
+
+        // 6. The FT primitives: ping a healthy neighbor...
+        p.proc_ping(next, Timeout::Ms(1000))?;
+        assert_eq!(p.state_vec_get()[next as usize], ProcState::Healthy);
+        Ok(me)
+    });
+    let outs = job.join();
+    for (r, o) in outs.iter().enumerate() {
+        println!("rank {r}: {o:?}");
+    }
+
+    // 7. ...and see what a *failed* process looks like from outside: kill
+    // rank 3 and ping it from a fresh handle of rank 0.
+    fault.kill_rank(3);
+    let p0 = world.proc_handle(0);
+    match p0.proc_ping(3, Timeout::Ms(1000)) {
+        Err(GaspiError::RemoteBroken { rank }) => {
+            println!("ping(3) after kill: GASPI_ERROR (rank {rank} broken) — as in paper §III");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    assert_eq!(p0.state_vec_get()[3], ProcState::Corrupt);
+    println!("state vector marks rank 3 CORRUPT");
+    Ok(())
+}

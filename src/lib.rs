@@ -1,0 +1,63 @@
+//! # gaspi-ft — building fault-tolerant applications on a GASPI layer
+//!
+//! A production-quality Rust reproduction of *"Building a Fault Tolerant
+//! Application Using the GASPI Communication Layer"* (Shahzad et al.,
+//! CLUSTER 2015): self-healing parallel applications built from
+//!
+//! * a **simulated cluster** ([`cluster`]) — ranks as threads, an
+//!   in-memory latency-modeled interconnect, and a fault plane for
+//!   fail-stop and network failures;
+//! * a **GASPI/GPI-2-style PGAS runtime** ([`gaspi`]) — segments,
+//!   one-sided communication with notifications, groups and collectives,
+//!   timeouts, the error state vector, and the paper's `proc_ping` /
+//!   `proc_kill` extensions;
+//! * a **fault-aware neighbor node-level checkpoint library**
+//!   ([`checkpoint`]);
+//! * the paper's **fault-tolerance machinery** ([`core`]) — the dedicated
+//!   fault detector, one-sided failure acknowledgment, non-shrinking
+//!   recovery with pre-allocated spare processes, and the application
+//!   driver;
+//! * a **distributed spMVM library** ([`sparse`]), **matrix generators**
+//!   ([`matgen`]), and the **Lanczos eigensolver application**
+//!   ([`solver`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gaspi_ft::gaspi::{GaspiConfig, GaspiWorld, Timeout};
+//!
+//! // Two ranks; rank 0 pings rank 1 (the paper's FD primitive).
+//! let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+//! let outs = world
+//!     .launch(|p| {
+//!         if p.rank() == 0 {
+//!             p.proc_ping(1, Timeout::Ms(1000))?;
+//!         }
+//!         Ok(p.rank())
+//!     })
+//!     .join();
+//! assert_eq!(outs.len(), 2);
+//! ```
+//!
+//! For the full fault-tolerant application flow (worker group + fault
+//! detector + idle rescues + checkpoint/restart), see
+//! [`core::run_ft_job`] and the `ft_lanczos` example.
+
+pub use ft_checkpoint as checkpoint;
+pub use ft_cluster as cluster;
+pub use ft_core as core;
+pub use ft_gaspi as gaspi;
+pub use ft_matgen as matgen;
+pub use ft_solver as solver;
+pub use ft_sparse as sparse;
+
+#[cfg(test)]
+mod facade_tests {
+    #[test]
+    fn reexports_are_wired() {
+        let topo = crate::cluster::Topology::one_per_node(4);
+        assert_eq!(topo.num_nodes(), 4);
+        let layout = crate::core::WorldLayout::new(3, 1);
+        assert_eq!(layout.fd_rank(), 3);
+    }
+}
