@@ -25,14 +25,8 @@ fn main() {
         w.workers, w.iters
     );
 
-    let mut t = Table::new(&[
-        "interval",
-        "total",
-        "redo-work",
-        "re-init",
-        "detect",
-        "expected redo iters",
-    ]);
+    let mut t =
+        Table::new(&["interval", "total", "redo-work", "re-init", "detect", "expected redo iters"]);
     let mut redos = Vec::new();
     for &interval in &intervals {
         eprintln!("interval {interval} ...");

@@ -31,26 +31,18 @@ fn run_with(kind: InlineKind, fd_on: bool, workers: u32, iters: u64) -> (Duratio
         inline_interval: Duration::from_millis(30),
         ..MiniConfig::default()
     };
-    let report = run_ft_job(&world, cfg, FaultSchedule::none(), move |ctx| {
-        MiniApp::new(ctx, mc.clone())
-    });
+    let report =
+        run_ft_job(&world, cfg, FaultSchedule::none(), move |ctx| MiniApp::new(ctx, mc.clone()));
     let summaries = report.worker_summaries();
     assert_eq!(summaries.len(), workers as usize);
-    let total = report
-        .events
-        .all_where(|e| matches!(e.kind, ft_core::EventKind::Finished { .. }))
-        .into_iter()
-        .map(|e| e.t)
-        .max()
-        .unwrap();
-    let stolen =
-        summaries.iter().map(|(_, s)| s.inline_overhead).max().unwrap_or(Duration::ZERO);
+    let total = ft_telemetry::OverheadReport::from_log(&report.events).total;
+    assert!(!total.is_zero(), "every worker must have finished");
+    let stolen = summaries.iter().map(|(_, s)| s.inline_overhead).max().unwrap_or(Duration::ZERO);
     (total, stolen)
 }
 
 fn main() {
-    let workers: u32 =
-        std::env::var("ABL_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let workers: u32 = std::env::var("ABL_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
     let iters: u64 = std::env::var("ABL_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(400);
     println!(
         "Detector ablation: {workers} workers, {iters} iterations, failure-free, 30 ms scan interval\n"
@@ -63,7 +55,8 @@ fn main() {
 
     let base = t_none_nofd.as_secs_f64();
     let pct = |t: Duration| 100.0 * (t.as_secs_f64() - base) / base;
-    let mut t = Table::new(&["detector design", "runtime", "overhead vs none", "time stolen from worker"]);
+    let mut t =
+        Table::new(&["detector design", "runtime", "overhead vs none", "time stolen from worker"]);
     t.row(vec!["none (no detection)".into(), format!("{:.3}s", base), "—".into(), "—".into()]);
     t.row(vec![
         "dedicated FD process (paper)".into(),
@@ -84,7 +77,9 @@ fn main() {
         format!("{:.3}s", stolen_ring.as_secs_f64()),
     ]);
     println!("{}", t.render());
-    println!("paper: dedicated FD adds no worker overhead; inline probing costs 1–21 % (Kharbas et al.)");
+    println!(
+        "paper: dedicated FD adds no worker overhead; inline probing costs 1–21 % (Kharbas et al.)"
+    );
 
     assert!(
         stolen_a2a > stolen_ring,

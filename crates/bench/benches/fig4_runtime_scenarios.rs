@@ -17,12 +17,11 @@
 
 use ft_bench::scenario::{fig4_scenarios, run_scenario, Workload};
 use ft_bench::table::Table;
+use ft_telemetry::Json;
 
 fn main() {
-    let workers: u32 = std::env::var("FIG4_WORKERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let workers: u32 =
+        std::env::var("FIG4_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
     let w = Workload { workers, ..Workload::default() };
     println!(
         "Figure 4: FT-Lanczos on {} workers + {} spares, graphene {}x{} ({} rows), {} iterations, checkpoint every {}\n",
@@ -63,6 +62,11 @@ fn main() {
     }
     println!("{}", t.render());
 
+    // Machine-readable telemetry: one overhead report per scenario.
+    let doc =
+        Json::Obj(results.iter().map(|r| (r.name.to_string(), r.telemetry.to_json())).collect());
+    ft_bench::report::write_report("fig4_runtime_scenarios.json", &doc);
+
     println!("paper reference (256 nodes): baseline ≈ 1310 s; +1 failure ≈ +64 s");
     println!("  of which detection ≈ 7 s, re-init ≈ 10 s, rest redo-work; 3 simultaneous");
     println!("  failures detected at the cost of a single detection (Fig. 4, §VI)\n");
@@ -75,10 +79,9 @@ fn main() {
     let two = &results[4];
     let three = &results[5];
     let sim3 = &results[6];
-    let pct =
-        |a: &ft_bench::scenario::ScenarioResult, b: &ft_bench::scenario::ScenarioResult| {
-            100.0 * (b.total.as_secs_f64() - a.total.as_secs_f64()) / a.total.as_secs_f64()
-        };
+    let pct = |a: &ft_bench::scenario::ScenarioResult, b: &ft_bench::scenario::ScenarioResult| {
+        100.0 * (b.total.as_secs_f64() - a.total.as_secs_f64()) / a.total.as_secs_f64()
+    };
     println!("shape checks:");
     println!("  checkpoint overhead vs baseline:    {:+.2}% (paper: +0.01%)", pct(base, with_cp));
     println!("  health-check overhead vs with-CP:   {:+.2}% (paper: ~0%)", pct(with_cp, with_hc));
@@ -93,5 +96,21 @@ fn main() {
         three.detect.as_secs_f64(),
         sim3.detect.as_secs_f64(),
     );
+    println!(
+        "  1-fail re-init split: group rebuild (OHF2) {:.3}s + restore (OHF3) {:.3}s",
+        one.telemetry.rebuild().as_secs_f64(),
+        one.telemetry.restore().as_secs_f64(),
+    );
+    if let (Some(scan), Some(c)) = (&one.telemetry.scan, &one.telemetry.counters) {
+        println!(
+            "  1-fail counters: {} FD scans (mean {:.1} ms), {} local ckpt writes, {} neighbor copies, {} restores ({} B)",
+            scan.scans,
+            scan.mean.as_secs_f64() * 1e3,
+            c.ckpt.local_writes,
+            c.ckpt.neighbor_copies,
+            c.ckpt.total_restores(),
+            c.ckpt.restore_bytes,
+        );
+    }
     assert!(results.iter().all(|r| r.consistent), "every scenario must end consistent");
 }

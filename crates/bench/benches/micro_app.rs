@@ -107,24 +107,18 @@ fn bench_checkpoint(c: &mut Criterion) {
                 ck.write_local(v, payload.clone());
             });
         });
-        g.bench_with_input(
-            BenchmarkId::new("write_plus_neighbor_copy", size),
-            &size,
-            |b, _| {
-                b.iter(|| {
-                    v += 1;
-                    ck.checkpoint(v, payload.clone());
-                    assert!(ck.drain(Duration::from_secs(10)));
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("write_plus_neighbor_copy", size), &size, |b, _| {
+            b.iter(|| {
+                v += 1;
+                ck.checkpoint(v, payload.clone());
+                assert!(ck.drain(Duration::from_secs(10)));
+            });
+        });
         g.bench_with_input(BenchmarkId::new("restore_local", size), &size, |b, _| {
             ck.checkpoint(v, payload.clone());
             assert!(ck.drain(Duration::from_secs(10)));
             b.iter(|| {
-                criterion::black_box(
-                    ck.restore_latest(1, Duration::from_secs(5)).unwrap().version,
-                )
+                criterion::black_box(ck.restore_latest(1, Duration::from_secs(5)).unwrap().version)
             });
         });
     }

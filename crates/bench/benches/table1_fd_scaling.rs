@@ -21,6 +21,7 @@ use std::time::Duration;
 use ft_bench::fdscale::{measure_detection, measure_scan};
 use ft_bench::stats::{fmt_mean_std, mean};
 use ft_bench::table::Table;
+use ft_telemetry::Json;
 
 fn main() {
     let runs: usize = std::env::var("T1_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
@@ -33,16 +34,24 @@ fn main() {
     let max_detect: u32 =
         std::env::var("T1_MAX_DETECT_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
     let scan_interval = Duration::from_millis(30); // paper: 3 s (scaled 100×)
-    let sizes: Vec<u32> = [8u32, 16, 32, 64, 128, 256].into_iter().filter(|&n| n <= max_nodes).collect();
+    let sizes: Vec<u32> =
+        [8u32, 16, 32, 64, 128, 256].into_iter().filter(|&n| n <= max_nodes).collect();
 
     println!(
         "Table I on the simulated cluster: {runs} runs per point, scan interval {scan_interval:?} (paper: 3 s)\n"
     );
-    let mut t = Table::new(&["num. of nodes", "avg ping scan time", "failure detect + ack time", "paper scan[s]", "paper detect[s]"]);
+    let mut t = Table::new(&[
+        "num. of nodes",
+        "avg ping scan time",
+        "failure detect + ack time",
+        "paper scan[s]",
+        "paper detect[s]",
+    ]);
     let paper_scan = [0.010, 0.018, 0.036, 0.067, 0.129, 0.255];
     let paper_det = [4.9, 5.3, 5.5, 4.3, 5.7, 5.3];
     let mut scan_means = Vec::new();
     let mut det_means = Vec::new();
+    let mut json_rows = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
         eprintln!("measuring {n} nodes ...");
         let scans = measure_scan(n, runs, 7 + n as u64);
@@ -64,12 +73,30 @@ fn main() {
         t.row(vec![
             n.to_string(),
             fmt_mean_std(&scans),
-            if dets.is_empty() { "(skipped, see T1_MAX_DETECT_NODES)".into() } else { fmt_mean_std(&dets) },
+            if dets.is_empty() {
+                "(skipped, see T1_MAX_DETECT_NODES)".into()
+            } else {
+                fmt_mean_std(&dets)
+            },
             format!("{:.3}", paper_scan[i]),
             format!("{:.1}", paper_det[i]),
         ]);
+        json_rows.push(Json::obj([
+            ("nodes", Json::num_u64(u64::from(n))),
+            ("scan_mean_s", Json::Num(mean(&scans).as_secs_f64())),
+            (
+                "detect_ack_mean_s",
+                if dets.is_empty() { Json::Null } else { Json::Num(mean(&dets).as_secs_f64()) },
+            ),
+            ("detect_runs", Json::num_u64(dets.len() as u64)),
+        ]));
     }
     println!("{}", t.render());
+
+    // Machine-readable Table I (detection latencies come from the
+    // telemetry reporter's epoch timelines, see `fdscale`).
+    let doc = Json::obj([("rows", Json::Arr(json_rows))]);
+    ft_bench::report::write_report("table1_fd_scaling.json", &doc);
 
     // ---- shape checks -------------------------------------------------
     if sizes.len() >= 3 {

@@ -100,8 +100,7 @@ pub fn measure_detection(
             };
             // All workers through setup.
             loop {
-                let ready =
-                    ev2.all_where(|e| matches!(e.kind, EventKind::SetupDone)).len() as u32;
+                let ready = ev2.all_where(|e| matches!(e.kind, EventKind::SetupDone)).len() as u32;
                 if ready >= nodes {
                     break;
                 }
@@ -119,17 +118,17 @@ pub fn measure_detection(
             stop.store(true, std::sync::atomic::Ordering::Release);
         });
 
-        let report = ft_core::run_ft_job_with(&world, cfg, FaultSchedule::none(), events, move |ctx| {
-            MiniApp::new(ctx, mc.clone())
-        });
+        let report =
+            ft_core::run_ft_job_with(&world, cfg, FaultSchedule::none(), events, move |ctx| {
+                MiniApp::new(ctx, mc.clone())
+            });
         watcher.join().expect("watcher thread");
         let killed_at = kill_time.lock().take();
-        let ev = report.events.snapshot();
-        let t_ack = ev
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::FailureSignal { epoch: 1 }))
-            .map(|e| e.t)
-            .max();
+        // The reporter reconstructs the epoch-1 timeline; its signal
+        // instant (last worker observing the acknowledgment) is the end
+        // of the paper's detection + acknowledgment window.
+        let rep = ft_telemetry::OverheadReport::from_log(&report.events);
+        let t_ack = rep.epochs.iter().find(|e| e.epoch == 1).map(|e| e.t_signal);
         if let (Some(k), Some(t)) = (killed_at, t_ack) {
             out.push(t.saturating_sub(k));
         }
@@ -149,10 +148,7 @@ mod tests {
     fn scan_time_grows_with_nodes() {
         let small = crate::stats::mean(&measure_scan(8, 5, 1));
         let large = crate::stats::mean(&measure_scan(64, 5, 1));
-        assert!(
-            large > small,
-            "scan must grow with node count: {small:?} vs {large:?}"
-        );
+        assert!(large > small, "scan must grow with node count: {small:?} vs {large:?}");
         // Roughly linear: 8× the nodes should be ≳3× the time (loose
         // bound; scheduling noise is real).
         assert!(large.as_secs_f64() > 2.0 * small.as_secs_f64());
@@ -164,10 +160,7 @@ mod tests {
         let times = measure_detection(8, 3, interval, 42);
         assert_eq!(times.len(), 3, "every run must detect its failure");
         for t in &times {
-            assert!(
-                *t < Duration::from_millis(500),
-                "detection took implausibly long: {t:?}"
-            );
+            assert!(*t < Duration::from_millis(500), "detection took implausibly long: {t:?}");
         }
     }
 }

@@ -17,6 +17,7 @@
 
 pub mod fdscale;
 pub mod miniapp;
+pub mod report;
 pub mod scenario;
 pub mod stats;
 pub mod table;

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, Dec, Enc};
 use ft_core::baselines::{AllToAllDetector, InlineDetector, NeighborRingDetector};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtResult, RecoveryPlan};
@@ -169,7 +169,12 @@ impl FtApp for MiniApp {
     }
 
     fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<MiniSummary> {
-        Ok(MiniSummary { acc: self.acc, inline_overhead: self.inline_overhead })
+        self.ck.drain(FETCH);
+        Ok(MiniSummary {
+            acc: self.acc,
+            inline_overhead: self.inline_overhead,
+            ckpt: self.ck.stats(),
+        })
     }
 }
 
@@ -180,4 +185,6 @@ pub struct MiniSummary {
     pub acc: f64,
     /// Time stolen by the inline detector.
     pub inline_overhead: Duration,
+    /// This rank's checkpoint-tier counters.
+    pub ckpt: CkptStats,
 }

@@ -5,12 +5,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ft_checkpoint::{Pfs, PfsConfig};
+use ft_checkpoint::{CkptStats, Pfs, PfsConfig};
 use ft_cluster::{FaultAction, FaultSchedule, Rank};
-use ft_core::{run_ft_job, EventKind, FtConfig, JobReport, WorldLayout};
+use ft_core::{run_ft_job, FtConfig, JobReport, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld};
 use ft_matgen::graphene::Graphene;
 use ft_solver::ft_lanczos::{FtLanczos, FtLanczosConfig, LanczosSummary};
+use ft_telemetry::{OverheadReport, TelemetrySnapshot};
 
 /// How failures are injected in a scenario.
 #[derive(Debug, Clone)]
@@ -96,6 +97,9 @@ pub struct ScenarioResult {
     pub failures: usize,
     /// All workers finished with bit-identical α/β.
     pub consistent: bool,
+    /// The full telemetry report behind the decomposition (per-epoch
+    /// timelines, scan statistics, counter registry, JSON rendering).
+    pub telemetry: OverheadReport,
 }
 
 /// The paper's seven scenarios for a workload. Kills are placed a fixed
@@ -139,10 +143,7 @@ pub fn fig4_scenarios(w: &Workload) -> Vec<Scenario> {
             name: "2 fail recovery",
             health_check: true,
             checkpointing: true,
-            kills: Kills::AtIterations(vec![
-                (2, kill_after(2)),
-                (5 % workers, kill_after(4)),
-            ]),
+            kills: Kills::AtIterations(vec![(2, kill_after(2)), (5 % workers, kill_after(4))]),
             fd_threads: 1,
         },
         Scenario {
@@ -203,102 +204,47 @@ pub fn run_scenario(w: &Workload, sc: &Scenario) -> ScenarioResult {
         }
     }
 
-    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-        FtLanczos::new(ctx, Arc::clone(&app_cfg))
-    });
-    decompose(sc.name, &report)
+    let before = TelemetrySnapshot::of_world(&world);
+    let report =
+        run_ft_job(&world, cfg, schedule, move |ctx| FtLanczos::new(ctx, Arc::clone(&app_cfg)));
+    let after = TelemetrySnapshot::of_world(&world);
+
+    let mut result = decompose(sc.name, &report);
+    // decompose() attached the per-rank checkpoint counters; widen the
+    // registry with the world-held families now that we have the world.
+    let ckpt = result.telemetry.counters.map(|c| c.ckpt).unwrap_or_default();
+    result.telemetry.counters = Some(after.since(&before).with_ckpt(ckpt));
+    result
 }
 
-/// Reconstruct the Fig. 4 stacked components from the event log.
+/// Reconstruct the Fig. 4 stacked components from the event log, via the
+/// telemetry reporter. The checkpoint counter family is merged from the
+/// worker summaries; the transport/GASPI families need the world and are
+/// attached by [`run_scenario`].
 pub fn decompose(name: &'static str, report: &JobReport<LanczosSummary>) -> ScenarioResult {
-    let ev = report.events.snapshot();
-    let total = ev
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::Finished { .. }))
-        .map(|e| e.t)
-        .max()
-        .unwrap_or_default();
-
-    // Per-epoch timelines.
-    let mut epochs: Vec<u64> = ev
-        .iter()
-        .filter_map(|e| match e.kind {
-            EventKind::FdDetect { epoch, .. } => Some(epoch),
-            _ => None,
-        })
-        .collect();
-    epochs.sort_unstable();
-    epochs.dedup();
-
-    let mut detect = Duration::ZERO;
-    let mut reinit = Duration::ZERO;
-    let mut redo = Duration::ZERO;
-    let mut failures = 0usize;
-    for &e in &epochs {
-        // Kill instant: latest KillFired before this epoch's detection,
-        // else the detection instant itself (timed kills fire between
-        // events; the FD scan that caught them upper-bounds the moment).
-        let t_detect_done = ev
-            .iter()
-            .filter(|x| matches!(x.kind, EventKind::FdAck { epoch } if epoch == e))
-            .map(|x| x.t)
-            .max()
-            .unwrap_or_default();
-        let t_kill = ev
-            .iter()
-            .filter(|x| {
-                matches!(x.kind, EventKind::KillFired { .. }) && x.t <= t_detect_done
-            })
-            .map(|x| x.t)
-            .max()
-            .unwrap_or(t_detect_done);
-        let t_signal = ev
-            .iter()
-            .filter(|x| matches!(x.kind, EventKind::FailureSignal { epoch } if epoch == e))
-            .map(|x| x.t)
-            .max()
-            .unwrap_or(t_detect_done);
-        let t_restored = ev
-            .iter()
-            .filter(|x| matches!(x.kind, EventKind::Restored { epoch, .. } if epoch == e))
-            .map(|x| x.t)
-            .max()
-            .unwrap_or(t_signal);
-        let t_redo = ev
-            .iter()
-            .filter(|x| matches!(x.kind, EventKind::RedoComplete { epoch, .. } if epoch == e))
-            .map(|x| x.t)
-            .max()
-            .unwrap_or(t_restored);
-        detect += t_signal.saturating_sub(t_kill);
-        reinit += t_restored.saturating_sub(t_signal);
-        redo += t_redo.saturating_sub(t_restored);
-        failures += ev
-            .iter()
-            .filter_map(|x| match &x.kind {
-                EventKind::FdDetect { epoch, failed } if *epoch == e => Some(failed.len()),
-                _ => None,
-            })
-            .sum::<usize>();
+    let summaries = report.worker_summaries();
+    let mut ckpt = CkptStats::default();
+    for (_, s) in &summaries {
+        ckpt.merge(&s.ckpt);
     }
-    let overhead = detect + reinit + redo;
-    let compute = total.saturating_sub(overhead);
+    let telemetry = OverheadReport::from_log(&report.events)
+        .with_counters(TelemetrySnapshot::default().with_ckpt(ckpt));
 
     // Consistency: every worker finished and α histories agree.
-    let summaries = report.worker_summaries();
-    let consistent = !summaries.is_empty()
-        && summaries.iter().all(|(_, s)| s.alphas == summaries[0].1.alphas);
+    let consistent =
+        !summaries.is_empty() && summaries.iter().all(|(_, s)| s.alphas == summaries[0].1.alphas);
 
     ScenarioResult {
         name,
-        total,
-        detect,
-        reinit,
-        redo,
-        compute,
-        recoveries: epochs.len(),
-        failures,
+        total: telemetry.total,
+        detect: telemetry.detect,
+        reinit: telemetry.reinit,
+        redo: telemetry.redo,
+        compute: telemetry.compute,
+        recoveries: telemetry.recoveries(),
+        failures: telemetry.failures,
         consistent,
+        telemetry,
     }
 }
 

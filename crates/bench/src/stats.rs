@@ -16,8 +16,7 @@ pub fn std_dev(xs: &[Duration]) -> Duration {
         return Duration::ZERO;
     }
     let m = mean(xs).as_secs_f64();
-    let var = xs.iter().map(|x| (x.as_secs_f64() - m).powi(2)).sum::<f64>()
-        / (xs.len() - 1) as f64;
+    let var = xs.iter().map(|x| (x.as_secs_f64() - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
     Duration::from_secs_f64(var.sqrt())
 }
 

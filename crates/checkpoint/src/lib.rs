@@ -23,9 +23,11 @@
 pub mod codec;
 pub mod neighbor;
 pub mod pfs;
+pub mod stats;
 pub mod writer;
 
 pub use codec::{CodecError, Dec, Enc};
 pub use neighbor::NeighborMap;
 pub use pfs::{Pfs, PfsConfig};
+pub use stats::CkptStats;
 pub use writer::{Checkpointer, CheckpointerConfig, Provenance, Restored};

@@ -5,6 +5,10 @@
 //! failed-process list distributed by the fault detector, so every rank —
 //! including a rescue process that just joined — derives exactly the same
 //! ring from the same list (the map is a pure function of the failed set).
+//!
+//! The replication traffic this ring routes is counted by the writer's
+//! [`crate::CkptStats`] (`neighbor_copies` / `copy_failures`), which the
+//! telemetry layer folds into the per-run report.
 
 use std::collections::HashSet;
 

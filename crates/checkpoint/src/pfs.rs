@@ -88,12 +88,7 @@ impl Pfs {
 
     /// Latest version stored for `(rank, tag)`.
     pub fn latest_version(&self, rank: Rank, tag: u32) -> Option<u64> {
-        self.store
-            .lock()
-            .keys()
-            .filter(|k| k.rank == rank && k.tag == tag)
-            .map(|k| k.version)
-            .max()
+        self.store.lock().keys().filter(|k| k.rank == rank && k.tag == tag).map(|k| k.version).max()
     }
 
     /// Number of blobs resident.

@@ -1,0 +1,99 @@
+//! Checkpoint-tier counters as plain data.
+//!
+//! Each [`crate::Checkpointer`] counts its own activity (local writes,
+//! neighbor copies, PFS spills, restores by provenance); a
+//! [`CkptStats`] is the point-in-time readout. The struct is plain `Copy`
+//! data so application summaries can carry it out of a rank thread and a
+//! harness can [`CkptStats::merge`] the per-rank values into a job-wide
+//! total — the checkpoint rows of the telemetry report.
+
+/// Point-in-time checkpoint counters for one rank (or, after
+/// [`CkptStats::merge`], a whole job).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptStats {
+    /// Checkpoints written to the local node (`write_local` calls).
+    pub local_writes: u64,
+    /// Bytes written to the local node.
+    pub bytes_local: u64,
+    /// Asynchronous neighbor copies completed.
+    pub neighbor_copies: u64,
+    /// Neighbor copies that failed (dead neighbor / broken link).
+    pub copy_failures: u64,
+    /// Checkpoint versions spilled to the PFS tier.
+    pub pfs_spills: u64,
+    /// Restores served from the local node.
+    pub restores_local: u64,
+    /// Restores served from the neighbor replica.
+    pub restores_neighbor: u64,
+    /// Restores served from the PFS.
+    pub restores_pfs: u64,
+    /// Total payload bytes restored (all provenances).
+    pub restore_bytes: u64,
+}
+
+impl CkptStats {
+    /// Accumulate `other` into `self` (field-wise sum).
+    pub fn merge(&mut self, other: &CkptStats) {
+        self.local_writes += other.local_writes;
+        self.bytes_local += other.bytes_local;
+        self.neighbor_copies += other.neighbor_copies;
+        self.copy_failures += other.copy_failures;
+        self.pfs_spills += other.pfs_spills;
+        self.restores_local += other.restores_local;
+        self.restores_neighbor += other.restores_neighbor;
+        self.restores_pfs += other.restores_pfs;
+        self.restore_bytes += other.restore_bytes;
+    }
+
+    /// Restores served from any tier.
+    pub fn total_restores(&self) -> u64 {
+        self.restores_local + self.restores_neighbor + self.restores_pfs
+    }
+
+    /// Counter deltas `self - earlier` (saturating), mirroring
+    /// `MetricsSnapshot::since` in the cluster crate so telemetry can
+    /// diff all counter families uniformly.
+    pub fn since(&self, earlier: &CkptStats) -> CkptStats {
+        CkptStats {
+            local_writes: self.local_writes.saturating_sub(earlier.local_writes),
+            bytes_local: self.bytes_local.saturating_sub(earlier.bytes_local),
+            neighbor_copies: self.neighbor_copies.saturating_sub(earlier.neighbor_copies),
+            copy_failures: self.copy_failures.saturating_sub(earlier.copy_failures),
+            pfs_spills: self.pfs_spills.saturating_sub(earlier.pfs_spills),
+            restores_local: self.restores_local.saturating_sub(earlier.restores_local),
+            restores_neighbor: self.restores_neighbor.saturating_sub(earlier.restores_neighbor),
+            restores_pfs: self.restores_pfs.saturating_sub(earlier.restores_pfs),
+            restore_bytes: self.restore_bytes.saturating_sub(earlier.restore_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = CkptStats { local_writes: 1, restore_bytes: 10, ..Default::default() };
+        let b = CkptStats {
+            local_writes: 2,
+            restores_local: 1,
+            restores_neighbor: 2,
+            restores_pfs: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.local_writes, 3);
+        assert_eq!(a.restore_bytes, 10);
+        assert_eq!(a.total_restores(), 6);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = CkptStats { local_writes: 5, pfs_spills: 1, ..Default::default() };
+        let b = CkptStats { local_writes: 3, pfs_spills: 2, ..Default::default() };
+        let d = a.since(&b);
+        assert_eq!(d.local_writes, 2);
+        assert_eq!(d.pfs_spills, 0);
+    }
+}

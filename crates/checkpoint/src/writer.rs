@@ -20,6 +20,7 @@ use ft_gaspi::GaspiProc;
 
 use crate::neighbor::NeighborMap;
 use crate::pfs::Pfs;
+use crate::stats::CkptStats;
 
 /// Where a restored checkpoint came from (the paper's OHF3 has different
 /// cost depending on this).
@@ -97,6 +98,18 @@ pub struct Checkpointer {
     pub copy_failures: Arc<AtomicU64>,
     /// Local checkpoint bytes written.
     pub bytes_local: AtomicU64,
+    /// Local checkpoint writes.
+    pub local_writes: AtomicU64,
+    /// Versions spilled to the PFS tier (library thread).
+    pub pfs_spills: Arc<AtomicU64>,
+    /// Restores served locally / from the neighbor replica / from PFS.
+    pub restores_local: AtomicU64,
+    /// Restores served from the neighbor replica.
+    pub restores_neighbor: AtomicU64,
+    /// Restores served from the PFS tier.
+    pub restores_pfs: AtomicU64,
+    /// Total payload bytes restored.
+    pub restore_bytes: AtomicU64,
 }
 
 impl Checkpointer {
@@ -112,6 +125,7 @@ impl Checkpointer {
         let pending = Arc::new(Pending::default());
         let copies_done = Arc::new(AtomicU64::new(0));
         let copy_failures = Arc::new(AtomicU64::new(0));
+        let pfs_spills = Arc::new(AtomicU64::new(0));
 
         let w_storage = Arc::clone(&storage);
         let w_transport = transport.clone();
@@ -119,6 +133,7 @@ impl Checkpointer {
         let w_pending = Arc::clone(&pending);
         let w_done = Arc::clone(&copies_done);
         let w_fail = Arc::clone(&copy_failures);
+        let w_spills = Arc::clone(&pfs_spills);
         let w_pfs = pfs.clone();
         let w_cfg = cfg.clone();
         let w_topo = topo.clone();
@@ -140,6 +155,7 @@ impl Checkpointer {
                             &w_pending,
                             &w_done,
                             &w_fail,
+                            &w_spills,
                             w_pfs.as_deref(),
                         ),
                     }
@@ -162,6 +178,30 @@ impl Checkpointer {
             copies_done,
             copy_failures,
             bytes_local: AtomicU64::new(0),
+            local_writes: AtomicU64::new(0),
+            pfs_spills,
+            restores_local: AtomicU64::new(0),
+            restores_neighbor: AtomicU64::new(0),
+            restores_pfs: AtomicU64::new(0),
+            restore_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Point-in-time readout of every counter (see [`CkptStats`]).
+    /// Neighbor-copy and PFS-spill counts are updated by the library
+    /// thread, so call [`Checkpointer::drain`] first for an exact view
+    /// after the last checkpoint.
+    pub fn stats(&self) -> CkptStats {
+        CkptStats {
+            local_writes: self.local_writes.load(Ordering::Relaxed),
+            bytes_local: self.bytes_local.load(Ordering::Relaxed),
+            neighbor_copies: self.copies_done.load(Ordering::Relaxed),
+            copy_failures: self.copy_failures.load(Ordering::Relaxed),
+            pfs_spills: self.pfs_spills.load(Ordering::Relaxed),
+            restores_local: self.restores_local.load(Ordering::Relaxed),
+            restores_neighbor: self.restores_neighbor.load(Ordering::Relaxed),
+            restores_pfs: self.restores_pfs.load(Ordering::Relaxed),
+            restore_bytes: self.restore_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -186,6 +226,7 @@ impl Checkpointer {
     pub fn write_local(&self, version: u64, payload: Vec<u8>) {
         let key = BlobKey { rank: self.rank, tag: self.cfg.tag, version };
         self.bytes_local.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.local_writes.fetch_add(1, Ordering::Relaxed);
         self.storage.put(self.node, key, Arc::new(payload));
         if version + 1 >= self.cfg.keep_versions {
             let keep_from = version + 1 - self.cfg.keep_versions;
@@ -238,10 +279,27 @@ impl Checkpointer {
         self.storage.latest_version(self.node, for_rank, self.cfg.tag)
     }
 
+    /// Count a served restore by provenance (the paper's OHF3 cost
+    /// differs per tier).
+    fn count_restore(&self, r: &Restored) {
+        match r.provenance {
+            Provenance::Local => self.restores_local.fetch_add(1, Ordering::Relaxed),
+            Provenance::Neighbor(_) => self.restores_neighbor.fetch_add(1, Ordering::Relaxed),
+            Provenance::Pfs => self.restores_pfs.fetch_add(1, Ordering::Relaxed),
+        };
+        self.restore_bytes.fetch_add(r.data.len() as u64, Ordering::Relaxed);
+    }
+
     /// Restore the newest reachable checkpoint of `for_rank` (usually
     /// `self.rank()`, or the failed rank a rescue process adopted).
     /// Resolution order: local node → neighbor replica → PFS.
     pub fn restore_latest(&self, for_rank: Rank, timeout: Duration) -> Option<Restored> {
+        let r = self.restore_latest_uncounted(for_rank, timeout)?;
+        self.count_restore(&r);
+        Some(r)
+    }
+
+    fn restore_latest_uncounted(&self, for_rank: Rank, timeout: Duration) -> Option<Restored> {
         // 1. Local.
         if let Some(v) = self.local_latest(for_rank) {
             let key = BlobKey { rank: for_rank, tag: self.cfg.tag, version: v };
@@ -266,7 +324,23 @@ impl Checkpointer {
 
     /// Restore a specific version (after the group agreed on a consistent
     /// one, e.g. via an allreduce-min over each member's newest version).
-    pub fn restore_exact(&self, for_rank: Rank, version: u64, timeout: Duration) -> Option<Restored> {
+    pub fn restore_exact(
+        &self,
+        for_rank: Rank,
+        version: u64,
+        timeout: Duration,
+    ) -> Option<Restored> {
+        let r = self.restore_exact_uncounted(for_rank, version, timeout)?;
+        self.count_restore(&r);
+        Some(r)
+    }
+
+    fn restore_exact_uncounted(
+        &self,
+        for_rank: Rank,
+        version: u64,
+        timeout: Duration,
+    ) -> Option<Restored> {
         let key = BlobKey { rank: for_rank, tag: self.cfg.tag, version };
         if self.topo.node_of(for_rank) == self.node {
             if let Some(data) = self.storage.get(self.node, key) {
@@ -376,7 +450,12 @@ impl Checkpointer {
     }
 
     /// Version-only remote query against the replica holder.
-    fn remote_latest(&self, replica_node: NodeId, for_rank: Rank, timeout: Duration) -> Option<u64> {
+    fn remote_latest(
+        &self,
+        replica_node: NodeId,
+        for_rank: Rank,
+        timeout: Duration,
+    ) -> Option<u64> {
         let dst = self.representative_rank(replica_node)?;
         let tag = self.cfg.tag;
         type Cell = Arc<(Mutex<Option<Option<u64>>>, Condvar)>;
@@ -446,6 +525,7 @@ fn copy_one(
     pending: &Arc<Pending>,
     done: &Arc<AtomicU64>,
     failed: &Arc<AtomicU64>,
+    spills: &Arc<AtomicU64>,
     pfs: Option<&Pfs>,
 ) {
     let finish = |ok: bool| {
@@ -469,6 +549,7 @@ fn copy_one(
     if let (Some(p), Some(k)) = (pfs, cfg.pfs_every) {
         if k > 0 && version.is_multiple_of(k) {
             p.write(rank, cfg.tag, version, Arc::clone(&data));
+            spills.fetch_add(1, Ordering::Relaxed);
         }
     }
     if !cfg.neighbor_copy {

@@ -196,9 +196,7 @@ impl FaultPlane {
     /// Whether messages can flow `src → dst` right now (both endpoints
     /// alive, link intact).
     pub fn link_ok(&self, src: Rank, dst: Rank) -> bool {
-        self.is_alive(src)
-            && self.is_alive(dst)
-            && !self.broken_links.read().contains(&(src, dst))
+        self.is_alive(src) && self.is_alive(dst) && !self.broken_links.read().contains(&(src, dst))
     }
 }
 
@@ -400,9 +398,7 @@ mod tests {
 
     #[test]
     fn schedule_iteration_kills() {
-        let s = FaultSchedule::none()
-            .kill_rank_at_iteration(3, 100)
-            .kill_rank_at_iteration(5, 100);
+        let s = FaultSchedule::none().kill_rank_at_iteration(3, 100).kill_rank_at_iteration(5, 100);
         assert!(s.kill_at_iteration(3, 100));
         assert!(!s.kill_at_iteration(3, 99));
         assert!(!s.kill_at_iteration(4, 100));

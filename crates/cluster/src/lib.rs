@@ -34,7 +34,7 @@ pub mod topology;
 pub mod transport;
 
 pub use fault::{FaultAction, FaultPlane, FaultSchedule, RankKilled, ScheduleTimer};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use storage::{BlobKey, NodeStorage};
 pub use time::LatencyModel;
 pub use topology::{NodeId, Rank, Topology};

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Transport- and runtime-level counters. All counters are monotonic and
 /// relaxed; they exist for benchmarking and assertions, not for
-//  synchronization.
+/// synchronization.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Messages posted to the transport.
@@ -38,6 +38,15 @@ pub struct MetricsSnapshot {
 
 impl Metrics {
     /// Take a relaxed snapshot of all counters.
+    ///
+    /// ```
+    /// use std::sync::atomic::Ordering;
+    /// use ft_cluster::Metrics;
+    ///
+    /// let m = Metrics::default();
+    /// m.msg_posted.fetch_add(3, Ordering::Relaxed);
+    /// assert_eq!(m.snapshot().msg_posted, 3);
+    /// ```
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             msg_posted: self.msg_posted.load(Ordering::Relaxed),
@@ -53,6 +62,21 @@ impl Metrics {
 
 impl MetricsSnapshot {
     /// Counter deltas `self - earlier` (saturating).
+    ///
+    /// The usual pattern brackets a measured region with two snapshots:
+    ///
+    /// ```
+    /// use std::sync::atomic::Ordering;
+    /// use ft_cluster::Metrics;
+    ///
+    /// let m = Metrics::default();
+    /// let before = m.snapshot();
+    /// m.msg_posted.fetch_add(2, Ordering::Relaxed);
+    /// m.bytes_posted.fetch_add(64, Ordering::Relaxed);
+    /// let delta = m.snapshot().since(&before);
+    /// assert_eq!(delta.msg_posted, 2);
+    /// assert_eq!(delta.bytes_posted, 64);
+    /// ```
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             msg_posted: self.msg_posted.saturating_sub(earlier.msg_posted),

@@ -133,10 +133,14 @@ mod tests {
         let w0 = world.proc_handle(0);
         create_ctrl_segment(&fd, &layout).unwrap();
         create_ctrl_segment(&w0, &layout).unwrap();
-        let plan =
-            RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
-        let failed_writes =
-            broadcast_plan(&fd, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
+        let plan = RecoveryPlan {
+            epoch: 1,
+            failed: vec![1],
+            rescues: vec![2],
+            fd_alive: true,
+            fd_rank: None,
+        };
+        let failed_writes = broadcast_plan(&fd, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
         assert!(failed_writes.is_empty());
         // Worker sees the epoch notification and reads the same plan.
         let nid = w0.notify_waitsome(CTRL_SEG, EPOCH_NOTIF, 1, Timeout::Ms(2000)).unwrap();

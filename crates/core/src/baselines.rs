@@ -49,7 +49,14 @@ pub struct AllToAllDetector {
 impl AllToAllDetector {
     /// Detector over `peers` (excluding self), scanning every `interval`.
     pub fn new(peers: Vec<Rank>, interval: Duration, ping_timeout: Timeout) -> Self {
-        Self { peers, suspected: Vec::new(), interval, ping_timeout, last: None, spent: Duration::ZERO }
+        Self {
+            peers,
+            suspected: Vec::new(),
+            interval,
+            ping_timeout,
+            last: None,
+            spent: Duration::ZERO,
+        }
     }
 }
 
@@ -196,7 +203,8 @@ mod tests {
         world.fault().kill_rank(1);
         world.fault().kill_rank(3);
         let p = world.proc_handle(0);
-        let mut d = NeighborRingDetector::new(0, vec![1, 2, 3, 4], Duration::ZERO, Timeout::Ms(300));
+        let mut d =
+            NeighborRingDetector::new(0, vec![1, 2, 3, 4], Duration::ZERO, Timeout::Ms(300));
         // Successor of 0 is 1 (dead) → escalation finds 3 as well.
         let mut newly = d.tick(&p);
         newly.sort_unstable();

@@ -100,7 +100,13 @@ mod tests {
 
     #[test]
     fn source_is_self_for_survivors() {
-        let plan = RecoveryPlan { epoch: 1, failed: vec![2], rescues: vec![5], fd_alive: true , fd_rank: None};
+        let plan = RecoveryPlan {
+            epoch: 1,
+            failed: vec![2],
+            rescues: vec![5],
+            fd_alive: true,
+            fd_rank: None,
+        };
         assert_eq!(restore_source(&plan, 0), 0);
         assert_eq!(restore_source(&plan, 5), 2);
     }
@@ -108,8 +114,13 @@ mod tests {
     #[test]
     fn chained_adoption_takes_last() {
         // rank2 → rescue5 (epoch 1); rank5 → rescue6 (epoch 2).
-        let plan =
-            RecoveryPlan { epoch: 2, failed: vec![2, 5], rescues: vec![5, 6], fd_alive: true , fd_rank: None};
+        let plan = RecoveryPlan {
+            epoch: 2,
+            failed: vec![2, 5],
+            rescues: vec![5, 6],
+            fd_alive: true,
+            fd_rank: None,
+        };
         assert_eq!(restore_source(&plan, 6), 5);
         // 5 is dead; if asked (it isn't), it would still resolve to 2.
         assert_eq!(restore_source(&plan, 5), 2);
@@ -121,7 +132,8 @@ mod tests {
             epoch: 1,
             failed: vec![4],
             rescues: vec![NO_RESCUE],
-            fd_alive: true, fd_rank: None,
+            fd_alive: true,
+            fd_rank: None,
         };
         assert_eq!(restore_source(&plan, 3), 3);
     }

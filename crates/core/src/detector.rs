@@ -67,6 +67,11 @@ pub struct FdRecovery {
 }
 
 /// What the detector did over its lifetime.
+///
+/// The same scan and recovery instants are also recorded into the job's
+/// [`EventLog`] (as `FdScan` / `FdDetect` / `FdAck` events), which is
+/// what `ft-telemetry`'s reporter reconstructs Table I's scan statistics
+/// and the OHF1 detection times from.
 #[derive(Debug, Clone, Default)]
 pub struct DetectorOutcome {
     /// Total scans performed.
@@ -167,9 +172,7 @@ impl DetectorState {
             idle_pool: layout
                 .idle_pool()
                 .filter(|r| {
-                    !reserved.contains(r)
-                        && !plan.failed.contains(r)
-                        && !plan.rescues.contains(r)
+                    !reserved.contains(r) && !plan.failed.contains(r) && !plan.rescues.contains(r)
                 })
                 .collect(),
             epoch: plan.epoch,
@@ -232,9 +235,7 @@ pub fn run_detector_from(
         fd_rank_override,
     } = state;
 
-    let done = |p: &GaspiProc| -> FtResult<bool> {
-        Ok(p.notify_peek(CTRL_SEG, DONE_NOTIF)? != 0)
-    };
+    let done = |p: &GaspiProc| -> FtResult<bool> { Ok(p.notify_peek(CTRL_SEG, DONE_NOTIF)? != 0) };
 
     loop {
         if done(proc)? {
@@ -269,7 +270,8 @@ pub fn run_detector_from(
                 epoch: epoch - 1,
                 failed: failed_cum.clone(),
                 rescues: rescues_cum.clone(),
-                fd_alive: true, fd_rank: None,
+                fd_alive: true,
+                fd_rank: None,
             };
             let mut map = prev.rank_map(layout);
             let mut promoted = false;

@@ -283,6 +283,10 @@ pub struct RankReport<S> {
 }
 
 /// Whole-job result.
+///
+/// The `events` log is the raw material for the paper's evaluation: feed
+/// it to `ft-telemetry`'s `OverheadReport` to decompose the run into
+/// computation, redo-work, re-initialization and fault-detection time.
 pub struct JobReport<S> {
     /// Per-rank outcomes (killed ranks appear as
     /// [`RankOutcome::Killed`]).
@@ -488,13 +492,9 @@ fn run_rank<A: FtApp>(
                 Err(FtError::Signal(FtSignal::Recover(plan))) => {
                     if plan.adopted_app_rank(&layout, rank).is_some() {
                         return match become_rescue(&ctx, schedule, make_app, plan) {
-                            Ok((app_rank, summary)) => report(
-                                Role::Rescue,
-                                Some(app_rank),
-                                Some(summary),
-                                None,
-                                None,
-                            ),
+                            Ok((app_rank, summary)) => {
+                                report(Role::Rescue, Some(app_rank), Some(summary), None, None)
+                            }
                             Err(e) => {
                                 abort_job(&ctx);
                                 report(Role::Rescue, None, None, Some(e), None)
@@ -509,25 +509,21 @@ fn run_rank<A: FtApp>(
             if last_fd_check.elapsed() >= fd_check_every {
                 last_fd_check = Instant::now();
                 let fd = last_plan.current_fd(&layout);
-                let fd_dead =
-                    ctx.proc.proc_ping(fd, ctx.cfg.detector.ping_timeout).is_err();
+                let fd_dead = ctx.proc.proc_ping(fd, ctx.cfg.detector.ping_timeout).is_err();
                 if fd_dead {
                     // With redundancy, give the live shadow its chance to
                     // take over; without (or if the shadow is gone too),
                     // fault tolerance has ended.
-                    let shadow_alive = ctx
-                        .cfg
-                        .shadow_rank()
-                        .filter(|&s| s != fd && s != rank)
-                        .is_some_and(|s| ctx.proc.proc_ping(s, ctx.cfg.detector.ping_timeout).is_ok());
+                    let shadow_alive =
+                        ctx.cfg.shadow_rank().filter(|&s| s != fd && s != rank).is_some_and(|s| {
+                            ctx.proc.proc_ping(s, ctx.cfg.detector.ping_timeout).is_ok()
+                        });
                     if !shadow_alive {
                         return report(
                             Role::Idle,
                             None,
                             None,
-                            Some(FtError::Gaspi(ft_gaspi::GaspiError::RemoteBroken {
-                                rank: fd,
-                            })),
+                            Some(FtError::Gaspi(ft_gaspi::GaspiError::RemoteBroken { rank: fd })),
                             None,
                         );
                     }
@@ -580,13 +576,11 @@ fn run_shadow<A: FtApp>(
             // Take over: reconstruct the detection state from the last
             // cumulative plan, announce the new FD, and start scanning.
             ctx.events.record(me, EventKind::FdTakeover { dead_fd: primary });
-            let mut state =
-                crate::detector::DetectorState::from_plan(&layout, &last_plan, &[me]);
+            let mut state = crate::detector::DetectorState::from_plan(&layout, &last_plan, &[me]);
             state.register_takeover(primary, me);
             let plan = state.plan(true);
-            let alive: Vec<Rank> = (0..layout.total())
-                .filter(|&r| r != me && !plan.failed.contains(&r))
-                .collect();
+            let alive: Vec<Rank> =
+                (0..layout.total()).filter(|&r| r != me && !plan.failed.contains(&r)).collect();
             if let Err(e) = ack::broadcast_plan(
                 &ctx.proc,
                 &plan,
@@ -640,9 +634,7 @@ fn become_rescue<A: FtApp>(
     let rank = ctx.proc.rank();
     let mut app: Option<A> = None;
     let start_iter = loop {
-        let app_rank = plan
-            .adopted_app_rank(&layout, rank)
-            .ok_or(FtError::CapacityExhausted)?;
+        let app_rank = plan.adopted_app_rank(&layout, rank).ok_or(FtError::CapacityExhausted)?;
         ctx.set_app_rank(app_rank);
         ctx.set_adopted_from(Some(crate::ckpt::restore_source(&plan, rank)));
         ctx.events.record(rank, EventKind::Activated { app_rank });
@@ -715,8 +707,10 @@ fn worker_run<A: FtApp>(
                     app.rewire(ctx, &plan)?;
                     match app.restore(ctx) {
                         Ok(resume) => {
-                            ctx.events
-                                .record(rank, EventKind::Restored { epoch: plan.epoch, iter: resume });
+                            ctx.events.record(
+                                rank,
+                                EventKind::Restored { epoch: plan.epoch, iter: resume },
+                            );
                             ctx.watch.acknowledge(plan.epoch);
                             return Ok(Some(resume));
                         }

@@ -109,6 +109,29 @@ pub struct Event {
 }
 
 /// Shared job-wide log.
+///
+/// Clones share one underlying store, so every rank thread (and any
+/// harness watcher) records into — and observes — the same stream:
+///
+/// ```
+/// use ft_core::{EventKind, EventLog};
+///
+/// let log = EventLog::new();
+/// let writer = log.clone(); // e.g. handed to a rank thread
+/// writer.record(0, EventKind::SetupDone);
+/// writer.record(0, EventKind::Finished { iter: 100 });
+///
+/// let snapshot = log.snapshot(); // sorted by time
+/// assert_eq!(snapshot.len(), 2);
+/// let done = log
+///     .first_where(|e| matches!(e.kind, EventKind::Finished { .. }))
+///     .expect("recorded above");
+/// assert_eq!(done.rank, 0);
+/// ```
+///
+/// The benchmark harnesses no longer walk this log by hand; the
+/// `ft-telemetry` crate's `OverheadReport` consumes a snapshot and
+/// produces the paper's overhead decomposition from it.
 #[derive(Clone)]
 pub struct EventLog {
     t0: Instant,
@@ -169,9 +192,7 @@ mod tests {
         let snap = log.snapshot();
         assert_eq!(snap.len(), 3);
         assert!(snap.windows(2).all(|w| w[0].t <= w[1].t));
-        let f = log
-            .first_where(|e| matches!(e.kind, EventKind::FailureSignal { .. }))
-            .unwrap();
+        let f = log.first_where(|e| matches!(e.kind, EventKind::FailureSignal { .. })).unwrap();
         assert_eq!(f.rank, 1);
         assert_eq!(
             log.all_where(|e| e.rank == 3).len(),

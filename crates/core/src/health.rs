@@ -120,8 +120,9 @@ impl HealthWatch {
                 match attempt() {
                     Ok(v) => return Ok(v),
                     Err(GaspiError::Timeout) => {}
-                    Err(GaspiError::QueueFailure { .. })
-                    | Err(GaspiError::RemoteBroken { .. }) => broken = true,
+                    Err(GaspiError::QueueFailure { .. }) | Err(GaspiError::RemoteBroken { .. }) => {
+                        broken = true
+                    }
                     Err(e) => return Err(FtError::Gaspi(e)),
                 }
             }
@@ -190,7 +191,13 @@ mod tests {
         create_ctrl_segment(&w0, &layout).unwrap();
         let watch = HealthWatch::new(w0, CommPolicy::default());
         assert!(watch.check().is_ok());
-        let plan = RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
+        let plan = RecoveryPlan {
+            epoch: 1,
+            failed: vec![1],
+            rescues: vec![2],
+            fd_alive: true,
+            fd_rank: None,
+        };
         ack::broadcast_plan(&fd, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
         // Wait for delivery, then the check must fire exactly once.
         std::thread::sleep(Duration::from_millis(20));
@@ -237,8 +244,13 @@ mod tests {
         let layout2 = layout;
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(50));
-            let plan =
-                RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![2], fd_alive: true , fd_rank: None};
+            let plan = RecoveryPlan {
+                epoch: 1,
+                failed: vec![1],
+                rescues: vec![2],
+                fd_alive: true,
+                fd_rank: None,
+            };
             ack::broadcast_plan(&fd2, &plan, &[0], 0, Timeout::Ms(2000)).unwrap();
             let _ = layout2;
         });

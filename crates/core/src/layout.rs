@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn status_wire_roundtrip() {
-        for s in [ProcStatus::Working, ProcStatus::Idle, ProcStatus::Failed, ProcStatus::Detector]
-        {
+        for s in [ProcStatus::Working, ProcStatus::Idle, ProcStatus::Failed, ProcStatus::Detector] {
             assert_eq!(ProcStatus::from_u8(s as u8), s);
         }
     }

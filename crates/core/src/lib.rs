@@ -37,7 +37,9 @@ pub mod plan;
 pub mod recovery;
 
 pub use detector::DetectorConfig;
-pub use driver::{run_ft_job, run_ft_job_with, FtApp, FtConfig, FtCtx, JobReport, RankReport, Role};
+pub use driver::{
+    run_ft_job, run_ft_job_with, FtApp, FtConfig, FtCtx, JobReport, RankReport, Role,
+};
 pub use error::{FtError, FtResult, FtSignal};
 pub use events::{Event, EventKind, EventLog};
 pub use health::HealthWatch;

@@ -32,7 +32,7 @@ pub struct RecoveryPlan {
     pub fd_alive: bool,
     /// Override of the detector's rank: set when a *shadow* detector took
     /// over after the primary died (the paper's proposed "redundancy
-    /// approach [to] make the FD process fault tolerant", §VIII). `None`
+    /// approach \[to\] make the FD process fault tolerant", §VIII). `None`
     /// means the layout's default FD rank.
     pub fd_rank: Option<Rank>,
 }
@@ -76,8 +76,7 @@ impl RecoveryPlan {
     /// Status of every GASPI rank at this epoch (the paper's
     /// `status_processes`).
     pub fn status(&self, layout: &WorldLayout) -> Vec<ProcStatus> {
-        let mut st: Vec<ProcStatus> =
-            (0..layout.total()).map(|r| layout.initial_role(r)).collect();
+        let mut st: Vec<ProcStatus> = (0..layout.total()).map(|r| layout.initial_role(r)).collect();
         // Rescues first become workers...
         let map = self.rank_map(layout);
         for g in 0..layout.total() {
@@ -168,7 +167,13 @@ mod tests {
     #[test]
     fn single_failure_plan() {
         let l = layout();
-        let p = RecoveryPlan { epoch: 1, failed: vec![2], rescues: vec![4], fd_alive: true , fd_rank: None};
+        let p = RecoveryPlan {
+            epoch: 1,
+            failed: vec![2],
+            rescues: vec![4],
+            fd_alive: true,
+            fd_rank: None,
+        };
         assert_eq!(p.worker_set(&l), vec![0, 1, 3, 4]);
         assert_eq!(p.rank_map(&l).gaspi_of(2), 4);
         let st = p.status(&l);
@@ -184,7 +189,13 @@ mod tests {
     fn chained_failures_including_a_rescue() {
         let l = layout();
         // epoch1: rank2 → rescue4; epoch2: rescue4 itself dies → rescue5.
-        let p = RecoveryPlan { epoch: 2, failed: vec![2, 4], rescues: vec![4, 5], fd_alive: true , fd_rank: None};
+        let p = RecoveryPlan {
+            epoch: 2,
+            failed: vec![2, 4],
+            rescues: vec![4, 5],
+            fd_alive: true,
+            fd_rank: None,
+        };
         assert_eq!(p.rank_map(&l).gaspi_of(2), 5);
         assert_eq!(p.worker_set(&l), vec![0, 1, 3, 5]);
         assert_eq!(p.newly_failed(1), &[4]);
@@ -201,7 +212,8 @@ mod tests {
             epoch: 1,
             failed: vec![5],
             rescues: vec![NO_RESCUE],
-            fd_alive: true, fd_rank: None,
+            fd_alive: true,
+            fd_rank: None,
         };
         assert_eq!(p.worker_set(&l), vec![0, 1, 2, 3]);
         assert_eq!(p.status(&l)[5], ProcStatus::Failed);
@@ -210,7 +222,13 @@ mod tests {
     #[test]
     fn fd_promotion_reflected_in_status() {
         let l = layout();
-        let p = RecoveryPlan { epoch: 3, failed: vec![0], rescues: vec![6], fd_alive: false , fd_rank: None};
+        let p = RecoveryPlan {
+            epoch: 3,
+            failed: vec![0],
+            rescues: vec![6],
+            fd_alive: false,
+            fd_rank: None,
+        };
         assert_eq!(p.status(&l)[6], ProcStatus::Working);
         assert_eq!(p.worker_set(&l), vec![1, 2, 3, 6]);
     }
@@ -221,7 +239,8 @@ mod tests {
             epoch: 7,
             failed: vec![2, 9, 5],
             rescues: vec![4, NO_RESCUE, 6],
-            fd_alive: false, fd_rank: None,
+            fd_alive: false,
+            fd_rank: None,
         };
         let buf = p.encode();
         assert_eq!(RecoveryPlan::decode(&buf), Some(p));

@@ -96,7 +96,13 @@ mod tests {
         let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
         let fault = world.fault();
         fault.kill_rank(1);
-        let plan = RecoveryPlan { epoch: 1, failed: vec![1], rescues: vec![3], fd_alive: true , fd_rank: None};
+        let plan = RecoveryPlan {
+            epoch: 1,
+            failed: vec![1],
+            rescues: vec![3],
+            fd_alive: true,
+            fd_rank: None,
+        };
         let layout2 = layout;
         let outs = world
             .launch(move |p| {
@@ -110,15 +116,8 @@ mod tests {
                     p,
                     CommPolicy { attempt: Timeout::Ms(100), abandon: Duration::from_secs(10) },
                 );
-                let g = execute_recovery(
-                    &watch,
-                    &layout2,
-                    &plan,
-                    None,
-                    Timeout::Ms(2000),
-                    &events,
-                )
-                .expect("recovery");
+                let g = execute_recovery(&watch, &layout2, &plan, None, Timeout::Ms(2000), &events)
+                    .expect("recovery");
                 // The rebuilt group is immediately usable.
                 watch.proc().barrier(g, Timeout::Ms(5000)).unwrap();
                 Ok(true)
@@ -128,10 +127,7 @@ mod tests {
             if r == 1 {
                 continue; // pre-killed rank never even started its closure
             }
-            assert!(
-                matches!(o, RankOutcome::Completed(true)) || r == 1,
-                "rank {r}: {o:?}"
-            );
+            assert!(matches!(o, RankOutcome::Completed(true)) || r == 1, "rank {r}: {o:?}");
         }
         assert!(!fault.is_alive(1));
     }

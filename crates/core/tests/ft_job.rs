@@ -160,10 +160,7 @@ fn assert_workers_correct(report: &ft_core::JobReport<f64>, workers: u32, iters:
     let summaries = report.worker_summaries();
     if summaries.len() != workers as usize {
         for r in report.completed() {
-            eprintln!(
-                "rank {} role {:?} app {:?} err {:?}",
-                r.rank, r.role, r.app_rank, r.error
-            );
+            eprintln!("rank {} role {:?} app {:?} err {:?}", r.rank, r.role, r.app_rank, r.error);
         }
         for (i, o) in report.outcomes.iter().enumerate() {
             if o.was_killed() {
@@ -229,9 +226,8 @@ fn single_failure_recovers_and_matches_failure_free() {
 
 #[test]
 fn two_sequential_failures() {
-    let schedule = FaultSchedule::none()
-        .kill_rank_at_iteration(1, 25)
-        .kill_rank_at_iteration(3, 45);
+    let schedule =
+        FaultSchedule::none().kill_rank_at_iteration(1, 25).kill_rank_at_iteration(3, 45);
     let report = job(4, 3, 60, 10, schedule);
     let mut killed = report.killed();
     killed.sort_unstable();
@@ -246,9 +242,8 @@ fn rescue_failure_is_rescued_again() {
     // Rank 1 dies; the first idle (rank 3) adopts app rank 1, then is
     // itself killed mid-compute. The second rescue (rank 4) must adopt
     // the same app rank transitively.
-    let schedule = FaultSchedule::none()
-        .kill_rank_at_iteration(1, 15)
-        .kill_rank_at_iteration(3, 35); // fires once rank 3 computes as a worker
+    let schedule =
+        FaultSchedule::none().kill_rank_at_iteration(1, 15).kill_rank_at_iteration(3, 35); // fires once rank 3 computes as a worker
     let report = job(3, 4, 50, 10, schedule);
     assert_workers_correct(&report, 3, 50);
     let rescue = report
@@ -265,13 +260,10 @@ fn simultaneous_failures_single_detection_round() {
     // The paper's "3 sim. fail recovery": a node hosting three processes
     // dies, and the threaded FD detects all three in a single round.
     let layout = WorldLayout::new(4, 4);
-    let world =
-        GaspiWorld::new(GaspiConfig::deterministic(layout.total()).with_ranks_per_node(3));
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()).with_ranks_per_node(3));
     // Node 0 hosts ranks {0,1,2}; kill it mid-run.
-    let schedule = FaultSchedule::none().timed(
-        Duration::from_millis(10),
-        ft_cluster::FaultAction::KillNode(ft_cluster::NodeId(0)),
-    );
+    let schedule = FaultSchedule::none()
+        .timed(Duration::from_millis(10), ft_cluster::FaultAction::KillNode(ft_cluster::NodeId(0)));
     let mut cfg = FtConfig::new(layout);
     cfg.checkpoint_every = 20;
     cfg.max_iters = 400;
@@ -332,10 +324,8 @@ fn false_positive_network_failure_is_enforced_dead() {
     cfg.max_iters = 400;
     cfg.policy.abandon = Duration::from_secs(20);
     // Break the link early enough that plenty of iterations remain.
-    let schedule = FaultSchedule::none().timed(
-        Duration::from_millis(10),
-        ft_cluster::FaultAction::BreakLink(fd, 1),
-    );
+    let schedule = FaultSchedule::none()
+        .timed(Duration::from_millis(10), ft_cluster::FaultAction::BreakLink(fd, 1));
     let pfs = ft_checkpoint::Pfs::new(ft_checkpoint::PfsConfig::instant());
     let report = run_ft_job(&world, cfg, schedule, move |ctx| ToyApp::new(ctx, &pfs));
     assert_workers_correct(&report, 3, 400);
@@ -350,9 +340,8 @@ fn capacity_exhaustion_is_reported() {
     // Two workers die, but there are zero rescue slots beyond the FD and
     // the FD can cover only one. The job must end with CapacityExhausted
     // rather than hang.
-    let schedule = FaultSchedule::none()
-        .kill_rank_at_iteration(0, 10)
-        .kill_rank_at_iteration(1, 10);
+    let schedule =
+        FaultSchedule::none().kill_rank_at_iteration(0, 10).kill_rank_at_iteration(1, 10);
     let layout = WorldLayout::new(3, 1);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
     let mut cfg = FtConfig::new(layout);
@@ -362,9 +351,7 @@ fn capacity_exhaustion_is_reported() {
     let pfs = ft_checkpoint::Pfs::new(ft_checkpoint::PfsConfig::instant());
     let report = run_ft_job(&world, cfg, schedule, move |ctx| ToyApp::new(ctx, &pfs));
     let ev = report.events.snapshot();
-    let fd_gave_up = ev
-        .iter()
-        .any(|e| matches!(e.kind, ft_core::EventKind::CapacityExhausted));
+    let fd_gave_up = ev.iter().any(|e| matches!(e.kind, ft_core::EventKind::CapacityExhausted));
     // Depending on scan timing the FD either sees both failures in one
     // round (capacity exhausted) or first covers one by promotion and the
     // second is then undetectable (no FD left) — both are the paper's

@@ -34,7 +34,7 @@ fn arb_history(workers: u32, spares: u32, steps: usize, picks: Vec<u16>) -> Reco
             None => rescues.push(NO_RESCUE),
         }
     }
-    RecoveryPlan { epoch: failed.len() as u64, failed, rescues, fd_alive: true , fd_rank: None}
+    RecoveryPlan { epoch: failed.len() as u64, failed, rescues, fd_alive: true, fd_rank: None }
 }
 
 proptest! {

@@ -135,8 +135,7 @@ fn shadow_takes_over_after_primary_dies_then_handles_a_worker_failure() {
     assert_correct(&report, 3, 300);
     let ev = report.events.snapshot();
     assert!(
-        ev.iter()
-            .any(|e| matches!(e.kind, EventKind::FdTakeover { dead_fd: 5 } if e.rank == 4)),
+        ev.iter().any(|e| matches!(e.kind, EventKind::FdTakeover { dead_fd: 5 } if e.rank == 4)),
         "shadow (rank 4) must record the takeover"
     );
     // The worker failure was detected by the *shadow* acting as FD.
@@ -159,8 +158,7 @@ fn shadow_takes_over_after_primary_dies_then_handles_a_worker_failure() {
 fn fd_takeover_does_not_roll_workers_back() {
     // FD death alone must not trigger group rebuild / restore / redo.
     // (Enough iterations that the kill lands well inside the run.)
-    let schedule =
-        FaultSchedule::none().timed(Duration::from_millis(25), FaultAction::KillRank(5));
+    let schedule = FaultSchedule::none().timed(Duration::from_millis(25), FaultAction::KillRank(5));
     let report = redundant_job(3, 3, 2000, schedule);
     assert_correct(&report, 3, 2000);
     let ev = report.events.snapshot();
@@ -202,10 +200,6 @@ fn shadow_exits_cleanly_on_normal_completion() {
     let report = redundant_job(2, 4, 30, FaultSchedule::none());
     assert_correct(&report, 2, 30);
     // Shadow (rank 4 of 0..=5) completed as a quiet Detector.
-    let detectors = report
-        .completed()
-        .into_iter()
-        .filter(|r| r.role == Role::Detector)
-        .count();
+    let detectors = report.completed().into_iter().filter(|r| r.role == Role::Detector).count();
     assert_eq!(detectors, 2, "primary and shadow must both report Detector");
 }

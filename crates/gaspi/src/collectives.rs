@@ -165,8 +165,11 @@ impl GaspiProc {
     /// interrupted instance keeps its sequence number and its tokens.
     pub fn barrier(&self, group: crate::Group, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
-        let (members, seq) =
+        let (members, seq, resumed) =
             self.shared().groups.collective_ticket(group.0, crate::group::CollKind::Barrier)?;
+        if resumed {
+            self.world().metrics.count_resume(crate::group::CollKind::Barrier);
+        }
         self.shared().coll.purge_group_below(group.0, seq);
         let n = members.len();
         let i = members
@@ -260,7 +263,10 @@ impl GaspiProc {
         if input.len() > ALLREDUCE_MAX_ELEMS {
             return Err(GaspiError::InvalidArg("allreduce buffer exceeds 255 elements"));
         }
-        let (members, seq) = self.shared().groups.collective_ticket(group.0, kind)?;
+        let (members, seq, resumed) = self.shared().groups.collective_ticket(group.0, kind)?;
+        if resumed {
+            self.world().metrics.count_resume(kind);
+        }
         self.shared().coll.purge_group_below(group.0, seq);
         let n = members.len();
         let i = members

@@ -13,9 +13,9 @@
 //! the recovery protocol uses, deriving the id from the recovery epoch so
 //! ranks that joined at different times (rescues!) still agree.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use parking_lot::Mutex;
 
 use ft_cluster::Rank;
 
@@ -106,25 +106,30 @@ impl GroupRegistry {
     }
 
     /// Members of a *committed* group plus the sequence number for the
-    /// next collective of `kind`. If a collective of the same kind was
+    /// next collective of `kind`, and whether this call *resumes* an
+    /// interrupted collective. If a collective of the same kind was
     /// interrupted by a timeout, its sequence number is *reused* so the
     /// call resumes instead of desynchronizing the group; a different
     /// pending kind is an API misuse and errors.
-    pub fn collective_ticket(&self, id: u64, kind: CollKind) -> GaspiResult<(Vec<Rank>, u64)> {
+    pub fn collective_ticket(
+        &self,
+        id: u64,
+        kind: CollKind,
+    ) -> GaspiResult<(Vec<Rank>, u64, bool)> {
         let mut m = self.map.lock();
         let st = m.get_mut(&id).ok_or(GaspiError::Group { what: "group id not found" })?;
         if !st.committed {
             return Err(GaspiError::Group { what: "group not committed" });
         }
         match st.pending {
-            Some((k, seq)) if k == kind => Ok((st.members.clone(), seq)),
-            Some(_) => Err(GaspiError::Group {
-                what: "a different collective is pending on this group",
-            }),
+            Some((k, seq)) if k == kind => Ok((st.members.clone(), seq, true)),
+            Some(_) => {
+                Err(GaspiError::Group { what: "a different collective is pending on this group" })
+            }
             None => {
                 st.coll_seq += 1;
                 st.pending = Some((kind, st.coll_seq));
-                Ok((st.members.clone(), st.coll_seq))
+                Ok((st.members.clone(), st.coll_seq, false))
             }
         }
     }
@@ -253,6 +258,8 @@ impl GaspiProc {
                 return Err(GaspiError::Group { what: "member set mismatch at commit" });
             }
         }
-        self.shared().groups.mark_committed(group.0)
+        self.shared().groups.mark_committed(group.0)?;
+        self.world().metrics.count_group_commit();
+        Ok(())
     }
 }

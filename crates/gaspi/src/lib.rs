@@ -38,6 +38,7 @@
 pub mod bytes;
 pub mod config;
 pub mod error;
+pub mod metrics;
 pub mod proc;
 pub mod runtime;
 pub mod segment;
@@ -50,7 +51,8 @@ mod signal;
 pub use collectives::ALLREDUCE_MAX_ELEMS;
 pub use config::GaspiConfig;
 pub use error::{GaspiError, GaspiResult, ProcState, Timeout};
-pub use group::Group;
+pub use group::{Group, EXPLICIT_ID_BASE};
+pub use metrics::{GaspiMetrics, GaspiSnapshot};
 pub use proc::GaspiProc;
 pub use runtime::{GaspiWorld, JobHandle, RankOutcome};
 pub use segment::{NotificationId, SegId};

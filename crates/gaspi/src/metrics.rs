@@ -1,0 +1,139 @@
+//! GASPI-layer operation counters.
+//!
+//! The transport already counts messages and bytes
+//! ([`ft_cluster::Metrics`]); these counters sit one layer up and measure
+//! the *GASPI semantics* the paper's overheads are built from: how many
+//! notifications were posted (the one-sided completion mechanism behind
+//! halo exchange and failure acknowledgment), how often and for how long
+//! ranks blocked flushing a queue (`gaspi_wait`), and how many
+//! collectives had to be *resumed* after a timeout — the GASPI
+//! fault-tolerance contract ("a procedure interrupted by timeout must be
+//! called again to complete") that dominates behavior during a failure.
+//!
+//! One [`GaspiMetrics`] instance lives in the world and is shared by all
+//! ranks; counters are monotone relaxed atomics, and a consistent-enough
+//! view is taken with [`GaspiMetrics::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Job-wide GASPI operation counters (all ranks share one instance).
+#[derive(Debug, Default)]
+pub struct GaspiMetrics {
+    /// Notifications posted via `notify` / `write_notify`.
+    pub notifications_posted: AtomicU64,
+    /// `wait` calls that found the queue not yet drained (i.e. actually
+    /// blocked flushing).
+    pub queue_flush_waits: AtomicU64,
+    /// Total nanoseconds spent blocked inside `wait`.
+    pub queue_flush_wait_ns: AtomicU64,
+    /// Barrier calls that *resumed* a timed-out barrier (same sequence
+    /// number re-used, per the GASPI timeout contract).
+    pub barrier_resumes: AtomicU64,
+    /// Allreduce calls that resumed a timed-out allreduce.
+    pub allreduce_resumes: AtomicU64,
+    /// Successful `group_commit` completions (one per member).
+    pub group_commits: AtomicU64,
+}
+
+impl GaspiMetrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_notification(&self) {
+        Self::add(&self.notifications_posted, 1);
+    }
+
+    pub(crate) fn count_queue_flush(&self, blocked: Duration) {
+        Self::add(&self.queue_flush_waits, 1);
+        Self::add(&self.queue_flush_wait_ns, blocked.as_nanos() as u64);
+    }
+
+    pub(crate) fn count_resume(&self, kind: crate::group::CollKind) {
+        match kind {
+            crate::group::CollKind::Barrier => Self::add(&self.barrier_resumes, 1),
+            crate::group::CollKind::AllreduceF64 | crate::group::CollKind::AllreduceU64 => {
+                Self::add(&self.allreduce_resumes, 1)
+            }
+        }
+    }
+
+    pub(crate) fn count_group_commit(&self) {
+        Self::add(&self.group_commits, 1);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> GaspiSnapshot {
+        GaspiSnapshot {
+            notifications_posted: self.notifications_posted.load(Ordering::Relaxed),
+            queue_flush_waits: self.queue_flush_waits.load(Ordering::Relaxed),
+            queue_flush_wait_ns: self.queue_flush_wait_ns.load(Ordering::Relaxed),
+            barrier_resumes: self.barrier_resumes.load(Ordering::Relaxed),
+            allreduce_resumes: self.allreduce_resumes.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`GaspiMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaspiSnapshot {
+    /// Notifications posted via `notify` / `write_notify`.
+    pub notifications_posted: u64,
+    /// `wait` calls that actually blocked.
+    pub queue_flush_waits: u64,
+    /// Total nanoseconds spent blocked inside `wait`.
+    pub queue_flush_wait_ns: u64,
+    /// Barriers resumed after a timeout.
+    pub barrier_resumes: u64,
+    /// Allreduces resumed after a timeout.
+    pub allreduce_resumes: u64,
+    /// Successful group commits (one per member).
+    pub group_commits: u64,
+}
+
+impl GaspiSnapshot {
+    /// Counter deltas accumulated since `earlier` (saturating, so a
+    /// mismatched pair degrades to zeros instead of nonsense).
+    pub fn since(&self, earlier: &GaspiSnapshot) -> GaspiSnapshot {
+        GaspiSnapshot {
+            notifications_posted: self
+                .notifications_posted
+                .saturating_sub(earlier.notifications_posted),
+            queue_flush_waits: self.queue_flush_waits.saturating_sub(earlier.queue_flush_waits),
+            queue_flush_wait_ns: self
+                .queue_flush_wait_ns
+                .saturating_sub(earlier.queue_flush_wait_ns),
+            barrier_resumes: self.barrier_resumes.saturating_sub(earlier.barrier_resumes),
+            allreduce_resumes: self.allreduce_resumes.saturating_sub(earlier.allreduce_resumes),
+            group_commits: self.group_commits.saturating_sub(earlier.group_commits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let m = GaspiMetrics::default();
+        m.count_notification();
+        m.count_notification();
+        m.count_queue_flush(Duration::from_nanos(500));
+        let a = m.snapshot();
+        assert_eq!(a.notifications_posted, 2);
+        assert_eq!(a.queue_flush_waits, 1);
+        assert_eq!(a.queue_flush_wait_ns, 500);
+        m.count_group_commit();
+        m.count_resume(crate::group::CollKind::Barrier);
+        m.count_resume(crate::group::CollKind::AllreduceF64);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.notifications_posted, 0);
+        assert_eq!(d.group_commits, 1);
+        assert_eq!(d.barrier_resumes, 1);
+        assert_eq!(d.allreduce_resumes, 1);
+    }
+}

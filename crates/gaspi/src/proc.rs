@@ -262,6 +262,7 @@ impl GaspiProc {
         if value == 0 {
             return Err(GaspiError::InvalidArg("notification value must be non-zero"));
         }
+        self.world.metrics.count_notification();
         self.post_put(dst, rseg, 0, Vec::new(), Some((nid, value)), queue);
         Ok(())
     }
@@ -290,6 +291,7 @@ impl GaspiProc {
             return Err(GaspiError::InvalidArg("notification value must be non-zero"));
         }
         let data = self.shared().segments.require(lseg)?.read_at(loff, len)?;
+        self.world.metrics.count_notification();
         self.post_put(dst, rseg, roff, data, Some((nid, value)), queue);
         Ok(())
     }
@@ -318,8 +320,7 @@ impl GaspiProc {
                 let ok = out == Outcome::Delivered
                     && match target.segments.get(rseg) {
                         Some(seg) => {
-                            let wrote =
-                                data.is_empty() || seg.write_at(roff, &data).is_ok();
+                            let wrote = data.is_empty() || seg.write_at(roff, &data).is_ok();
                             let notified = match notif {
                                 Some((nid, val)) if wrote => seg.notify_set(nid, val).is_ok(),
                                 Some(_) => false,
@@ -425,7 +426,11 @@ impl GaspiProc {
         self.validate_queue(queue)?;
         let q = &self.shared().queues[queue as usize];
         let target = q.posted();
-        self.poll(timeout, || q.drained_to(target).then_some(Ok(())))?;
+        if !q.drained_to(target) {
+            let t0 = Instant::now();
+            self.poll(timeout, || q.drained_to(target).then_some(Ok(())))?;
+            self.world.metrics.count_queue_flush(t0.elapsed());
+        }
         let failures = q.take_failures();
         if failures.is_empty() {
             return Ok(());
@@ -534,7 +539,10 @@ impl GaspiProc {
                         queue: squeue,
                         bytes: 0,
                         action: Box::new(move |_, out2| {
-                            c2.store(if out2 == Outcome::Delivered { 1 } else { 2 }, Ordering::Release);
+                            c2.store(
+                                if out2 == Outcome::Delivered { 1 } else { 2 },
+                                Ordering::Release,
+                            );
                             me2.signal.bump();
                         }),
                     });

@@ -7,14 +7,13 @@ use std::sync::{Arc, Once, Weak};
 
 use parking_lot::Mutex;
 
-use ft_cluster::{
-    FaultPlane, NodeStorage, Rank, RankKilled, Topology, Transport, TransportOwner,
-};
+use ft_cluster::{FaultPlane, NodeStorage, Rank, RankKilled, Topology, Transport, TransportOwner};
 
 use crate::collectives::CollBoard;
 use crate::config::GaspiConfig;
 use crate::error::{GaspiError, GaspiResult};
 use crate::group::GroupRegistry;
+use crate::metrics::GaspiMetrics;
 use crate::proc::GaspiProc;
 use crate::queue::Queue;
 use crate::segment::SegmentTable;
@@ -58,6 +57,7 @@ pub(crate) struct WorldInner {
     pub transport: Transport,
     pub ranks: Vec<Arc<RankShared>>,
     pub storage: Arc<NodeStorage>,
+    pub metrics: Arc<GaspiMetrics>,
 }
 
 impl WorldInner {
@@ -91,6 +91,7 @@ impl GaspiWorld {
             transport: owner.handle(),
             ranks,
             storage,
+            metrics: Arc::new(GaspiMetrics::default()),
         });
         // A dead rank's address space vanishes: wipe its segments and wake
         // every blocked waiter so they observe the new world.
@@ -122,6 +123,13 @@ impl GaspiWorld {
     /// copies).
     pub fn transport(&self) -> Transport {
         self.inner.transport.clone()
+    }
+
+    /// GASPI-layer operation counters, shared by all ranks of this world
+    /// (see [`GaspiMetrics`]). Transport-level counters live on
+    /// [`GaspiWorld::transport`]'s `metrics()`.
+    pub fn gaspi_metrics(&self) -> Arc<GaspiMetrics> {
+        Arc::clone(&self.inner.metrics)
     }
 
     /// The rank→node placement.

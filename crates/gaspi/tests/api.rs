@@ -3,8 +3,8 @@
 use std::time::Duration;
 
 use ft_gaspi::{
-    GaspiConfig, GaspiError, GaspiProc, GaspiResult, GaspiWorld, ProcState, RankOutcome,
-    ReduceOp, Timeout,
+    GaspiConfig, GaspiError, GaspiProc, GaspiResult, GaspiWorld, ProcState, RankOutcome, ReduceOp,
+    Timeout,
 };
 
 const SEG: u16 = 1;
@@ -63,9 +63,7 @@ fn read_fetches_remote_data() {
     let outs = world
         .launch(|p| {
             let g = setup_world(&p, 64)?;
-            p.with_segment_mut(SEG, |b| {
-                ft_gaspi::bytes::put_u64(b, 0, u64::from(p.rank()) * 11)
-            })?;
+            p.with_segment_mut(SEG, |b| ft_gaspi::bytes::put_u64(b, 0, u64::from(p.rank()) * 11))?;
             p.barrier(g, Timeout::Ms(5000))?; // everyone's data in place
             let target = (p.rank() + 1) % p.num_ranks();
             p.read(SEG, 8, target, SEG, 0, 8, Q)?;
@@ -257,7 +255,8 @@ fn atomics_fetch_add_and_cas() {
                 assert_eq!(total, 4);
             }
             // CAS: only one rank wins the swap 4 → 100.
-            let prev = p.atomic_compare_swap(0, SEG, 8, 0, u64::from(p.rank()) + 1, Timeout::Ms(5000))?;
+            let prev =
+                p.atomic_compare_swap(0, SEG, 8, 0, u64::from(p.rank()) + 1, Timeout::Ms(5000))?;
             p.barrier(g, Timeout::Ms(5000))?;
             Ok(prev == 0) // true for the single winner
         })
@@ -309,10 +308,7 @@ fn group_commit_detects_member_set_mismatch() {
                 p.group_add(g2, 1)?;
                 p.group_commit(g2, Timeout::Ms(400))
             };
-            Ok(matches!(
-                res,
-                Err(GaspiError::Group { .. }) | Err(GaspiError::Timeout) | Ok(())
-            ))
+            Ok(matches!(res, Err(GaspiError::Group { .. }) | Err(GaspiError::Timeout) | Ok(())))
         })
         .join();
     // Rank 1 commits a singleton {1}: succeeds trivially (no tokens
@@ -331,14 +327,8 @@ fn segment_errors_are_local_and_immediate() {
             assert!(matches!(p.segment_size(9), Err(GaspiError::Segment { .. })));
             p.segment_create(2, 16)?;
             assert!(matches!(p.segment_create(2, 16), Err(GaspiError::Segment { .. })));
-            assert!(matches!(
-                p.segment_read(2, 10, 10),
-                Err(GaspiError::Segment { .. })
-            ));
-            assert!(matches!(
-                p.write(2, 0, 0, 9, 0, 8, 99),
-                Err(GaspiError::InvalidArg(_))
-            ));
+            assert!(matches!(p.segment_read(2, 10, 10), Err(GaspiError::Segment { .. })));
+            assert!(matches!(p.write(2, 0, 0, 9, 0, 8, 99), Err(GaspiError::InvalidArg(_))));
             Ok(())
         })
         .join();

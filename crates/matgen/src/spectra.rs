@@ -61,7 +61,9 @@ impl ToeplitzTridiag {
     pub fn eigenvalues(&self) -> Vec<f64> {
         let n = self.n as usize;
         let mut v: Vec<f64> = (1..=n)
-            .map(|k| self.a + 2.0 * self.b * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .map(|k| {
+                self.a + 2.0 * self.b * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()
+            })
             .collect();
         v.sort_by(f64::total_cmp);
         v

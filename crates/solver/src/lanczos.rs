@@ -35,7 +35,9 @@ impl LanczosState {
     /// [`LanczosState::normalize`].
     pub fn init(local_start: u64, local_len: usize, seed: u64) -> Self {
         let v: Vec<f64> = (0..local_len as u64)
-            .map(|k| splitmix_u01(seed ^ (local_start + k).wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5)
+            .map(|k| {
+                splitmix_u01(seed ^ (local_start + k).wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5
+            })
             .collect();
         Self { v_prev: vec![0.0; local_len], v, alphas: Vec::new(), betas: Vec::new(), iter: 0 }
     }
@@ -98,11 +100,7 @@ impl LanczosState {
     /// Checkpoint payload: iteration, α, β, and the two Lanczos vectors.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::with_capacity(32 + 8 * (self.alphas.len() * 2 + self.v.len() * 2));
-        e.u64(self.iter)
-            .f64s(&self.alphas)
-            .f64s(&self.betas)
-            .f64s(&self.v_prev)
-            .f64s(&self.v);
+        e.u64(self.iter).f64s(&self.alphas).f64s(&self.betas).f64s(&self.v_prev).f64s(&self.v);
         e.finish()
     }
 

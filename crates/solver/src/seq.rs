@@ -20,9 +20,7 @@ impl SeqLanczos {
     pub fn run<G: RowGen>(gen: &G, iters: u64, seed: u64) -> Self {
         let n = gen.dim() as usize;
         let mut v: Vec<f64> = (0..n as u64)
-            .map(|k| {
-                splitmix_u01(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5
-            })
+            .map(|k| splitmix_u01(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) - 0.5)
             .collect();
         let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         v.iter_mut().for_each(|x| *x /= norm);

@@ -107,9 +107,8 @@ fn two_failures_still_bitwise_identical() {
     let clean = run_job(Arc::new(gen.clone()), 4, 4, iters, 10, FaultSchedule::none());
     let clean_s = summaries(&clean, 4);
 
-    let schedule = FaultSchedule::none()
-        .kill_rank_at_iteration(0, 23)
-        .kill_rank_at_iteration(2, 41);
+    let schedule =
+        FaultSchedule::none().kill_rank_at_iteration(0, 23).kill_rank_at_iteration(2, 41);
     let faulty = run_job(Arc::new(gen), 4, 4, iters, 10, schedule);
     let faulty_s = summaries(&faulty, 4);
     assert_eq!(clean_s[0].alphas, faulty_s[0].alphas);
@@ -136,10 +135,9 @@ fn convergence_check_stops_early_and_agrees() {
         conv_tol: 1e-9,
         ..FtLanczosConfig::fixed_iters(Arc::new(gen))
     });
-    let report =
-        run_ft_job(&world, cfg, FaultSchedule::none(), move |ctx| {
-            FtLanczos::new(ctx, Arc::clone(&app_cfg))
-        });
+    let report = run_ft_job(&world, cfg, FaultSchedule::none(), move |ctx| {
+        FtLanczos::new(ctx, Arc::clone(&app_cfg))
+    });
     let s = summaries(&report, 4);
     // All ranks stopped at the same iteration, before the cap.
     assert!(s.iter().all(|x| x.iters == s[0].iters));
@@ -164,9 +162,8 @@ fn sell_kernels_are_bitwise_identical_to_csr() {
             sell,
             ..FtLanczosConfig::fixed_iters(Arc::new(gen.clone()))
         });
-        let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-            FtLanczos::new(ctx, Arc::clone(&app_cfg))
-        });
+        let report =
+            run_ft_job(&world, cfg, schedule, move |ctx| FtLanczos::new(ctx, Arc::clone(&app_cfg)));
         summaries(&report, 3)
     };
     let csr = run_with(None, FaultSchedule::none());
@@ -174,7 +171,6 @@ fn sell_kernels_are_bitwise_identical_to_csr() {
     assert_eq!(csr[0].alphas, sell[0].alphas);
     assert_eq!(csr[0].betas, sell[0].betas);
     // And with a failure in the SELL run: still identical.
-    let sell_faulty =
-        run_with(Some((8, 32)), FaultSchedule::none().kill_rank_at_iteration(1, 23));
+    let sell_faulty = run_with(Some((8, 32)), FaultSchedule::none().kill_rank_at_iteration(1, 23));
     assert_eq!(csr[0].alphas, sell_faulty[0].alphas);
 }

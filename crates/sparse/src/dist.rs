@@ -63,7 +63,12 @@ impl DistMatrix {
     /// identically for the initial build (after negotiation) and for a
     /// rescue process that restored the plan from a checkpoint and
     /// regenerates the matrix chunk on the fly.
-    pub fn assemble<G: RowGen + ?Sized>(gen: &G, part: RowPartition, me: u32, plan: CommPlan) -> Self {
+    pub fn assemble<G: RowGen + ?Sized>(
+        gen: &G,
+        part: RowPartition,
+        me: u32,
+        plan: CommPlan,
+    ) -> Self {
         let my_rows = part.range(me);
         let local_len = part.len(me);
         let start = my_rows.start;

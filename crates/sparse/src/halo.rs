@@ -12,10 +12,31 @@
 //! allreduces that follow every spMVM; applications without a natural
 //! collective per iteration must add one (see the heat example).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use ft_core::{FtCtx, FtResult};
 use ft_gaspi::{bytes, GaspiProc, GaspiResult, SegId};
 
 use crate::plan::CommPlan;
+
+/// Point-in-time halo-exchange counters for one rank, carried out of the
+/// rank thread by application summaries and merged into the job-wide
+/// telemetry report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaloStats {
+    /// Completed halo exchanges (one per spMVM iteration).
+    pub exchanges: u64,
+    /// Stale notifications discarded (tags from pre-recovery traffic).
+    pub stale_drops: u64,
+}
+
+impl HaloStats {
+    /// Accumulate `other` into `self` (field-wise sum).
+    pub fn merge(&mut self, other: &HaloStats) {
+        self.exchanges += other.exchanges;
+        self.stale_drops += other.stale_drops;
+    }
+}
 
 /// The communication state of one rank's spMVM: two segments and the
 /// staging layout.
@@ -29,6 +50,10 @@ pub struct SpmvComm {
     pub queue: u16,
     /// Per-send staging offsets (slots).
     stage_offsets: Vec<usize>,
+    /// Completed exchanges (telemetry).
+    exchanges: AtomicU64,
+    /// Stale notification tags dropped (telemetry).
+    stale_drops: AtomicU64,
 }
 
 impl SpmvComm {
@@ -48,7 +73,22 @@ impl SpmvComm {
         }
         proc.segment_create(seg_halo, 8 * plan.halo_len.max(1))?;
         proc.segment_create(seg_stage, 8 * off.max(1))?;
-        Ok(Self { seg_halo, seg_stage, queue, stage_offsets })
+        Ok(Self {
+            seg_halo,
+            seg_stage,
+            queue,
+            stage_offsets,
+            exchanges: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+        })
+    }
+
+    /// Point-in-time readout of this rank's exchange counters.
+    pub fn stats(&self) -> HaloStats {
+        HaloStats {
+            exchanges: self.exchanges.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+        }
     }
 
     /// Notification tag for an iteration (non-zero as GASPI requires).
@@ -97,6 +137,7 @@ impl SpmvComm {
                 if v == tag {
                     break;
                 }
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
             }
         }
         // Read the full halo.
@@ -108,6 +149,7 @@ impl SpmvComm {
         })?;
         // Flush our writes before the iteration's collectives.
         ctx.wait_ft(self.queue)?;
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 

@@ -132,12 +132,10 @@ impl CommPlan {
         for _ in 0..nparts - 1 {
             let (_, payload) = proc.passive_receive(timeout)?;
             let mut d = Dec::new(&payload);
-            let from_app =
-                d.u32().map_err(|_| GaspiError::InvalidArg("malformed plan request"))?;
+            let from_app = d.u32().map_err(|_| GaspiError::InvalidArg("malformed plan request"))?;
             let dest_offset =
                 d.u64().map_err(|_| GaspiError::InvalidArg("malformed plan request"))? as usize;
-            let cols =
-                d.u64s().map_err(|_| GaspiError::InvalidArg("malformed plan request"))?;
+            let cols = d.u64s().map_err(|_| GaspiError::InvalidArg("malformed plan request"))?;
             if cols.is_empty() {
                 continue;
             }

@@ -57,14 +57,9 @@ impl SellCSigma {
         let mut cols = Vec::new();
         let mut vals = Vec::new();
         for chunk in 0..nchunks {
-            let rows: Vec<usize> = (chunk * c..((chunk + 1) * c).min(nrows))
-                .map(|k| perm[k] as usize)
-                .collect();
-            let width = rows
-                .iter()
-                .map(|&r| a.row_ptr[r + 1] - a.row_ptr[r])
-                .max()
-                .unwrap_or(0);
+            let rows: Vec<usize> =
+                (chunk * c..((chunk + 1) * c).min(nrows)).map(|k| perm[k] as usize).collect();
+            let width = rows.iter().map(|&r| a.row_ptr[r + 1] - a.row_ptr[r]).max().unwrap_or(0);
             chunk_len.push(width);
             // Column-major: entry j of every row in the chunk, then j+1...
             for j in 0..width {

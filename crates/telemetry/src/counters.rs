@@ -1,0 +1,136 @@
+//! The unified counter registry: one snapshot over all three counter
+//! families the stack maintains.
+//!
+//! Counters live where they are incremented — transport counters in
+//! [`ft_cluster::Metrics`], GASPI-layer counters in
+//! [`ft_gaspi::GaspiMetrics`], checkpoint-tier counters in each
+//! [`ft_checkpoint::Checkpointer`] — and a [`TelemetrySnapshot`] is the
+//! point-in-time readout across all of them. Harnesses take one snapshot
+//! before and one after a run and diff with [`TelemetrySnapshot::since`].
+
+use ft_checkpoint::CkptStats;
+use ft_cluster::MetricsSnapshot;
+use ft_gaspi::{GaspiSnapshot, GaspiWorld};
+
+use crate::json::Json;
+
+/// One point-in-time view over every counter family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Transport-level counters (messages, bytes, pings).
+    pub transport: MetricsSnapshot,
+    /// GASPI-layer counters (notifications, queue flushes, resumes).
+    pub gaspi: GaspiSnapshot,
+    /// Checkpoint-tier counters (writes, copies, spills, restores).
+    /// Zero unless filled in with [`TelemetrySnapshot::with_ckpt`]:
+    /// checkpointers are per-rank objects, so their stats arrive merged
+    /// through application summaries, not through the world.
+    pub ckpt: CkptStats,
+}
+
+impl TelemetrySnapshot {
+    /// Snapshot the world-held counter families (transport + GASPI).
+    pub fn of_world(world: &GaspiWorld) -> Self {
+        Self {
+            transport: world.transport().metrics().snapshot(),
+            gaspi: world.gaspi_metrics().snapshot(),
+            ckpt: CkptStats::default(),
+        }
+    }
+
+    /// Attach the checkpoint-tier counters (merged across ranks).
+    pub fn with_ckpt(mut self, ckpt: CkptStats) -> Self {
+        self.ckpt = ckpt;
+        self
+    }
+
+    /// Family-wise counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            transport: self.transport.since(&earlier.transport),
+            gaspi: self.gaspi.since(&earlier.gaspi),
+            ckpt: self.ckpt.since(&earlier.ckpt),
+        }
+    }
+
+    /// The snapshot as a JSON object with one sub-object per family.
+    pub fn to_json(&self) -> Json {
+        let t = &self.transport;
+        let g = &self.gaspi;
+        let c = &self.ckpt;
+        Json::obj([
+            (
+                "transport",
+                Json::obj([
+                    ("msg_posted", Json::num_u64(t.msg_posted)),
+                    ("bytes_posted", Json::num_u64(t.bytes_posted)),
+                    ("msg_delivered", Json::num_u64(t.msg_delivered)),
+                    ("msg_broken", Json::num_u64(t.msg_broken)),
+                    ("msg_dropped_dead_src", Json::num_u64(t.msg_dropped_dead_src)),
+                    ("pings", Json::num_u64(t.pings)),
+                    ("ping_errors", Json::num_u64(t.ping_errors)),
+                ]),
+            ),
+            (
+                "gaspi",
+                Json::obj([
+                    ("notifications_posted", Json::num_u64(g.notifications_posted)),
+                    ("queue_flush_waits", Json::num_u64(g.queue_flush_waits)),
+                    ("queue_flush_wait_ns", Json::num_u64(g.queue_flush_wait_ns)),
+                    ("barrier_resumes", Json::num_u64(g.barrier_resumes)),
+                    ("allreduce_resumes", Json::num_u64(g.allreduce_resumes)),
+                    ("group_commits", Json::num_u64(g.group_commits)),
+                ]),
+            ),
+            (
+                "checkpoint",
+                Json::obj([
+                    ("local_writes", Json::num_u64(c.local_writes)),
+                    ("bytes_local", Json::num_u64(c.bytes_local)),
+                    ("neighbor_copies", Json::num_u64(c.neighbor_copies)),
+                    ("copy_failures", Json::num_u64(c.copy_failures)),
+                    ("pfs_spills", Json::num_u64(c.pfs_spills)),
+                    ("restores_local", Json::num_u64(c.restores_local)),
+                    ("restores_neighbor", Json::num_u64(c.restores_neighbor)),
+                    ("restores_pfs", Json::num_u64(c.restores_pfs)),
+                    ("restore_bytes", Json::num_u64(c.restore_bytes)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_diffs_every_family() {
+        let a = TelemetrySnapshot {
+            transport: MetricsSnapshot { msg_posted: 10, ..Default::default() },
+            gaspi: GaspiSnapshot { notifications_posted: 4, ..Default::default() },
+            ckpt: CkptStats { local_writes: 3, ..Default::default() },
+        };
+        let b = TelemetrySnapshot {
+            transport: MetricsSnapshot { msg_posted: 7, ..Default::default() },
+            gaspi: GaspiSnapshot { notifications_posted: 1, ..Default::default() },
+            ckpt: CkptStats { local_writes: 1, ..Default::default() },
+        };
+        let d = a.since(&b);
+        assert_eq!(d.transport.msg_posted, 3);
+        assert_eq!(d.gaspi.notifications_posted, 3);
+        assert_eq!(d.ckpt.local_writes, 2);
+    }
+
+    #[test]
+    fn json_has_all_three_families() {
+        let j = TelemetrySnapshot::default().to_json();
+        for family in ["transport", "gaspi", "checkpoint"] {
+            assert!(j.get(family).is_some(), "missing {family}");
+        }
+        assert_eq!(
+            j.get("gaspi").and_then(|g| g.get("group_commits")).and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+}

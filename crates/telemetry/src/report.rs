@@ -1,0 +1,528 @@
+//! The overhead-decomposition reporter: from an [`EventLog`] to the
+//! paper's Fig. 4 / Table I quantities.
+//!
+//! The paper names three overhead factors per failure (§VI): **OHF1**,
+//! failure detection and acknowledgment; **OHF2**, re-building the worker
+//! group; **OHF3**, re-initializing the application from the last
+//! consistent checkpoint. On top of those comes the **redo time** — the
+//! recomputation of work lost since that checkpoint. Everything else is
+//! computation (including checkpoint writes, which the paper measures as
+//! negligible).
+//!
+//! [`OverheadReport::from_log`] reconstructs these per recovery epoch
+//! from the event stream the driver, detector and recovery path record:
+//!
+//! ```text
+//! KillFired .. FdDetect/FdAck .. FailureSignal .. GroupRebuilt .. Restored .. RedoComplete
+//! |<-------------- OHF1 -------------->|<-- OHF2 -->|<-- OHF3 -->|<-- redo -->|
+//! ```
+//!
+//! with the kill instant taken as the latest `KillFired` at or before the
+//! epoch's acknowledgment (timed kills fire between events; the FD scan
+//! that caught them upper-bounds the moment).
+
+use std::time::Duration;
+
+use ft_core::{Event, EventKind, EventLog};
+
+use crate::counters::TelemetrySnapshot;
+use crate::json::Json;
+
+/// Schema identifier embedded in every JSON report.
+pub const SCHEMA: &str = "gaspi-ft/overhead-report/v1";
+
+/// The reconstructed timeline of one recovery epoch. All instants are on
+/// the job clock (time since the event log was created).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochTimeline {
+    /// Recovery epoch (1 = first failure).
+    pub epoch: u64,
+    /// Failures the FD detected in this epoch.
+    pub failures: usize,
+    /// The (upper-bounded) kill instant.
+    pub t_kill: Duration,
+    /// When the FD finished acknowledging the failure.
+    pub t_ack: Duration,
+    /// When the last worker observed the failure signal.
+    pub t_signal: Duration,
+    /// When the worker group was rebuilt (clamped into
+    /// `[t_signal, t_restored]`; equals `t_signal` if no `GroupRebuilt`
+    /// event was recorded).
+    pub t_rebuilt: Duration,
+    /// When the last worker finished restoring.
+    pub t_restored: Duration,
+    /// When the redo work was recomputed.
+    pub t_redo: Duration,
+}
+
+impl EpochTimeline {
+    /// OHF1: failure detection and acknowledgment.
+    pub fn detect(&self) -> Duration {
+        self.t_signal.saturating_sub(self.t_kill)
+    }
+
+    /// OHF2: re-building the worker group.
+    pub fn rebuild(&self) -> Duration {
+        self.t_rebuilt.saturating_sub(self.t_signal)
+    }
+
+    /// OHF3: re-initializing from the last consistent checkpoint.
+    pub fn restore(&self) -> Duration {
+        self.t_restored.saturating_sub(self.t_rebuilt)
+    }
+
+    /// OHF2 + OHF3 — Fig. 4's "re-initialize" bar segment.
+    pub fn reinit(&self) -> Duration {
+        self.t_restored.saturating_sub(self.t_signal)
+    }
+
+    /// Redo-work time.
+    pub fn redo(&self) -> Duration {
+        self.t_redo.saturating_sub(self.t_restored)
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("epoch", Json::num_u64(self.epoch)),
+            ("failures", Json::num_u64(self.failures as u64)),
+            ("t_kill_s", Json::Num(self.t_kill.as_secs_f64())),
+            ("t_ack_s", Json::Num(self.t_ack.as_secs_f64())),
+            ("t_signal_s", Json::Num(self.t_signal.as_secs_f64())),
+            ("t_rebuilt_s", Json::Num(self.t_rebuilt.as_secs_f64())),
+            ("t_restored_s", Json::Num(self.t_restored.as_secs_f64())),
+            ("t_redo_s", Json::Num(self.t_redo.as_secs_f64())),
+            ("ohf1_s", Json::Num(self.detect().as_secs_f64())),
+            ("ohf2_s", Json::Num(self.rebuild().as_secs_f64())),
+            ("ohf3_s", Json::Num(self.restore().as_secs_f64())),
+            ("redo_s", Json::Num(self.redo().as_secs_f64())),
+        ])
+    }
+}
+
+/// FD ping-scan statistics over the run (the paper's "Avg. ping scan
+/// time", Table I). Mean/min/max are over *failure-free* scans only, as
+/// in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Total scans performed (including those that found failures).
+    pub scans: u64,
+    /// Failure-free scans among them.
+    pub failure_free: u64,
+    /// Mean failure-free scan duration.
+    pub mean: Duration,
+    /// Shortest failure-free scan.
+    pub min: Duration,
+    /// Longest failure-free scan.
+    pub max: Duration,
+}
+
+impl ScanStats {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("scans", Json::num_u64(self.scans)),
+            ("failure_free", Json::num_u64(self.failure_free)),
+            ("mean_s", Json::Num(self.mean.as_secs_f64())),
+            ("min_s", Json::Num(self.min.as_secs_f64())),
+            ("max_s", Json::Num(self.max.as_secs_f64())),
+        ])
+    }
+}
+
+/// The paper's overhead decomposition for one job run.
+#[derive(Debug, Clone, Default)]
+pub struct OverheadReport {
+    /// Total wall time (job start → last worker finished).
+    pub total: Duration,
+    /// Σ OHF1 over epochs.
+    pub detect: Duration,
+    /// Σ (OHF2 + OHF3) over epochs.
+    pub reinit: Duration,
+    /// Σ redo time over epochs.
+    pub redo: Duration,
+    /// Remainder: pure computation (incl. checkpoint writes).
+    pub compute: Duration,
+    /// Failures detected in total.
+    pub failures: usize,
+    /// Per-epoch recovery timelines, ascending by epoch.
+    pub epochs: Vec<EpochTimeline>,
+    /// FD scan statistics, if any scan was recorded.
+    pub scan: Option<ScanStats>,
+    /// The FD itself joined the workers (paper restriction 2).
+    pub fd_promoted: bool,
+    /// Shadow-detector takeovers observed (paper §VIII redundancy).
+    pub fd_takeovers: usize,
+    /// Failures exceeded the spare pool (paper restriction 1).
+    pub capacity_exhausted: bool,
+    /// Counter registry deltas for the run, if the harness attached them.
+    pub counters: Option<TelemetrySnapshot>,
+}
+
+impl OverheadReport {
+    /// Decompose a job's event log.
+    pub fn from_log(log: &EventLog) -> Self {
+        Self::from_events(&log.snapshot())
+    }
+
+    /// Decompose an already-snapshotted event stream.
+    pub fn from_events(ev: &[Event]) -> Self {
+        let total = ev
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Finished { .. }))
+            .map(|e| e.t)
+            .max()
+            .unwrap_or_default();
+
+        let mut epoch_ids: Vec<u64> = ev
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::FdDetect { epoch, .. } => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        epoch_ids.sort_unstable();
+        epoch_ids.dedup();
+
+        let max_t = |pred: &dyn Fn(&EventKind) -> bool| {
+            ev.iter().filter(|x| pred(&x.kind)).map(|x| x.t).max()
+        };
+
+        let mut epochs = Vec::with_capacity(epoch_ids.len());
+        let mut failures = 0usize;
+        for &e in &epoch_ids {
+            let t_ack = max_t(&|k| matches!(*k, EventKind::FdAck { epoch } if epoch == e))
+                .unwrap_or_default();
+            let t_kill = ev
+                .iter()
+                .filter(|x| matches!(x.kind, EventKind::KillFired { .. }) && x.t <= t_ack)
+                .map(|x| x.t)
+                .max()
+                .unwrap_or(t_ack);
+            let t_signal =
+                max_t(&|k| matches!(*k, EventKind::FailureSignal { epoch } if epoch == e))
+                    .unwrap_or(t_ack);
+            let t_restored =
+                max_t(&|k| matches!(*k, EventKind::Restored { epoch, .. } if epoch == e))
+                    .unwrap_or(t_signal);
+            let t_rebuilt =
+                max_t(&|k| matches!(*k, EventKind::GroupRebuilt { epoch } if epoch == e))
+                    .unwrap_or(t_signal)
+                    .clamp(t_signal, t_restored);
+            let t_redo =
+                max_t(&|k| matches!(*k, EventKind::RedoComplete { epoch, .. } if epoch == e))
+                    .unwrap_or(t_restored);
+            let n: usize = ev
+                .iter()
+                .filter_map(|x| match &x.kind {
+                    EventKind::FdDetect { epoch, failed } if *epoch == e => Some(failed.len()),
+                    _ => None,
+                })
+                .sum();
+            failures += n;
+            epochs.push(EpochTimeline {
+                epoch: e,
+                failures: n,
+                t_kill,
+                t_ack,
+                t_signal,
+                t_rebuilt,
+                t_restored,
+                t_redo,
+            });
+        }
+
+        let detect: Duration = epochs.iter().map(EpochTimeline::detect).sum();
+        let reinit: Duration = epochs.iter().map(EpochTimeline::reinit).sum();
+        let redo: Duration = epochs.iter().map(EpochTimeline::redo).sum();
+        let compute = total.saturating_sub(detect + reinit + redo);
+
+        let mut scans = 0u64;
+        let mut free = Vec::new();
+        for x in ev {
+            if let EventKind::FdScan { dur, found_failures, .. } = x.kind {
+                scans += 1;
+                if !found_failures {
+                    free.push(dur);
+                }
+            }
+        }
+        let scan = (scans > 0).then(|| {
+            let sum: Duration = free.iter().sum();
+            ScanStats {
+                scans,
+                failure_free: free.len() as u64,
+                mean: sum.checked_div(free.len() as u32).unwrap_or_default(),
+                min: free.iter().min().copied().unwrap_or_default(),
+                max: free.iter().max().copied().unwrap_or_default(),
+            }
+        });
+
+        OverheadReport {
+            total,
+            detect,
+            reinit,
+            redo,
+            compute,
+            failures,
+            epochs,
+            scan,
+            fd_promoted: ev.iter().any(|x| matches!(x.kind, EventKind::FdPromoted)),
+            fd_takeovers: ev
+                .iter()
+                .filter(|x| matches!(x.kind, EventKind::FdTakeover { .. }))
+                .count(),
+            capacity_exhausted: ev.iter().any(|x| matches!(x.kind, EventKind::CapacityExhausted)),
+            counters: None,
+        }
+    }
+
+    /// Attach the run's counter deltas (see [`TelemetrySnapshot`]).
+    pub fn with_counters(mut self, counters: TelemetrySnapshot) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Recovery rounds observed.
+    pub fn recoveries(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Σ OHF2 (group rebuild) over epochs.
+    pub fn rebuild(&self) -> Duration {
+        self.epochs.iter().map(EpochTimeline::rebuild).sum()
+    }
+
+    /// Σ OHF3 (restore) over epochs.
+    pub fn restore(&self) -> Duration {
+        self.epochs.iter().map(EpochTimeline::restore).sum()
+    }
+
+    /// Total overhead (everything that is not computation).
+    pub fn overhead(&self) -> Duration {
+        self.detect + self.reinit + self.redo
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("total_s", Json::Num(self.total.as_secs_f64())),
+            ("compute_s", Json::Num(self.compute.as_secs_f64())),
+            ("ohf1_detect_s", Json::Num(self.detect.as_secs_f64())),
+            ("ohf2_rebuild_s", Json::Num(self.rebuild().as_secs_f64())),
+            ("ohf3_restore_s", Json::Num(self.restore().as_secs_f64())),
+            ("reinit_s", Json::Num(self.reinit.as_secs_f64())),
+            ("redo_s", Json::Num(self.redo.as_secs_f64())),
+            ("recoveries", Json::num_u64(self.recoveries() as u64)),
+            ("failures", Json::num_u64(self.failures as u64)),
+            ("fd_promoted", Json::Bool(self.fd_promoted)),
+            ("fd_takeovers", Json::num_u64(self.fd_takeovers as u64)),
+            ("capacity_exhausted", Json::Bool(self.capacity_exhausted)),
+            ("epochs", Json::Arr(self.epochs.iter().map(|e| e.to_json()).collect())),
+            ("scan", self.scan.map_or(Json::Null, ScanStats::to_json)),
+            ("counters", self.counters.as_ref().map_or(Json::Null, TelemetrySnapshot::to_json)),
+        ])
+    }
+
+    /// The report rendered as one compact JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_cluster::Rank;
+
+    fn at(ms: u64, rank: Rank, kind: EventKind) -> Event {
+        Event { t: Duration::from_millis(ms), rank, kind }
+    }
+
+    /// Two failure epochs with hand-placed instants; every decomposition
+    /// component is checked against the hand-computed value.
+    #[test]
+    fn two_epochs_hand_computed() {
+        let ev = vec![
+            at(0, 0, EventKind::SetupDone),
+            at(
+                5,
+                4,
+                EventKind::FdScan {
+                    dur: Duration::from_millis(2),
+                    targets: 5,
+                    found_failures: false,
+                },
+            ),
+            // Epoch 1: kill at 100, detected at 110, signal at 115,
+            // rebuilt at 118, restored at 130, redo done at 150.
+            at(100, 2, EventKind::KillFired { iter: 40 }),
+            at(
+                108,
+                4,
+                EventKind::FdScan {
+                    dur: Duration::from_millis(3),
+                    targets: 5,
+                    found_failures: true,
+                },
+            ),
+            at(108, 4, EventKind::FdDetect { epoch: 1, failed: vec![2] }),
+            at(110, 4, EventKind::FdAck { epoch: 1 }),
+            at(115, 0, EventKind::FailureSignal { epoch: 1 }),
+            at(118, 0, EventKind::GroupRebuilt { epoch: 1 }),
+            at(130, 0, EventKind::Restored { epoch: 1, iter: 20 }),
+            at(150, 0, EventKind::RedoComplete { epoch: 1, iter: 40 }),
+            // Epoch 2: kill at 200, acked at 220, signal 224, rebuilt
+            // 230, restored 240, redo done 270. Two ranks died.
+            at(200, 1, EventKind::KillFired { iter: 60 }),
+            at(218, 4, EventKind::FdDetect { epoch: 2, failed: vec![1, 3] }),
+            at(220, 4, EventKind::FdAck { epoch: 2 }),
+            at(224, 0, EventKind::FailureSignal { epoch: 2 }),
+            at(230, 0, EventKind::GroupRebuilt { epoch: 2 }),
+            at(240, 0, EventKind::Restored { epoch: 2, iter: 40 }),
+            at(270, 0, EventKind::RedoComplete { epoch: 2, iter: 60 }),
+            at(
+                290,
+                7,
+                EventKind::FdScan {
+                    dur: Duration::from_millis(4),
+                    targets: 5,
+                    found_failures: false,
+                },
+            ),
+            at(300, 0, EventKind::Finished { iter: 100 }),
+            at(299, 1, EventKind::Finished { iter: 100 }),
+        ];
+        let r = OverheadReport::from_events(&ev);
+
+        assert_eq!(r.total, Duration::from_millis(300));
+        assert_eq!(r.recoveries(), 2);
+        assert_eq!(r.failures, 3);
+
+        let e1 = &r.epochs[0];
+        assert_eq!(e1.detect(), Duration::from_millis(15)); // 115 - 100
+        assert_eq!(e1.rebuild(), Duration::from_millis(3)); // 118 - 115
+        assert_eq!(e1.restore(), Duration::from_millis(12)); // 130 - 118
+        assert_eq!(e1.redo(), Duration::from_millis(20)); // 150 - 130
+
+        let e2 = &r.epochs[1];
+        assert_eq!(e2.failures, 2);
+        assert_eq!(e2.detect(), Duration::from_millis(24)); // 224 - 200
+        assert_eq!(e2.reinit(), Duration::from_millis(16)); // 240 - 224
+        assert_eq!(e2.rebuild() + e2.restore(), e2.reinit());
+        assert_eq!(e2.redo(), Duration::from_millis(30)); // 270 - 240
+
+        assert_eq!(r.detect, Duration::from_millis(15 + 24));
+        assert_eq!(r.reinit, Duration::from_millis(15 + 16));
+        assert_eq!(r.redo, Duration::from_millis(20 + 30));
+        assert_eq!(r.compute, r.total - r.overhead());
+
+        let scan = r.scan.expect("scans recorded");
+        assert_eq!(scan.scans, 3);
+        assert_eq!(scan.failure_free, 2);
+        assert_eq!(scan.mean, Duration::from_millis(3)); // (2 + 4) / 2
+        assert_eq!(scan.min, Duration::from_millis(2));
+        assert_eq!(scan.max, Duration::from_millis(4));
+
+        assert!(!r.fd_promoted);
+        assert!(!r.capacity_exhausted);
+        assert_eq!(r.fd_takeovers, 0);
+    }
+
+    /// A timed kill (no `KillFired` event) falls back to the ack instant:
+    /// OHF1 then measures only signal propagation past the ack.
+    #[test]
+    fn timed_kill_uses_ack_as_kill_instant() {
+        let ev = vec![
+            at(50, 4, EventKind::FdDetect { epoch: 1, failed: vec![0] }),
+            at(52, 4, EventKind::FdAck { epoch: 1 }),
+            at(55, 1, EventKind::FailureSignal { epoch: 1 }),
+            at(60, 1, EventKind::Restored { epoch: 1, iter: 0 }),
+            at(90, 1, EventKind::Finished { iter: 10 }),
+        ];
+        let r = OverheadReport::from_events(&ev);
+        let e = &r.epochs[0];
+        assert_eq!(e.t_kill, Duration::from_millis(52));
+        assert_eq!(e.detect(), Duration::from_millis(3)); // 55 - 52
+                                                          // No GroupRebuilt event: the whole reinit is attributed to OHF3.
+        assert_eq!(e.rebuild(), Duration::ZERO);
+        assert_eq!(e.restore(), Duration::from_millis(5));
+        assert_eq!(e.redo(), Duration::ZERO);
+    }
+
+    /// FD promotion (restriction 2): the flag surfaces and the promoted
+    /// epoch still decomposes.
+    #[test]
+    fn fd_promoted_flag_and_epoch() {
+        let ev = vec![
+            at(10, 0, EventKind::KillFired { iter: 5 }),
+            at(20, 4, EventKind::FdDetect { epoch: 1, failed: vec![0] }),
+            at(22, 4, EventKind::FdAck { epoch: 1 }),
+            at(22, 4, EventKind::FdPromoted),
+            at(25, 4, EventKind::Activated { app_rank: 0 }),
+            at(30, 4, EventKind::Restored { epoch: 1, iter: 0 }),
+            at(60, 4, EventKind::Finished { iter: 10 }),
+        ];
+        let r = OverheadReport::from_events(&ev);
+        assert!(r.fd_promoted);
+        assert_eq!(r.recoveries(), 1);
+        // No FailureSignal (the promoted FD is the lone worker): the
+        // signal instant falls back to the ack.
+        assert_eq!(r.epochs[0].detect(), Duration::from_millis(12)); // 22 - 10
+        assert_eq!(r.epochs[0].reinit(), Duration::from_millis(8)); // 30 - 22
+    }
+
+    /// Capacity exhaustion (restriction 1): flagged, and an epoch with no
+    /// recovery contributes detection time only.
+    #[test]
+    fn capacity_exhausted_flag() {
+        let ev = vec![
+            at(10, 0, EventKind::KillFired { iter: 5 }),
+            at(20, 4, EventKind::FdDetect { epoch: 1, failed: vec![0] }),
+            at(21, 4, EventKind::FdAck { epoch: 1 }),
+            at(21, 4, EventKind::CapacityExhausted),
+            at(23, 1, EventKind::FailureSignal { epoch: 1 }),
+        ];
+        let r = OverheadReport::from_events(&ev);
+        assert!(r.capacity_exhausted);
+        assert_eq!(r.total, Duration::ZERO); // nobody finished
+        assert_eq!(r.epochs[0].detect(), Duration::from_millis(13));
+        assert_eq!(r.epochs[0].reinit(), Duration::ZERO);
+        assert_eq!(r.epochs[0].redo(), Duration::ZERO);
+    }
+
+    /// Empty log → all-zero report, no panics.
+    #[test]
+    fn empty_log() {
+        let r = OverheadReport::from_events(&[]);
+        assert_eq!(r.total, Duration::ZERO);
+        assert_eq!(r.recoveries(), 0);
+        assert!(r.scan.is_none());
+        let j = r.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    }
+
+    /// The JSON document round-trips through the bundled parser and keeps
+    /// the decomposition identity total = compute + overheads.
+    #[test]
+    fn json_roundtrip_and_identity() {
+        let ev = vec![
+            at(10, 0, EventKind::KillFired { iter: 5 }),
+            at(20, 4, EventKind::FdDetect { epoch: 1, failed: vec![0] }),
+            at(21, 4, EventKind::FdAck { epoch: 1 }),
+            at(24, 1, EventKind::FailureSignal { epoch: 1 }),
+            at(26, 1, EventKind::GroupRebuilt { epoch: 1 }),
+            at(30, 1, EventKind::Restored { epoch: 1, iter: 0 }),
+            at(45, 1, EventKind::RedoComplete { epoch: 1, iter: 5 }),
+            at(100, 1, EventKind::Finished { iter: 20 }),
+        ];
+        let r = OverheadReport::from_events(&ev).with_counters(TelemetrySnapshot::default());
+        let j = Json::parse(&r.to_json_string()).expect("valid JSON");
+        let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap();
+        let total = f("total_s");
+        let parts = f("compute_s") + f("ohf1_detect_s") + f("reinit_s") + f("redo_s");
+        assert!((total - parts).abs() < 1e-9, "identity broken: {total} vs {parts}");
+        assert!((f("ohf2_rebuild_s") + f("ohf3_restore_s") - f("reinit_s")).abs() < 1e-9);
+        assert!(j.get("counters").and_then(|c| c.get("transport")).is_some());
+        assert_eq!(j.get("epochs").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+    }
+}

@@ -60,7 +60,9 @@ fn main() {
     let w0 = world.proc_handle(0);
     w0.proc_kill(5, Timeout::Ms(1000)).unwrap();
     assert!(!fault.is_alive(5));
-    println!("proc_kill(5) from a worker enforced death — the false positive cannot corrupt the program");
+    println!(
+        "proc_kill(5) from a worker enforced death — the false positive cannot corrupt the program"
+    );
 
     // ---- the rejected alternatives ------------------------------------
     let peers: Vec<Rank> = (1..n - 1).collect();

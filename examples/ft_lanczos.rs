@@ -37,9 +37,8 @@ fn run(schedule: FaultSchedule, label: &str) -> JobReport<LanczosSummary> {
 
     println!("== {label} ==");
     let t0 = Instant::now();
-    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-        FtLanczos::new(ctx, Arc::clone(&app_cfg))
-    });
+    let report =
+        run_ft_job(&world, cfg, schedule, move |ctx| FtLanczos::new(ctx, Arc::clone(&app_cfg)));
     println!("  wall time: {:?}", t0.elapsed());
     report
 }
@@ -78,7 +77,10 @@ fn main() {
                 println!("    {:>9.3?}  FD acknowledges epoch {epoch} to all healthy ranks", e.t)
             }
             EventKind::Activated { app_rank } => {
-                println!("    {:>9.3?}  rank {} activated as rescue for app rank {app_rank}", e.t, e.rank)
+                println!(
+                    "    {:>9.3?}  rank {} activated as rescue for app rank {app_rank}",
+                    e.t, e.rank
+                )
             }
             EventKind::GroupRebuilt { epoch } if e.rank == 0 => {
                 println!("    {:>9.3?}  worker group rebuilt (epoch {epoch})", e.t)
@@ -96,15 +98,12 @@ fn main() {
     // ---- the punchline ----------------------------------------------
     let faulty_s = faulty.worker_summaries();
     assert_eq!(clean_s.len(), faulty_s.len(), "all app ranks must finish in both runs");
-    let identical = clean_s[0].1.alphas == faulty_s[0].1.alphas
-        && clean_s[0].1.betas == faulty_s[0].1.betas;
+    let identical =
+        clean_s[0].1.alphas == faulty_s[0].1.alphas && clean_s[0].1.betas == faulty_s[0].1.betas;
     println!(
         "\nα/β histories of failure-free vs recovered run: {}",
         if identical { "IDENTICAL (bit for bit)" } else { "DIFFERENT (bug!)" }
     );
     assert!(identical);
-    println!(
-        "lowest eigenvalue (both runs): {:.12}",
-        faulty_s[0].1.eigenvalues[0]
-    );
+    println!("lowest eigenvalue (both runs): {:.12}", faulty_s[0].1.eigenvalues[0]);
 }

@@ -33,12 +33,11 @@ fn main() {
         ..HeatConfig::new(32, 32)
     });
 
-    let schedule = FaultSchedule::none()
-        .timed(Duration::from_millis(150), FaultAction::KillNode(NodeId(1)));
+    let schedule =
+        FaultSchedule::none().timed(Duration::from_millis(150), FaultAction::KillNode(NodeId(1)));
 
-    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-        FtHeat::new(ctx, Arc::clone(&app_cfg))
-    });
+    let report =
+        run_ft_job(&world, cfg, schedule, move |ctx| FtHeat::new(ctx, Arc::clone(&app_cfg)));
 
     println!("killed ranks: {:?} (node 1 = ranks 2 and 3)", report.killed());
     let summaries = report.worker_summaries();
@@ -50,10 +49,7 @@ fn main() {
         s.iters, s.residual, s.solution_norm
     );
     for (app, x) in &summaries {
-        assert_eq!(
-            x.solution_norm, s.solution_norm,
-            "app rank {app} disagrees on the solution"
-        );
+        assert_eq!(x.solution_norm, s.solution_norm, "app rank {app} disagrees on the solution");
     }
     println!("all workers agree on the solution — recovery preserved the field exactly");
 }

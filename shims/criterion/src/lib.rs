@@ -1,0 +1,234 @@
+//! Vendored stand-in for the subset of `criterion` used by this
+//! workspace's micro-benchmarks. It keeps the real crate's API shape
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) but replaces the
+//! statistical machinery with a simple timed loop and plain-text output:
+//! a fixed warm-up iteration, then `sample_size` timed iterations whose
+//! mean is printed per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: u64,
+    /// Mean wall time of one iteration, filled in by `iter`/`iter_custom`.
+    mean: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: u64) -> Self {
+        Self { sample_size, mean: Duration::ZERO }
+    }
+
+    /// Time `routine` over `sample_size` iterations (after one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let n = self.sample_size.max(1);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.mean = t0.elapsed() / n as u32;
+    }
+
+    /// Like `iter`, but `routine` measures itself: it receives an
+    /// iteration count and returns the total elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let n = self.sample_size.max(1);
+        let total = routine(n);
+        self.mean = total / n as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver (plain-text reporting only).
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim times a fixed number of
+    /// iterations rather than a wall-clock budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark closure and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b);
+        println!("{:<50} {}", name, fmt_duration(b.mean));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Criterion::measurement_time`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b);
+        println!("{:<50} {}", format!("{}/{}", self.name, id.label), fmt_duration(b.mean));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b, input);
+        println!("{:<50} {}", format!("{}/{}", self.name, id.label), fmt_duration(b.mean));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures() {
+        let mut b = Bencher::new(3);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3 samples
+    }
+
+    #[test]
+    fn bencher_iter_custom_divides() {
+        let mut b = Bencher::new(4);
+        b.iter_custom(|iters| Duration::from_millis(iters * 2));
+        assert_eq!(b.mean, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1).measurement_time(Duration::from_secs(1));
+        g.bench_with_input(BenchmarkId::new("f", 8), &8u32, |b, &x| {
+            b.iter(|| black_box(x + 1));
+        });
+        g.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| ()));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| ()));
+    }
+}

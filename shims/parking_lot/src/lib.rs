@@ -1,0 +1,293 @@
+//! Vendored stand-in for the subset of `parking_lot` used by this
+//! workspace: `Mutex`, `RwLock`, and `Condvar` without lock poisoning.
+//!
+//! The simulation kills ranks by unwinding their threads (see
+//! `ft_cluster::RankKilled`), which with `std::sync` primitives would
+//! poison every lock the victim held. Like the real `parking_lot`, these
+//! wrappers ignore poisoning entirely, so survivors keep working — that
+//! behavior is load-bearing, not a convenience.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, TryLockError};
+use std::time::{Duration, Instant};
+
+/// Mutual exclusion primitive; `lock` never fails and never observes
+/// poison.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar` can temporarily take the underlying std guard.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Poison is ignored.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(g) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(TryLockError::Poisoned(p)) => Some(MutexGuard { inner: Some(p.into_inner()) }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+/// Reader-writer lock; like [`Mutex`], never observes poison.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap `value` in a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let g = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { inner: g }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let g = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { inner: g }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable paired with [`Mutex`] guards.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub const fn new() -> Self {
+        Self { inner: sync::Condvar::new() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified (spurious wakeups possible, as usual).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok(pair) => pair,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        *m.lock() += 1; // must not panic on poison
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_timed_wait_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+        let res = cv.wait_until(&mut g, Instant::now());
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+}

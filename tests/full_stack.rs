@@ -38,8 +38,7 @@ fn lanczos_survives_node_failure_with_colocated_ranks() {
     // Two ranks per node; node 1 (ranks 2,3) dies by wall clock. The
     // neighbor-level checkpoints on node 2 carry the recovery.
     let layout = WorldLayout::new(6, 4);
-    let world =
-        GaspiWorld::new(GaspiConfig::deterministic(layout.total()).with_ranks_per_node(2));
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()).with_ranks_per_node(2));
     let mut cfg = FtConfig::new(layout);
     cfg.max_iters = 400;
     cfg.checkpoint_every = 50;
@@ -50,11 +49,10 @@ fn lanczos_survives_node_failure_with_colocated_ranks() {
         pfs: Some(Pfs::new(PfsConfig::instant())),
         ..FtLanczosConfig::fixed_iters(Arc::new(gen))
     });
-    let schedule = FaultSchedule::none()
-        .timed(Duration::from_millis(60), FaultAction::KillNode(NodeId(1)));
-    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-        FtLanczos::new(ctx, Arc::clone(&app_cfg))
-    });
+    let schedule =
+        FaultSchedule::none().timed(Duration::from_millis(60), FaultAction::KillNode(NodeId(1)));
+    let report =
+        run_ft_job(&world, cfg, schedule, move |ctx| FtLanczos::new(ctx, Arc::clone(&app_cfg)));
     let mut killed = report.killed();
     killed.sort_unstable();
     assert_eq!(killed, vec![2, 3]);
@@ -65,11 +63,7 @@ fn lanczos_survives_node_failure_with_colocated_ranks() {
         assert_eq!(x.iters, 400);
     }
     // Two rescues were activated for the two dead ranks.
-    let rescues = report
-        .completed()
-        .into_iter()
-        .filter(|r| r.role == Role::Rescue)
-        .count();
+    let rescues = report.completed().into_iter().filter(|r| r.role == Role::Rescue).count();
     assert_eq!(rescues, 2);
 }
 
@@ -86,11 +80,9 @@ fn heat_app_converges_through_failure() {
         tol: 1e-5,
         ..HeatConfig::new(24, 24)
     });
-    let schedule = FaultSchedule::none()
-        .timed(Duration::from_millis(80), FaultAction::KillRank(1));
-    let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-        FtHeat::new(ctx, Arc::clone(&app_cfg))
-    });
+    let schedule = FaultSchedule::none().timed(Duration::from_millis(80), FaultAction::KillRank(1));
+    let report =
+        run_ft_job(&world, cfg, schedule, move |ctx| FtHeat::new(ctx, Arc::clone(&app_cfg)));
     assert_eq!(report.killed(), vec![1]);
     let s = report.worker_summaries();
     assert_eq!(s.len(), 4);
@@ -116,16 +108,15 @@ fn failure_free_and_failed_heat_agree_on_the_physics() {
             tol: 1e-6,
             ..HeatConfig::new(16, 16)
         });
-        let report = run_ft_job(&world, cfg, schedule, move |ctx| {
-            FtHeat::new(ctx, Arc::clone(&app_cfg))
-        });
+        let report =
+            run_ft_job(&world, cfg, schedule, move |ctx| FtHeat::new(ctx, Arc::clone(&app_cfg)));
         let s = report.worker_summaries();
         assert_eq!(s.len(), 3);
         (s[0].1.iters, s[0].1.solution_norm)
     };
     let (clean_iters, clean_norm) = run(FaultSchedule::none());
-    let (faulty_iters, faulty_norm) = run(FaultSchedule::none()
-        .timed(Duration::from_millis(50), FaultAction::KillRank(2)));
+    let (faulty_iters, faulty_norm) =
+        run(FaultSchedule::none().timed(Duration::from_millis(50), FaultAction::KillRank(2)));
     assert_eq!(clean_norm, faulty_norm, "recovered run must land on the same field");
     assert_eq!(clean_iters, faulty_iters, "same convergence trajectory");
 }
