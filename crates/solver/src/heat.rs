@@ -168,9 +168,14 @@ impl FtApp for FtHeat {
         let dm = self.dm.as_ref().expect("step before setup");
         let comm = self.comm.as_ref().expect("step before setup");
         let tag = SpmvComm::tag_for_iter(iter);
-        comm.exchange(ctx, &dm.plan, &self.u, tag, &mut self.halo)?;
+        // Split-phase: the local product runs while the halo is in
+        // flight; the residual allreduce below is the inter-iteration
+        // barrier that keeps the halo buffers race-free.
+        let pending = comm.post(ctx, &dm.plan, &self.u, tag)?;
         let mut au = vec![0.0; self.u.len()];
-        dm.spmv(&self.u, &self.halo, &mut au);
+        dm.spmv_local(&self.u, &mut au);
+        comm.wait(ctx, &dm.plan, pending, &mut self.halo)?;
+        dm.spmv_remote_add(&self.halo, &mut au);
         // Damped Jacobi update u += ω (b − A·u) / diag, with the residual
         // reduction as the global step synchronization.
         let mut local_r2 = 0.0;

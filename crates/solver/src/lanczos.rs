@@ -55,6 +55,12 @@ impl LanczosState {
     /// One Lanczos step: `w = A·v_j`, `α_j = w·v_j`,
     /// `w ← w − α_j v_j − β_j v_{j−1}`, `β_{j+1} = ‖w‖`,
     /// `v_{j+1} = w / β_{j+1}` (collective).
+    ///
+    /// The halo exchange is split-phase: `a_loc·v` runs while the halo
+    /// values are in flight, and only the remote part waits for them. The
+    /// two allreduces below double as the inter-iteration barrier that
+    /// keeps a partner's `post(k+1)` from overwriting our halo before the
+    /// `wait(k)` here consumed it.
     pub fn step(
         &mut self,
         ctx: &FtCtx,
@@ -63,9 +69,11 @@ impl LanczosState {
         halo: &mut Vec<f64>,
     ) -> FtResult<()> {
         let tag = SpmvComm::tag_for_iter(self.iter);
-        comm.exchange(ctx, &dm.plan, &self.v, tag, halo)?;
+        let pending = comm.post(ctx, &dm.plan, &self.v, tag)?;
         let mut w = vec![0.0; self.v.len()];
-        dm.spmv(&self.v, halo, &mut w);
+        dm.spmv_local(&self.v, &mut w);
+        comm.wait(ctx, &dm.plan, pending, halo)?;
+        dm.spmv_remote_add(halo, &mut w);
         let alpha = det_allreduce_sum(ctx, dot(&w, &self.v))?;
         let beta_prev = self.betas.last().copied().unwrap_or(0.0);
         for (i, wi) in w.iter_mut().enumerate() {

@@ -96,7 +96,10 @@ impl DistMatrix {
             rows_rem.push(rr);
         }
         let a_loc = Csr::from_rows(&rows_loc, local_len);
-        let a_rem = Csr::from_rows(&rows_rem, plan.halo_len.max(1));
+        // The true halo length — a halo-free rank gets an honest
+        // zero-column remote part (a fake 1-column space used to trip the
+        // kernels' `x.len() >= ncols` assertion on an empty halo buffer).
+        let a_rem = Csr::from_rows(&rows_rem, plan.halo_len);
         Self { part, me, a_loc, a_rem, plan, sell: None }
     }
 
@@ -117,17 +120,59 @@ impl DistMatrix {
 
     /// `y = A·x` for this chunk, given the local vector chunk and the
     /// freshly exchanged halo values.
+    ///
+    /// Defined as exactly [`DistMatrix::spmv_local`] followed by
+    /// [`DistMatrix::spmv_remote_add`], so a split-phase solver loop
+    /// (`post → spmv_local → wait → spmv_remote_add`) produces bitwise
+    /// the same result as the synchronous one.
     pub fn spmv(&self, x_local: &[f64], halo: &[f64], y: &mut [f64]) {
-        if let Some((sl, sr)) = &self.sell {
-            sl.spmv(x_local, y);
-            if self.a_rem.nnz() > 0 {
-                sr.spmv_add(halo, y);
-            }
+        self.spmv_local(x_local, y);
+        self.spmv_remote_add(halo, y);
+    }
+
+    /// The local half of the product: `y = a_loc·x_local`. Needs no halo
+    /// data, so it runs while the halo exchange is in flight.
+    pub fn spmv_local(&self, x_local: &[f64], y: &mut [f64]) {
+        match &self.sell {
+            Some((sl, _)) => sl.spmv(x_local, y),
+            None => self.a_loc.spmv(x_local, y),
+        }
+    }
+
+    /// The remote half: `y += a_rem·halo`, run after the halo arrived.
+    pub fn spmv_remote_add(&self, halo: &[f64], y: &mut [f64]) {
+        if self.a_rem.nnz() == 0 {
             return;
         }
-        self.a_loc.spmv(x_local, y);
-        if self.a_rem.nnz() > 0 {
-            self.a_rem.spmv_add(halo, y);
+        match &self.sell {
+            Some((_, sr)) => sr.spmv_add(halo, y),
+            None => self.a_rem.spmv_add(halo, y),
+        }
+    }
+
+    /// `y = A·x` with row-blocked scoped threads for both halves;
+    /// bitwise identical to [`DistMatrix::spmv`].
+    pub fn spmv_threaded(&self, x_local: &[f64], halo: &[f64], y: &mut [f64], threads: usize) {
+        self.spmv_local_threaded(x_local, y, threads);
+        self.spmv_remote_add_threaded(halo, y, threads);
+    }
+
+    /// Threaded variant of [`DistMatrix::spmv_local`].
+    pub fn spmv_local_threaded(&self, x_local: &[f64], y: &mut [f64], threads: usize) {
+        match &self.sell {
+            Some((sl, _)) => sl.spmv_threaded(x_local, y, threads),
+            None => self.a_loc.spmv_threaded(x_local, y, threads),
+        }
+    }
+
+    /// Threaded variant of [`DistMatrix::spmv_remote_add`].
+    pub fn spmv_remote_add_threaded(&self, halo: &[f64], y: &mut [f64], threads: usize) {
+        if self.a_rem.nnz() == 0 {
+            return;
+        }
+        match &self.sell {
+            Some((_, sr)) => sr.spmv_add_threaded(halo, y, threads),
+            None => self.a_rem.spmv_add_threaded(halo, y, threads),
         }
     }
 }

@@ -1,18 +1,43 @@
-//! The per-iteration halo exchange over one-sided `write_notify`.
+//! The per-iteration halo exchange over one-sided `write_notify`, as a
+//! split-phase (post/wait) pair so halo flight hides behind local compute.
 //!
 //! Senders *push*: each rank gathers the RHS values its partners need
 //! into a staging segment and `write_notify`s them into the partners'
-//! halo segments, tagging the notification with the iteration number.
-//! Receivers wait for one notification per incoming block, check the tag
-//! (stale tags from before a recovery are discarded), and read the halo.
+//! halo segments, tagging the notification with the iteration number —
+//! that is [`SpmvComm::post`]. Receivers then run the local half of the
+//! spMVM (`a_loc·x`, which needs no halo data) before [`SpmvComm::wait`]
+//! blocks for one notification per incoming block, checks the tag (stale
+//! tags from before a recovery are discarded), and reads the halo. The
+//! solver loop is therefore
+//!
+//! ```text
+//! post(k) → spmv_local → wait(k) → spmv_remote_add → collectives(k)
+//! ```
+//!
+//! and the exchange only stalls for however much of the flight time the
+//! local product did not cover. [`SpmvComm::exchange`] (post immediately
+//! followed by wait) remains for callers with no compute to overlap.
 //!
 //! Synchronization note: a sender may only overwrite a receiver's halo
 //! block for iteration `k+1` after the receiver has consumed iteration
-//! `k`. In the Lanczos loop this is guaranteed for free by the two
-//! allreduces that follow every spMVM; applications without a natural
-//! collective per iteration must add one (see the heat example).
+//! `k`. Split-phase does not weaken this: `post(k+1)` happens after the
+//! iteration-`k` collectives, which happen after every rank's `wait(k)`.
+//! In the Lanczos loop the two allreduces that follow every spMVM provide
+//! the collective for free; applications without a natural per-iteration
+//! collective must add one (see the heat example's residual allreduce).
+//!
+//! Recovery interacts with the split phase in one place: a failure
+//! signalled between `post` and `wait` abandons the pending exchange
+//! (dropping the [`PendingExchange`] token is fine — it holds no
+//! resources), the rewire resets all halo notifications and purges the
+//! queue's failure records, and the collective restore barrier keeps any
+//! survivor from re-posting before all partners finished rewiring. A
+//! straggler notification that still lands after the reset carries a
+//! pre-rollback iteration tag and is discarded by the next `wait`'s
+//! stale-tag loop.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use ft_core::{FtCtx, FtResult};
 use ft_gaspi::{bytes, GaspiProc, GaspiResult, SegId};
@@ -21,20 +46,80 @@ use crate::plan::CommPlan;
 
 /// Point-in-time halo-exchange counters for one rank, carried out of the
 /// rank thread by application summaries and merged into the job-wide
-/// telemetry report.
+/// telemetry report (the `spmv_overlap` family).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HaloStats {
     /// Completed halo exchanges (one per spMVM iteration).
     pub exchanges: u64,
+    /// Posted sends-phases (≥ `exchanges`; the surplus is exchanges
+    /// abandoned by a failure between post and wait).
+    pub posts: u64,
     /// Stale notifications discarded (tags from pre-recovery traffic).
     pub stale_drops: u64,
+    /// Total nanoseconds between `post` returning and `wait` being
+    /// entered — the window in which halo flight was hidden behind
+    /// compute.
+    pub overlap_ns: u64,
+    /// Total nanoseconds `wait` spent blocked for notifications — the
+    /// part of the flight time the overlap did *not* cover.
+    pub wait_stall_ns: u64,
 }
 
 impl HaloStats {
     /// Accumulate `other` into `self` (field-wise sum).
     pub fn merge(&mut self, other: &HaloStats) {
         self.exchanges += other.exchanges;
+        self.posts += other.posts;
         self.stale_drops += other.stale_drops;
+        self.overlap_ns += other.overlap_ns;
+        self.wait_stall_ns += other.wait_stall_ns;
+    }
+
+    /// Counter delta since `earlier` (saturating, so a counter reset
+    /// never produces a bogus huge delta).
+    pub fn since(&self, earlier: &HaloStats) -> HaloStats {
+        HaloStats {
+            exchanges: self.exchanges.saturating_sub(earlier.exchanges),
+            posts: self.posts.saturating_sub(earlier.posts),
+            stale_drops: self.stale_drops.saturating_sub(earlier.stale_drops),
+            overlap_ns: self.overlap_ns.saturating_sub(earlier.overlap_ns),
+            wait_stall_ns: self.wait_stall_ns.saturating_sub(earlier.wait_stall_ns),
+        }
+    }
+
+    /// Fraction of the exchange window spent computing rather than
+    /// stalled: `overlap / (overlap + stall)`. 1.0 means the halo was
+    /// always ready when `wait` ran; 0.0 means nothing was hidden (the
+    /// synchronous regime). Reports 1.0 when no time was observed at all.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let window = self.overlap_ns + self.wait_stall_ns;
+        if window == 0 {
+            return 1.0;
+        }
+        self.overlap_ns as f64 / window as f64
+    }
+}
+
+/// Token for a posted-but-not-yet-awaited halo exchange, returned by
+/// [`SpmvComm::post`] and consumed by [`SpmvComm::wait`].
+///
+/// Holds no GASPI resources: dropping it (e.g. when a failure signal
+/// unwinds the iteration between post and wait) abandons the exchange,
+/// and the recovery rewire cleans up whatever the abandoned writes left
+/// behind.
+#[must_use = "a posted exchange must be awaited with SpmvComm::wait (or deliberately abandoned on recovery)"]
+#[derive(Debug)]
+pub struct PendingExchange {
+    /// The iteration tag the matching `wait` must see.
+    tag: u32,
+    /// When `post` returned, for the overlap telemetry.
+    posted_at: Instant,
+}
+
+impl PendingExchange {
+    /// The iteration tag this exchange was posted with.
+    pub fn tag(&self) -> u32 {
+        self.tag
     }
 }
 
@@ -52,8 +137,14 @@ pub struct SpmvComm {
     stage_offsets: Vec<usize>,
     /// Completed exchanges (telemetry).
     exchanges: AtomicU64,
+    /// Posted send-phases (telemetry).
+    posts: AtomicU64,
     /// Stale notification tags dropped (telemetry).
     stale_drops: AtomicU64,
+    /// Nanoseconds between post and wait (telemetry).
+    overlap_ns: AtomicU64,
+    /// Nanoseconds blocked inside wait (telemetry).
+    wait_stall_ns: AtomicU64,
 }
 
 impl SpmvComm {
@@ -79,7 +170,10 @@ impl SpmvComm {
             queue,
             stage_offsets,
             exchanges: AtomicU64::new(0),
+            posts: AtomicU64::new(0),
             stale_drops: AtomicU64::new(0),
+            overlap_ns: AtomicU64::new(0),
+            wait_stall_ns: AtomicU64::new(0),
         })
     }
 
@@ -87,7 +181,10 @@ impl SpmvComm {
     pub fn stats(&self) -> HaloStats {
         HaloStats {
             exchanges: self.exchanges.load(Ordering::Relaxed),
+            posts: self.posts.load(Ordering::Relaxed),
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            overlap_ns: self.overlap_ns.load(Ordering::Relaxed),
+            wait_stall_ns: self.wait_stall_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -96,19 +193,21 @@ impl SpmvComm {
         (iter as u32).wrapping_add(1).max(1)
     }
 
-    /// Push our values, await our partners', and read the halo into
-    /// `halo_out`. `x_local` is this rank's vector chunk; `tag` must be
+    /// Phase one: gather our partners' values into the staging segment
+    /// and `write_notify` every outgoing block. Returns immediately with
+    /// a [`PendingExchange`] token; the caller should now run the local
+    /// half of the spMVM before handing the token to [`SpmvComm::wait`].
+    ///
+    /// `x_local` is this rank's vector chunk; `tag` must be
     /// [`SpmvComm::tag_for_iter`] of the current iteration on every rank.
-    pub fn exchange(
+    pub fn post(
         &self,
         ctx: &FtCtx,
         plan: &CommPlan,
         x_local: &[f64],
         tag: u32,
-        halo_out: &mut Vec<f64>,
-    ) -> FtResult<()> {
+    ) -> FtResult<PendingExchange> {
         let proc = &ctx.proc;
-        // Gather and push to every partner.
         for (send, &off) in plan.sends.iter().zip(&self.stage_offsets) {
             proc.with_segment_mut(self.seg_stage, |b| {
                 for (k, &li) in send.local_rows.iter().enumerate() {
@@ -128,13 +227,31 @@ impl SpmvComm {
                 self.queue,
             )?;
         }
-        // Await one tagged notification per incoming block; drop stale
-        // tags left over from pre-recovery traffic.
+        self.posts.fetch_add(1, Ordering::Relaxed);
+        Ok(PendingExchange { tag, posted_at: Instant::now() })
+    }
+
+    /// Phase two: await one tagged notification per incoming block
+    /// (dropping stale tags left over from pre-recovery traffic), read
+    /// the halo into `halo_out`, and flush our own writes.
+    pub fn wait(
+        &self,
+        ctx: &FtCtx,
+        plan: &CommPlan,
+        pending: PendingExchange,
+        halo_out: &mut Vec<f64>,
+    ) -> FtResult<()> {
+        let entered = Instant::now();
+        self.overlap_ns.fetch_add(
+            entered.duration_since(pending.posted_at).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        let proc = &ctx.proc;
         for recv in &plan.recvs {
             loop {
                 ctx.notify_waitsome_ft(self.seg_halo, recv.from, 1)?;
                 let v = proc.notify_reset(self.seg_halo, recv.from)?;
-                if v == tag {
+                if v == pending.tag {
                     break;
                 }
                 self.stale_drops.fetch_add(1, Ordering::Relaxed);
@@ -149,8 +266,24 @@ impl SpmvComm {
         })?;
         // Flush our writes before the iteration's collectives.
         ctx.wait_ft(self.queue)?;
+        self.wait_stall_ns.fetch_add(entered.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.exchanges.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Synchronous exchange: [`SpmvComm::post`] immediately followed by
+    /// [`SpmvComm::wait`], for callers with no compute to overlap (and
+    /// for the pre-split-phase harnesses).
+    pub fn exchange(
+        &self,
+        ctx: &FtCtx,
+        plan: &CommPlan,
+        x_local: &[f64],
+        tag: u32,
+        halo_out: &mut Vec<f64>,
+    ) -> FtResult<()> {
+        let pending = self.post(ctx, plan, x_local, tag)?;
+        self.wait(ctx, plan, pending, halo_out)
     }
 
     /// Clear all halo notifications — part of post-recovery rewiring, so
@@ -165,7 +298,9 @@ impl SpmvComm {
     /// Full post-recovery rewire: drop stale notifications *and* the halo
     /// queue's failure records (writes posted to the now-dead partner
     /// completed as broken; that failure has been acknowledged and must
-    /// not poison the next `wait`).
+    /// not poison the next `wait`). Any exchange posted before the
+    /// failure is implicitly abandoned — its [`PendingExchange`] was
+    /// dropped with the unwound iteration.
     pub fn rewire(&self, proc: &GaspiProc, plan: &CommPlan) -> GaspiResult<()> {
         self.reset_notifications(proc, plan)?;
         proc.queue_purge(self.queue, ft_gaspi::Timeout::Ms(200))
@@ -183,5 +318,29 @@ mod tests {
         assert_ne!(SpmvComm::tag_for_iter(7), SpmvComm::tag_for_iter(8));
         // Wraparound still never zero.
         assert!(SpmvComm::tag_for_iter(u64::from(u32::MAX)) >= 1);
+    }
+
+    #[test]
+    fn stats_merge_since_and_efficiency() {
+        let mut a = HaloStats {
+            exchanges: 10,
+            posts: 11,
+            stale_drops: 1,
+            overlap_ns: 900,
+            wait_stall_ns: 100,
+        };
+        let b =
+            HaloStats { exchanges: 5, posts: 5, stale_drops: 0, overlap_ns: 100, wait_stall_ns: 0 };
+        a.merge(&b);
+        assert_eq!(a.exchanges, 15);
+        assert_eq!(a.posts, 16);
+        assert_eq!(a.overlap_ns, 1000);
+        let d = a.since(&b);
+        assert_eq!(d.exchanges, 10);
+        assert_eq!(d.overlap_ns, 900);
+        // since() saturates across counter resets.
+        assert_eq!(b.since(&a).exchanges, 0);
+        assert!((a.overlap_efficiency() - 1000.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(HaloStats::default().overlap_efficiency(), 1.0);
     }
 }

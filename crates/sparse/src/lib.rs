@@ -33,7 +33,7 @@ pub mod sell;
 
 pub use csr::Csr;
 pub use dist::{det_allreduce_sum, DistMatrix};
-pub use halo::{HaloStats, SpmvComm};
+pub use halo::{HaloStats, PendingExchange, SpmvComm};
 pub use partition::RowPartition;
 pub use plan::CommPlan;
 pub use sell::SellCSigma;

@@ -9,8 +9,27 @@
 //! substrate and (b) to let the micro-benchmarks compare kernel formats;
 //! the distributed layer works with either format since both consume the
 //! same local/halo column spaces.
+//!
+//! Two structural properties of the construction carry the kernels:
+//!
+//! * **Padding is inert.** Padded slots store `(col 0, val 0.0)` but are
+//!   *never read*: because σ is a multiple of C, every chunk lies inside
+//!   one sorting window, so lane lengths are non-increasing across a
+//!   chunk and the padded lanes at column `j` form a contiguous tail the
+//!   kernels skip. (Computing `0.0 * x[0]` instead would be wrong under
+//!   IEEE-754 — a NaN or Inf in `x[0]` poisons every padded lane — and
+//!   reads out of bounds when the column space is empty.)
+//! * **σ-windows are permutation-local.** The row sort permutes indices
+//!   only *within* each σ-window, so a block of whole windows writes a
+//!   contiguous range of `y`. The threaded kernels split the chunk list
+//!   at window boundaries and hand each thread a disjoint `&mut` slice —
+//!   row-blocked parallelism without locks or unsafe code.
 
 use crate::csr::Csr;
+
+/// Lane accumulators up to this chunk height live on the stack; the spMVM
+/// entry points only touch the heap for (unusual) larger C.
+const ACC_STACK_LANES: usize = 32;
 
 /// A SELL-C-σ matrix over the same column space as the [`Csr`] it was
 /// built from.
@@ -24,9 +43,13 @@ pub struct SellCSigma {
     chunk_ptr: Vec<usize>,
     /// Padded row length of each chunk.
     chunk_len: Vec<usize>,
+    /// Entry count of each lane (`nchunks * c` entries, 0 for lanes past
+    /// the last row); non-increasing within each chunk, which is what
+    /// lets the kernels skip padded lanes entirely.
+    lane_len: Vec<u32>,
     /// Column indices, chunk-by-chunk, column-major, padded.
     cols: Vec<u32>,
-    /// Values, parallel to `cols` (padding is 0.0 so it never contributes).
+    /// Values, parallel to `cols` (padding slots are never read).
     vals: Vec<f64>,
     /// `perm[k]` = original row index stored at sorted position `k`.
     perm: Vec<u32>,
@@ -36,8 +59,7 @@ pub struct SellCSigma {
 
 impl SellCSigma {
     /// Convert from CSR with chunk height `c` and sorting window `sigma`
-    /// (`sigma` is rounded up to a multiple of `c`; `sigma = 1` disables
-    /// sorting).
+    /// (`sigma` is rounded up to a multiple of `c`).
     pub fn from_csr(a: &Csr, c: usize, sigma: usize) -> Self {
         assert!(c >= 1, "chunk height must be positive");
         let nrows = a.nrows();
@@ -53,6 +75,7 @@ impl SellCSigma {
         let nchunks = nrows.div_ceil(c);
         let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
         let mut chunk_len = Vec::with_capacity(nchunks);
+        let mut lane_len = Vec::with_capacity(nchunks * c);
         chunk_ptr.push(0);
         let mut cols = Vec::new();
         let mut vals = Vec::new();
@@ -61,6 +84,10 @@ impl SellCSigma {
                 (chunk * c..((chunk + 1) * c).min(nrows)).map(|k| perm[k] as usize).collect();
             let width = rows.iter().map(|&r| a.row_ptr[r + 1] - a.row_ptr[r]).max().unwrap_or(0);
             chunk_len.push(width);
+            for lane in 0..c {
+                let len = rows.get(lane).map_or(0, |&r| a.row_ptr[r + 1] - a.row_ptr[r]);
+                lane_len.push(len as u32);
+            }
             // Column-major: entry j of every row in the chunk, then j+1...
             for j in 0..width {
                 for lane in 0..c {
@@ -73,14 +100,14 @@ impl SellCSigma {
                             continue;
                         }
                     }
-                    // Padding lane: column 0, value 0 (never contributes).
+                    // Padding slot; the kernels never read it.
                     cols.push(0);
                     vals.push(0.0);
                 }
             }
             chunk_ptr.push(cols.len());
         }
-        Self { c, sigma, chunk_ptr, chunk_len, cols, vals, perm, nrows, ncols: a.ncols }
+        Self { c, sigma, chunk_ptr, chunk_len, lane_len, cols, vals, perm, nrows, ncols: a.ncols }
     }
 
     /// Number of rows.
@@ -102,22 +129,42 @@ impl SellCSigma {
         self.stored() as f64 / nnz as f64
     }
 
-    /// `y = A·x` (same semantics as [`Csr::spmv`]).
+    /// The row-block worker every spMVM entry point funnels into: process
+    /// `chunks`, writing (or accumulating into) `y_block`, which covers
+    /// sorted row positions starting at `y_origin`. `acc` is the caller's
+    /// lane-accumulator scratch (hoisted so the per-iteration hot path
+    /// allocates nothing).
+    ///
+    /// Lane lengths are non-increasing within a chunk (σ is a multiple of
+    /// C), so at column `j` only the leading `live` lanes carry real
+    /// entries — padded slots are never read.
     #[allow(clippy::needless_range_loop)] // hot kernel, explicit indexing
-    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    fn spmv_block(
+        &self,
+        x: &[f64],
+        y_block: &mut [f64],
+        y_origin: usize,
+        chunks: std::ops::Range<usize>,
+        accumulate: bool,
+        acc: &mut [f64],
+    ) {
         debug_assert!(x.len() >= self.ncols);
-        debug_assert_eq!(y.len(), self.nrows);
-        let nchunks = self.chunk_len.len();
-        let mut acc = vec![0.0f64; self.c];
-        for chunk in 0..nchunks {
+        debug_assert_eq!(acc.len(), self.c);
+        for chunk in chunks {
             let width = self.chunk_len[chunk];
             let base = self.chunk_ptr[chunk];
+            let lens = &self.lane_len[chunk * self.c..(chunk + 1) * self.c];
             acc[..].fill(0.0);
+            let mut live = self.c;
             // Column-major sweep: the inner loop over lanes is the
-            // SIMD-friendly one.
+            // SIMD-friendly one. Lanes whose rows are exhausted drop off
+            // the tail as j grows.
             for j in 0..width {
+                while live > 0 && (lens[live - 1] as usize) <= j {
+                    live -= 1;
+                }
                 let off = base + j * self.c;
-                for lane in 0..self.c {
+                for lane in 0..live {
                     let idx = off + lane;
                     acc[lane] += self.vals[idx] * x[self.cols[idx] as usize];
                 }
@@ -125,55 +172,123 @@ impl SellCSigma {
             for lane in 0..self.c {
                 let k = chunk * self.c + lane;
                 if k < self.nrows {
-                    y[self.perm[k] as usize] = acc[lane];
+                    let yi = self.perm[k] as usize - y_origin;
+                    if accumulate {
+                        y_block[yi] += acc[lane];
+                    } else {
+                        y_block[yi] = acc[lane];
+                    }
                 }
             }
         }
+    }
+
+    /// Run `f` with a lane-accumulator slice of length C, on the stack
+    /// when C is small.
+    fn with_acc<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        if self.c <= ACC_STACK_LANES {
+            let mut acc = [0.0f64; ACC_STACK_LANES];
+            f(&mut acc[..self.c])
+        } else {
+            let mut acc = vec![0.0f64; self.c];
+            f(&mut acc)
+        }
+    }
+
+    /// `y = A·x` (same semantics as [`Csr::spmv`]).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.nrows);
+        self.with_acc(|acc| self.spmv_block(x, y, 0, 0..self.chunk_len.len(), false, acc));
     }
 
     /// `y += A·x`.
-    #[allow(clippy::needless_range_loop)] // hot kernel, explicit indexing
     pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
-        debug_assert!(x.len() >= self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
-        let nchunks = self.chunk_len.len();
-        let mut acc = vec![0.0f64; self.c];
-        for chunk in 0..nchunks {
-            let width = self.chunk_len[chunk];
-            let base = self.chunk_ptr[chunk];
-            acc[..].fill(0.0);
-            for j in 0..width {
-                let off = base + j * self.c;
-                for lane in 0..self.c {
-                    let idx = off + lane;
-                    acc[lane] += self.vals[idx] * x[self.cols[idx] as usize];
-                }
-            }
-            for lane in 0..self.c {
-                let k = chunk * self.c + lane;
-                if k < self.nrows {
-                    y[self.perm[k] as usize] += acc[lane];
-                }
-            }
-        }
+        self.with_acc(|acc| self.spmv_block(x, y, 0, 0..self.chunk_len.len(), true, acc));
     }
 
-    /// Structural sanity checks (chunk bounds, permutation bijectivity).
+    /// `y = A·x` with up to `threads` scoped worker threads, bitwise
+    /// identical to [`SellCSigma::spmv`] (every row's additions run in the
+    /// same order on exactly one thread).
+    pub fn spmv_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        self.spmv_threaded_impl(x, y, threads, false);
+    }
+
+    /// `y += A·x`, threaded; bitwise identical to
+    /// [`SellCSigma::spmv_add`].
+    pub fn spmv_add_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        self.spmv_threaded_impl(x, y, threads, true);
+    }
+
+    /// Row-blocked threading over whole σ-windows: the permutation is
+    /// window-local, so each block of windows owns a contiguous `y`
+    /// range, split with `split_at_mut` — no locks, no unsafe.
+    fn spmv_threaded_impl(&self, x: &[f64], y: &mut [f64], threads: usize, accumulate: bool) {
+        debug_assert_eq!(y.len(), self.nrows);
+        let nchunks = self.chunk_len.len();
+        let chunks_per_window = self.sigma / self.c;
+        let nwindows = nchunks.div_ceil(chunks_per_window);
+        let threads = threads.clamp(1, nwindows.max(1));
+        if threads <= 1 {
+            return self.with_acc(|acc| self.spmv_block(x, y, 0, 0..nchunks, accumulate, acc));
+        }
+        std::thread::scope(|s| {
+            let mut rest: &mut [f64] = y;
+            let mut chunk_start = 0usize;
+            let mut row_start = 0usize;
+            for t in 0..threads {
+                let chunk_end = (nwindows * (t + 1) / threads * chunks_per_window).min(nchunks);
+                let row_end = (chunk_end * self.c).min(self.nrows);
+                let (block, tail) = rest.split_at_mut(row_end - row_start);
+                rest = tail;
+                let chunks = chunk_start..chunk_end;
+                let origin = row_start;
+                s.spawn(move || {
+                    self.with_acc(|acc| self.spmv_block(x, block, origin, chunks, accumulate, acc))
+                });
+                chunk_start = chunk_end;
+                row_start = row_end;
+            }
+        });
+    }
+
+    /// Structural sanity checks (chunk bounds, permutation bijectivity,
+    /// lane-length monotonicity, window-locality of the permutation).
     pub fn validate(&self) {
         assert_eq!(self.chunk_ptr.len(), self.chunk_len.len() + 1);
         assert_eq!(*self.chunk_ptr.last().unwrap(), self.cols.len());
         assert_eq!(self.cols.len(), self.vals.len());
+        assert_eq!(self.lane_len.len(), self.chunk_len.len() * self.c);
+        assert_eq!(self.sigma % self.c, 0, "σ must be a multiple of C");
         for (i, (&p, &w)) in self.chunk_ptr.iter().zip(&self.chunk_len).enumerate() {
             assert_eq!(self.chunk_ptr[i + 1] - p, w * self.c, "chunk {i} extent");
+            let lens = &self.lane_len[i * self.c..(i + 1) * self.c];
+            assert!(
+                lens.windows(2).all(|l| l[0] >= l[1]),
+                "chunk {i}: lane lengths must be non-increasing"
+            );
+            assert_eq!(lens.first().copied().unwrap_or(0) as usize, w, "chunk {i} width");
         }
         let mut seen = vec![false; self.nrows];
-        for &r in &self.perm {
+        for (k, &r) in self.perm.iter().enumerate() {
             assert!(!seen[r as usize], "permutation must be a bijection");
             seen[r as usize] = true;
+            // The sort permutes only within σ-windows; the threaded
+            // kernels' disjoint y-slices rely on this.
+            assert_eq!(k / self.sigma, r as usize / self.sigma, "perm must be window-local");
         }
         assert!(seen.iter().all(|&s| s));
-        for &c in &self.cols {
-            assert!((c as usize) < self.ncols.max(1), "column {c} out of range");
+        // Only the first lane_len entries of each lane are real; check
+        // those columns (padding slots are unconstrained and unread).
+        for (chunk, &w) in self.chunk_len.iter().enumerate() {
+            for j in 0..w {
+                for lane in 0..self.c {
+                    if (self.lane_len[chunk * self.c + lane] as usize) > j {
+                        let c = self.cols[self.chunk_ptr[chunk] + j * self.c + lane];
+                        assert!((c as usize) < self.ncols, "column {c} out of range");
+                    }
+                }
+            }
         }
     }
 }
@@ -213,7 +328,74 @@ mod tests {
             let mut y = vec![0.0; a.nrows()];
             s.spmv(&x, &mut y);
             assert_eq!(y, want, "C={c} σ={sigma}");
+            for threads in [1, 2, 3, 7] {
+                let mut yt = vec![0.0; a.nrows()];
+                s.spmv_threaded(&x, &mut yt, threads);
+                assert_eq!(yt, want, "C={c} σ={sigma} threads={threads}");
+            }
         }
+    }
+
+    /// The padding-lane poisoning regression: padded slots used to compute
+    /// `0.0 * x[0]`, which under IEEE-754 is NaN whenever `x[0]` is — so a
+    /// NaN in the first vector entry corrupted every padded row. Padding
+    /// must be truly inert: SELL must equal CSR bitwise even then.
+    #[test]
+    fn nan_in_x0_does_not_poison_padded_lanes() {
+        // Rows 1.. never reference column 0, but every chunk pads.
+        let rows: Vec<Vec<(u32, f64)>> = (0..10)
+            .map(|i| {
+                if i == 0 {
+                    vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+                } else {
+                    vec![(1 + (i % 3) as u32, 1.5)]
+                }
+            })
+            .collect();
+        let a = Csr::from_rows(&rows, 4);
+        let mut x = [f64::NAN, 1.0, -2.0, 0.5];
+        for (c, sigma) in [(2, 2), (4, 4), (4, 8), (8, 8)] {
+            let s = SellCSigma::from_csr(&a, c, sigma);
+            s.validate();
+            let want = dense_ref(&a, &x);
+            let mut y = vec![0.0; a.nrows()];
+            s.spmv(&x, &mut y);
+            for (i, (u, v)) in want.iter().zip(&y).enumerate() {
+                assert_eq!(u.to_bits(), v.to_bits(), "row {i}: {u} vs {v} (C={c} σ={sigma})");
+            }
+            assert!(y[1..].iter().all(|v| v.is_finite()), "NaN leaked into padded rows");
+            let mut yt = vec![0.0; a.nrows()];
+            s.spmv_threaded(&x, &mut yt, 3);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                yt.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        // Same story for Inf.
+        x[0] = f64::INFINITY;
+        let s = SellCSigma::from_csr(&a, 4, 8);
+        let want = dense_ref(&a, &x);
+        let mut y = vec![0.0; a.nrows()];
+        s.spmv(&x, &mut y);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// An all-empty matrix over an empty column space must not read `x`
+    /// at all (the padded slots' column 0 would be out of bounds).
+    #[test]
+    fn empty_column_space_reads_nothing() {
+        let a = Csr::from_rows(&[vec![], vec![], vec![]], 0);
+        let s = SellCSigma::from_csr(&a, 4, 4);
+        s.validate();
+        let mut y = vec![7.0; 3];
+        s.spmv(&[], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+        let mut y = vec![1.0; 3];
+        s.spmv_add(&[], &mut y);
+        assert_eq!(y, vec![1.0; 3]);
     }
 
     #[test]
@@ -259,6 +441,29 @@ mod tests {
         let mut y = vec![0.0];
         s.spmv(&[2.0], &mut y);
         assert_eq!(y, vec![6.0]);
+
+        let a = Csr::from_rows(&[], 3);
+        let s = SellCSigma::from_csr(&a, 4, 4);
+        s.validate();
+        let mut y: Vec<f64> = Vec::new();
+        s.spmv(&[1.0, 2.0, 3.0], &mut y);
+        s.spmv_threaded(&[1.0, 2.0, 3.0], &mut y, 4);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn large_chunk_height_spills_acc_to_heap() {
+        // C beyond the stack-accumulator bound still works.
+        let rows: Vec<Vec<(u32, f64)>> =
+            (0..100).map(|i| vec![(i as u32, 1.0 + f64::from(i))]).collect();
+        let a = Csr::from_rows(&rows, 100);
+        let s = SellCSigma::from_csr(&a, ACC_STACK_LANES + 8, ACC_STACK_LANES + 8);
+        s.validate();
+        let x = vec![2.0; 100];
+        let want = dense_ref(&a, &x);
+        let mut y = vec![0.0; 100];
+        s.spmv(&x, &mut y);
+        assert_eq!(y, want);
     }
 
     #[test]

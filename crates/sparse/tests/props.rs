@@ -161,3 +161,82 @@ proptest! {
         prop_assert!(s.padding_factor(a.nnz()) >= 1.0 || a.nnz() == 0);
     }
 }
+
+fn bits(y: &[f64]) -> Vec<u64> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// Every spMVM path — synchronous CSR, split-phase composition
+    /// (local + remote_add, as the overlapped solver loops run it),
+    /// threaded, and the three SELL-C-σ counterparts — produces bitwise
+    /// the same `DistMatrix` result, across chunk sizes, σ windows,
+    /// thread counts, empty-halo ranks (parts == 1), and zero-nnz rows;
+    /// and that shared result matches the dense reference to tolerance
+    /// (the halo summation order legitimately differs from the global
+    /// order, so "bitwise" is across paths, not against the reference).
+    #[test]
+    fn all_spmv_paths_agree_bitwise(
+        n in 1u64..100,
+        parts in 1u32..5,
+        bw in 0u64..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+        c in 1usize..9,
+        sigma_mult in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        prop_assume!(n >= u64::from(parts));
+        let gen = RandomSym::new(n, bw, density, seed);
+        let part = RowPartition::new(n, parts);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).cos()).collect();
+        let mut y_ref = vec![0.0; n as usize];
+        for i in 0..n {
+            for e in gen.row_vec(i) {
+                y_ref[i as usize] += e.val * x[e.col as usize];
+            }
+        }
+        for me in 0..parts {
+            let needed = DistMatrix::needed_columns(&gen, &part, me);
+            let plan = CommPlan::receives_from_needs(me, parts, &needed);
+            let dm = DistMatrix::assemble(&gen, part, me, plan);
+            let r = part.range(me);
+            let x_local: Vec<f64> = r.clone().map(|i| x[i as usize]).collect();
+            let mut halo = vec![0.0; dm.plan.halo_len];
+            for recv in &dm.plan.recvs {
+                for (k, &col) in recv.cols.iter().enumerate() {
+                    halo[recv.halo_offset + k] = x[col as usize];
+                }
+            }
+            let nloc = dm.local_len();
+            // Path 1: synchronous one-shot (the reference bits).
+            let mut y_sync = vec![0.0; nloc];
+            dm.spmv(&x_local, &halo, &mut y_sync);
+            for (k, row) in r.enumerate() {
+                prop_assert!((y_sync[k] - y_ref[row as usize]).abs() < 1e-10);
+            }
+            let want = bits(&y_sync);
+            // Path 2: split-phase composition (the overlapped loop).
+            let mut y_split = vec![0.0; nloc];
+            dm.spmv_local(&x_local, &mut y_split);
+            dm.spmv_remote_add(&halo, &mut y_split);
+            prop_assert_eq!(&bits(&y_split), &want, "split-phase CSR");
+            // Path 3: threaded.
+            let mut y_thr = vec![0.0; nloc];
+            dm.spmv_threaded(&x_local, &halo, &mut y_thr, threads);
+            prop_assert_eq!(&bits(&y_thr), &want, "threaded CSR");
+            // Paths 4-6: the same three through SELL-C-σ kernels.
+            let dms = dm.with_sell(c, c * sigma_mult);
+            let mut y_sell = vec![0.0; nloc];
+            dms.spmv(&x_local, &halo, &mut y_sell);
+            prop_assert_eq!(&bits(&y_sell), &want, "SELL sync");
+            let mut y_sell_split = vec![0.0; nloc];
+            dms.spmv_local(&x_local, &mut y_sell_split);
+            dms.spmv_remote_add(&halo, &mut y_sell_split);
+            prop_assert_eq!(&bits(&y_sell_split), &want, "SELL split-phase");
+            let mut y_sell_thr = vec![0.0; nloc];
+            dms.spmv_threaded(&x_local, &halo, &mut y_sell_thr, threads);
+            prop_assert_eq!(&bits(&y_sell_thr), &want, "SELL threaded");
+        }
+    }
+}

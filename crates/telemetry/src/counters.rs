@@ -1,16 +1,18 @@
-//! The unified counter registry: one snapshot over all three counter
+//! The unified counter registry: one snapshot over all the counter
 //! families the stack maintains.
 //!
 //! Counters live where they are incremented — transport counters in
 //! [`ft_cluster::Metrics`], GASPI-layer counters in
 //! [`ft_gaspi::GaspiMetrics`], checkpoint-tier counters in each
-//! [`ft_checkpoint::Checkpointer`] — and a [`TelemetrySnapshot`] is the
+//! [`ft_checkpoint::Checkpointer`], halo-overlap counters in each
+//! [`ft_sparse::SpmvComm`] — and a [`TelemetrySnapshot`] is the
 //! point-in-time readout across all of them. Harnesses take one snapshot
 //! before and one after a run and diff with [`TelemetrySnapshot::since`].
 
 use ft_checkpoint::CkptStats;
 use ft_cluster::MetricsSnapshot;
 use ft_gaspi::{GaspiSnapshot, GaspiWorld};
+use ft_sparse::HaloStats;
 
 use crate::json::Json;
 
@@ -26,6 +28,12 @@ pub struct TelemetrySnapshot {
     /// checkpointers are per-rank objects, so their stats arrive merged
     /// through application summaries, not through the world.
     pub ckpt: CkptStats,
+    /// spMVM comm/compute-overlap counters (posts, exchanges, overlap
+    /// and stall time). Zero unless filled in with
+    /// [`TelemetrySnapshot::with_spmv_overlap`]: like the checkpoint
+    /// tier, [`ft_sparse::SpmvComm`] is a per-rank object whose stats
+    /// arrive merged through application summaries.
+    pub spmv_overlap: HaloStats,
 }
 
 impl TelemetrySnapshot {
@@ -35,6 +43,7 @@ impl TelemetrySnapshot {
             transport: world.transport().metrics().snapshot(),
             gaspi: world.gaspi_metrics().snapshot(),
             ckpt: CkptStats::default(),
+            spmv_overlap: HaloStats::default(),
         }
     }
 
@@ -44,12 +53,19 @@ impl TelemetrySnapshot {
         self
     }
 
+    /// Attach the spMVM overlap counters (merged across ranks).
+    pub fn with_spmv_overlap(mut self, halo: HaloStats) -> Self {
+        self.spmv_overlap = halo;
+        self
+    }
+
     /// Family-wise counter deltas `self - earlier` (saturating).
     pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
         TelemetrySnapshot {
             transport: self.transport.since(&earlier.transport),
             gaspi: self.gaspi.since(&earlier.gaspi),
             ckpt: self.ckpt.since(&earlier.ckpt),
+            spmv_overlap: self.spmv_overlap.since(&earlier.spmv_overlap),
         }
     }
 
@@ -58,6 +74,7 @@ impl TelemetrySnapshot {
         let t = &self.transport;
         let g = &self.gaspi;
         let c = &self.ckpt;
+        let s = &self.spmv_overlap;
         Json::obj([
             (
                 "transport",
@@ -96,6 +113,17 @@ impl TelemetrySnapshot {
                     ("restore_bytes", Json::num_u64(c.restore_bytes)),
                 ]),
             ),
+            (
+                "spmv_overlap",
+                Json::obj([
+                    ("exchanges", Json::num_u64(s.exchanges)),
+                    ("posts", Json::num_u64(s.posts)),
+                    ("stale_drops", Json::num_u64(s.stale_drops)),
+                    ("overlap_ns", Json::num_u64(s.overlap_ns)),
+                    ("wait_stall_ns", Json::num_u64(s.wait_stall_ns)),
+                    ("overlap_efficiency", Json::Num(s.overlap_efficiency())),
+                ]),
+            ),
         ])
     }
 }
@@ -110,27 +138,34 @@ mod tests {
             transport: MetricsSnapshot { msg_posted: 10, ..Default::default() },
             gaspi: GaspiSnapshot { notifications_posted: 4, ..Default::default() },
             ckpt: CkptStats { local_writes: 3, ..Default::default() },
+            spmv_overlap: HaloStats { exchanges: 9, overlap_ns: 500, ..Default::default() },
         };
         let b = TelemetrySnapshot {
             transport: MetricsSnapshot { msg_posted: 7, ..Default::default() },
             gaspi: GaspiSnapshot { notifications_posted: 1, ..Default::default() },
             ckpt: CkptStats { local_writes: 1, ..Default::default() },
+            spmv_overlap: HaloStats { exchanges: 4, overlap_ns: 100, ..Default::default() },
         };
         let d = a.since(&b);
         assert_eq!(d.transport.msg_posted, 3);
         assert_eq!(d.gaspi.notifications_posted, 3);
         assert_eq!(d.ckpt.local_writes, 2);
+        assert_eq!(d.spmv_overlap.exchanges, 5);
+        assert_eq!(d.spmv_overlap.overlap_ns, 400);
     }
 
     #[test]
-    fn json_has_all_three_families() {
+    fn json_has_all_four_families() {
         let j = TelemetrySnapshot::default().to_json();
-        for family in ["transport", "gaspi", "checkpoint"] {
+        for family in ["transport", "gaspi", "checkpoint", "spmv_overlap"] {
             assert!(j.get(family).is_some(), "missing {family}");
         }
         assert_eq!(
             j.get("gaspi").and_then(|g| g.get("group_commits")).and_then(Json::as_u64),
             Some(0)
         );
+        // An idle snapshot reports perfect (vacuous) overlap.
+        let eff = j.get("spmv_overlap").and_then(|s| s.get("overlap_efficiency"));
+        assert!(matches!(eff, Some(Json::Num(v)) if *v == 1.0));
     }
 }
