@@ -1,0 +1,96 @@
+//! CI driver: run the exhaustive single-kill sweep and the pair sweep on
+//! the 4-worker/1-idle/1-FD world, write the
+//! `gaspi-ft/killpoint-sweep/v1` report to `target/telemetry/`, and exit
+//! non-zero on any contract violation or insufficient coverage.
+//!
+//! Environment:
+//! * `FT_SWEEP_BUDGET_SECS` — wall-clock budget for single-kill replays
+//!   (default 300; enumeration and the pair sweep always run).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ft_chaos::{exhaustive_sweep, pair_sweep, RunClass, SweepConfig};
+
+/// Minimum distinct `(site, rank)` kill points the CI world must cover.
+const MIN_KILL_POINTS: usize = 30;
+
+fn telemetry_dir() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR").map_or_else(
+        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target")),
+        PathBuf::from,
+    );
+    target.join("telemetry")
+}
+
+fn main() -> ExitCode {
+    let budget = std::env::var("FT_SWEEP_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    let cfg = SweepConfig::ci();
+    println!(
+        "killpoint sweep: {} workers / {} spares, {} iters, budget {budget}s",
+        cfg.workers, cfg.spares, cfg.max_iters
+    );
+
+    let mut report = exhaustive_sweep(&cfg, Some(Duration::from_secs(budget)));
+    report.pairs = pair_sweep(&cfg);
+
+    let mut correct = 0;
+    let mut degraded = 0;
+    for t in &report.replayed {
+        match t.outcome {
+            Ok(RunClass::Correct) => correct += 1,
+            Ok(RunClass::Degraded) => degraded += 1,
+            Err(_) => {}
+        }
+    }
+    println!(
+        "enumerated {} triples, replayed {} ({} correct, {} degraded, {} skipped on budget), \
+         {} distinct (site, rank) kill points",
+        report.enumerated,
+        report.replayed.len(),
+        correct,
+        degraded,
+        report.skipped_budget,
+        report.distinct_kill_points()
+    );
+    for p in &report.pairs {
+        let outcome = match &p.outcome {
+            Ok(RunClass::Correct) => "correct".to_string(),
+            Ok(RunClass::Degraded) => "degraded".to_string(),
+            Err(v) => format!("VIOLATION: {v}"),
+        };
+        println!("pair {}: {} ({} injections fired)", p.label, outcome, p.fired);
+    }
+    for v in &report.violations {
+        eprintln!("VIOLATION: {v}");
+    }
+
+    let out = telemetry_dir();
+    let path = out.join("killpoint-sweep.json");
+    match std::fs::create_dir_all(&out)
+        .and_then(|()| std::fs::write(&path, report.to_json().render()))
+    {
+        Ok(()) => println!("report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write report to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !report.clean() {
+        eprintln!("sweep found contract violations");
+        return ExitCode::FAILURE;
+    }
+    if report.distinct_kill_points() < MIN_KILL_POINTS {
+        eprintln!(
+            "coverage floor not met: {} distinct kill points < {MIN_KILL_POINTS}",
+            report.distinct_kill_points()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+//! # ft-chaos — deterministic kill-point exploration
+//!
+//! The paper validates its recovery machinery by killing processes at
+//! *arbitrary moments* (§VI); the storm test in `ft-core` reproduces that
+//! with seeded wall-clock kills. This crate makes the failure space
+//! *enumerable* instead of sampled: it drives the step-indexed injection
+//! sites (see [`ft_cluster::inject`]) through two sweeps —
+//!
+//! * [`sweep::exhaustive_sweep`] — a recording pass enumerates every
+//!   `(site, occurrence, rank)` triple a small accumulator job crosses,
+//!   then one job is replayed per triple with a kill armed there,
+//!   asserting the chaos contract: a replay either completes with the
+//!   exact expected value or degrades cleanly (recorded failure, no
+//!   wrong number) — never a hang, never silent corruption.
+//! * [`sweep::pair_sweep`] — scenarios arming a *second* failure inside
+//!   the recovery window the first one opens (group rebuild, commit,
+//!   rescue neighbor re-copy) plus a spare-exhaustion run, covering the
+//!   failure-during-recovery paths a single kill cannot reach.
+//!
+//! Results aggregate into a `gaspi-ft/killpoint-sweep/v1` JSON document
+//! ([`report::SweepReport`]) written to `target/telemetry/` by the
+//! `killpoint_sweep` binary, so CI diffs site coverage across PRs.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod report;
+pub mod sweep;
+
+pub use app::SweepApp;
+pub use report::{PairOutcome, SweepReport, TripleOutcome, SCHEMA};
+pub use sweep::{
+    exhaustive_sweep, pair_scenarios, pair_sweep, replay_triple, run_with, JobRun, PairScenario,
+    RunClass, SweepConfig,
+};

@@ -1,0 +1,260 @@
+//! The two sweep drivers: exhaustive single-kill exploration and the
+//! pair sweep (second failure *during* recovery).
+
+use std::time::{Duration, Instant};
+
+use ft_cluster::{site_is_deterministic, FaultSchedule, Injection, SiteRecord};
+use ft_core::{run_ft_job, FtConfig, JobReport, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld, Timeout};
+
+use crate::app::SweepApp;
+use crate::report::{PairOutcome, SweepReport, TripleOutcome};
+
+/// Parameters of one sweep: the world shape and the job size.
+///
+/// Keep the job *small* — the exhaustive sweep replays one full job per
+/// enumerated `(site, occurrence, rank)` triple.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Application ranks.
+    pub workers: u32,
+    /// Spare ranks (last one is the FD, the rest idle rescues).
+    pub spares: u32,
+    /// World seed (latency jitter is disabled; the seed still names the
+    /// run in the report).
+    pub seed: u64,
+    /// Iterations of the accumulator job.
+    pub max_iters: u64,
+    /// Checkpoint interval in iterations.
+    pub checkpoint_every: u64,
+    /// Occurrences enumerated per `(site, rank)` during the recording
+    /// pass (counters are exact; only the *enumeration* is capped).
+    pub record_cap: u64,
+    /// Per-run hang bound: a replay that makes no progress for this long
+    /// degrades cleanly instead of hanging the sweep.
+    pub abandon: Duration,
+}
+
+impl SweepConfig {
+    /// The CI world: 4 workers, 1 idle rescue, 1 FD.
+    pub fn ci() -> Self {
+        Self {
+            workers: 4,
+            spares: 2,
+            seed: 42,
+            max_iters: 12,
+            checkpoint_every: 4,
+            record_cap: 2,
+            abandon: Duration::from_secs(3),
+        }
+    }
+
+    fn ft_config(&self) -> FtConfig {
+        let mut ft = FtConfig::new(WorldLayout::new(self.workers, self.spares));
+        ft.checkpoint_every = self.checkpoint_every;
+        ft.max_iters = self.max_iters;
+        ft.policy.abandon = self.abandon;
+        // Replays are serial; a fast detector keeps the sweep wall-clock
+        // proportional to the triple count, not to detection latency.
+        ft.detector.scan_interval = Duration::from_millis(5);
+        ft.detector.ping_timeout = Timeout::Ms(60);
+        ft.detector.ack_timeout = Timeout::Ms(500);
+        ft
+    }
+}
+
+/// How one replay ended, when it did not violate the chaos contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunClass {
+    /// Every application rank finished with the exact expected value.
+    Correct,
+    /// Incomplete, but cleanly: at least one recorded failure, and every
+    /// summary that *was* produced is exact.
+    Degraded,
+}
+
+/// One job execution: its contract classification plus the fault plane's
+/// site log and the injections that actually fired.
+#[derive(Debug)]
+pub struct JobRun {
+    /// `Ok(class)` when the chaos contract held, `Err(violation)` when it
+    /// did not (wrong number or unexplained incompleteness).
+    pub class: Result<RunClass, String>,
+    /// Site crossings (recording runs only).
+    pub log: Vec<SiteRecord>,
+    /// Armed injections that fired during the run.
+    pub fired: Vec<Injection>,
+}
+
+/// Run the sweep job once with `injections` armed; optionally record the
+/// site log (the enumeration pass).
+pub fn run_with(cfg: &SweepConfig, injections: &[Injection], record: bool) -> JobRun {
+    let ft = cfg.ft_config();
+    let world = GaspiWorld::new(GaspiConfig::deterministic(ft.layout.total()).with_seed(cfg.seed));
+    if record {
+        world.fault().record_sites(cfg.record_cap);
+    }
+    let mut schedule = FaultSchedule::none();
+    for inj in injections {
+        schedule = schedule.inject(inj.clone());
+    }
+    let report = run_ft_job(&world, ft, schedule, SweepApp::new);
+    let fault = world.fault();
+    JobRun { class: classify(cfg, &report), log: fault.site_log(), fired: fault.injections_fired() }
+}
+
+/// The chaos contract (same as the storm test's): complete ⇒ exact,
+/// incomplete ⇒ recorded failure and no stray wrong summaries.
+fn classify(cfg: &SweepConfig, report: &JobReport<f64>) -> Result<RunClass, String> {
+    let expected = SweepApp::expected(cfg.workers, cfg.max_iters);
+    let summaries = report.worker_summaries();
+    for (app, acc) in &summaries {
+        if **acc != expected {
+            return Err(format!("app rank {app} produced {acc}, expected {expected}"));
+        }
+    }
+    if summaries.len() == cfg.workers as usize {
+        return Ok(RunClass::Correct);
+    }
+    let errored = report.completed().into_iter().filter(|r| r.error.is_some()).count();
+    let killed = report.killed().len();
+    if errored + killed == 0 {
+        return Err(format!(
+            "incomplete ({}/{} summaries) without any recorded failure",
+            summaries.len(),
+            cfg.workers
+        ));
+    }
+    Ok(RunClass::Degraded)
+}
+
+/// Replay the job with a single kill armed at `triple`, classifying the
+/// outcome against the chaos contract.
+pub fn replay_triple(cfg: &SweepConfig, triple: &SiteRecord) -> Result<RunClass, String> {
+    let inj = Injection::kill(triple.site.clone(), triple.rank, triple.occurrence);
+    run_with(cfg, &[inj], false).class
+}
+
+/// Exhaustive single-kill sweep: enumerate every `(site, occurrence,
+/// rank)` triple of a failure-free run, then replay one job per triple
+/// with a kill armed there. `budget` caps replay wall-clock (the
+/// enumeration always completes); remaining triples are counted as
+/// skipped, never silently dropped.
+pub fn exhaustive_sweep(cfg: &SweepConfig, budget: Option<Duration>) -> SweepReport {
+    let t0 = Instant::now();
+    let mut report = SweepReport::new(cfg);
+
+    let recording = run_with(cfg, &[], true);
+    match recording.class {
+        Ok(RunClass::Correct) => {}
+        Ok(RunClass::Degraded) => {
+            report.violations.push("failure-free recording run degraded".into());
+        }
+        Err(v) => report.violations.push(format!("failure-free recording run: {v}")),
+    }
+    report.enumerated = recording.log.len();
+
+    for triple in &recording.log {
+        if budget.is_some_and(|b| t0.elapsed() >= b) {
+            report.skipped_budget += 1;
+            continue;
+        }
+        let outcome = replay_triple(cfg, triple);
+        if let Err(v) = &outcome {
+            report.violations.push(format!(
+                "kill {} occ {} rank {}: {v}",
+                triple.site, triple.occurrence, triple.rank
+            ));
+        }
+        report.replayed.push(TripleOutcome {
+            site: triple.site.clone(),
+            rank: triple.rank,
+            occurrence: triple.occurrence,
+            outcome,
+            deterministic: site_is_deterministic(&triple.site),
+        });
+    }
+    report.elapsed = t0.elapsed();
+    report
+}
+
+/// One pair-sweep scenario: a first kill plus injections armed inside the
+/// recovery window it opens.
+pub struct PairScenario {
+    /// Stable scenario name (appears in the report and CI diff).
+    pub label: &'static str,
+    /// All armed injections, first kill included.
+    pub injections: Vec<Injection>,
+    /// Whether clean degradation (not full completion) is the expected
+    /// outcome — e.g. when the scenario exhausts the spare pool.
+    pub expect_degraded: bool,
+}
+
+/// The recovery-window scenarios the pair sweep covers.
+///
+/// Occurrence arithmetic, for the `ci()` world (checkpoint every 4 of 12
+/// iterations): the first kill lands at worker 1's 6th `gaspi.allreduce`
+/// — after the version-1 checkpoint exists, mid steady-state — so the
+/// recovery it triggers restores real state and re-homes it. Survivors
+/// crossed `recover.begin` once already (initial group formation), so
+/// occurrence 2 is the first *real* recovery.
+pub fn pair_scenarios(cfg: &SweepConfig) -> Vec<PairScenario> {
+    let first = Injection::kill("gaspi.allreduce", 1, 6);
+    vec![
+        // Second worker dies while the survivors are rebuilding the group.
+        PairScenario {
+            label: "kill-during-group-rebuild",
+            injections: vec![first.clone(), Injection::kill("recover.begin", 2, 2)],
+            expect_degraded: false,
+        },
+        // The freshly adopted rescue dies while re-homing the restored
+        // checkpoint to its neighbor (its first replication ever).
+        PairScenario {
+            label: "kill-during-neighbor-recopy",
+            injections: vec![first.clone(), Injection::kill("ckpt.neighbor.copy", cfg.workers, 1)],
+            expect_degraded: false,
+        },
+        // A second survivor dies between the FD's plan broadcast and the
+        // commit — the group must re-form at a later epoch.
+        PairScenario {
+            label: "kill-during-group-commit",
+            injections: vec![first.clone(), Injection::kill("gaspi.group.commit", 3, 2)],
+            expect_degraded: false,
+        },
+        // Three worker kills against one idle rescue + FD promotion:
+        // capacity is exhausted and the job must degrade cleanly.
+        PairScenario {
+            label: "spare-exhaustion",
+            injections: vec![
+                Injection::kill("gaspi.allreduce", 0, 3),
+                Injection::kill("gaspi.allreduce", 1, 6),
+                Injection::kill("gaspi.allreduce", 2, 9),
+            ],
+            expect_degraded: true,
+        },
+    ]
+}
+
+/// Run every pair scenario, classifying each against the chaos contract
+/// and recording which injections actually fired (a second injection
+/// that *fired* proves the kill landed inside the recovery window).
+pub fn pair_sweep(cfg: &SweepConfig) -> Vec<PairOutcome> {
+    pair_scenarios(cfg)
+        .into_iter()
+        .map(|s| {
+            let run = run_with(cfg, &s.injections, false);
+            let outcome = match run.class {
+                Ok(RunClass::Correct) if s.expect_degraded => {
+                    Err("expected clean degradation, run completed fully".to_string())
+                }
+                other => other,
+            };
+            PairOutcome {
+                label: s.label,
+                injections: s.injections,
+                fired: run.fired.len(),
+                outcome,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,130 @@
+//! Acceptance tests for the kill-point explorer:
+//!
+//! * the exhaustive single-kill sweep on the CI world enumerates ≥ 30
+//!   distinct `(site, rank)` kill points and every replay satisfies the
+//!   chaos contract;
+//! * deterministic triples replay to the same outcome;
+//! * the pair sweep covers kill-during-group-rebuild and
+//!   kill-during-neighbor-recopy (second injection provably fired);
+//! * the `gaspi-ft/killpoint-sweep/v1` report matches its schema.
+
+use std::time::Duration;
+
+use ft_chaos::{
+    exhaustive_sweep, pair_sweep, replay_triple, run_with, RunClass, SweepConfig, SCHEMA,
+};
+use ft_telemetry::Json;
+
+#[test]
+fn exhaustive_sweep_covers_the_world_and_holds_the_contract() {
+    let cfg = SweepConfig::ci();
+    let report = exhaustive_sweep(&cfg, None);
+    assert!(report.enumerated >= 30, "only {} triples enumerated", report.enumerated);
+    assert_eq!(report.replayed.len(), report.enumerated, "unbudgeted sweep must replay all");
+    assert_eq!(report.skipped_budget, 0);
+    assert!(
+        report.distinct_kill_points() >= 30,
+        "only {} distinct (site, rank) kill points",
+        report.distinct_kill_points()
+    );
+    assert!(report.violations.is_empty(), "contract violations: {:#?}", report.violations);
+    // Both deterministic and interleaving-dependent sites must appear —
+    // the sweep covers rank-thread *and* helper-thread kill points.
+    assert!(report.replayed.iter().any(|t| t.deterministic));
+    assert!(report.replayed.iter().any(|t| !t.deterministic));
+}
+
+#[test]
+fn deterministic_triples_replay_to_the_same_outcome() {
+    let cfg = SweepConfig::ci();
+    let recording = run_with(&cfg, &[], true);
+    assert!(recording.class.is_ok(), "recording run failed: {:?}", recording.class);
+    let det: Vec<_> =
+        recording.log.iter().filter(|t| ft_cluster::site_is_deterministic(&t.site)).collect();
+    assert!(det.len() >= 10, "too few deterministic triples: {}", det.len());
+    // Sample across the log (every k-th), two replays each.
+    let stride = (det.len() / 5).max(1);
+    for t in det.iter().step_by(stride).take(5) {
+        let a = replay_triple(&cfg, t);
+        let b = replay_triple(&cfg, t);
+        assert_eq!(
+            a, b,
+            "triple ({}, occ {}, rank {}) replayed to different outcomes",
+            t.site, t.occurrence, t.rank
+        );
+        assert!(a.is_ok(), "triple ({}, occ {}, rank {}): {a:?}", t.site, t.occurrence, t.rank);
+    }
+}
+
+#[test]
+fn pair_sweep_reaches_inside_the_recovery_window() {
+    let cfg = SweepConfig::ci();
+    let pairs = pair_sweep(&cfg);
+    for required in ["kill-during-group-rebuild", "kill-during-neighbor-recopy"] {
+        let p = pairs
+            .iter()
+            .find(|p| p.label == required)
+            .unwrap_or_else(|| panic!("pair sweep lost scenario {required}"));
+        assert!(p.outcome.is_ok(), "{required}: {:?}", p.outcome);
+        // Every injection fired — the second kill really landed inside
+        // the recovery triggered by the first.
+        assert_eq!(
+            p.fired,
+            p.injections.len(),
+            "{required}: only {}/{} injections fired",
+            p.fired,
+            p.injections.len()
+        );
+    }
+    let exhaustion = pairs.iter().find(|p| p.label == "spare-exhaustion").unwrap();
+    assert_eq!(
+        exhaustion.outcome,
+        Ok(RunClass::Degraded),
+        "three kills against one rescue + FD promotion must degrade cleanly"
+    );
+}
+
+#[test]
+fn report_matches_killpoint_sweep_v1_schema() {
+    let cfg = SweepConfig::ci();
+    // Zero budget: enumeration completes, replays are skipped — cheap,
+    // and exercises the skipped_budget accounting too.
+    let mut report = exhaustive_sweep(&cfg, Some(Duration::ZERO));
+    report.pairs = pair_sweep(&cfg);
+    let doc = Json::parse(&report.to_json().render()).expect("report must be valid JSON");
+
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    let world = doc.get("world").expect("world object");
+    assert_eq!(world.get("workers").and_then(Json::as_u64), Some(4));
+    assert_eq!(world.get("spares").and_then(Json::as_u64), Some(2));
+    for key in ["seed", "max_iters", "checkpoint_every"] {
+        assert!(world.get(key).and_then(Json::as_u64).is_some(), "world.{key} missing");
+    }
+    let enumerated = doc.get("enumerated").and_then(Json::as_u64).expect("enumerated");
+    assert!(enumerated >= 30);
+    assert_eq!(doc.get("replayed").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("skipped_budget").and_then(Json::as_u64), Some(enumerated));
+    assert!(doc.get("distinct_kill_points").and_then(Json::as_u64).is_some());
+    let outcomes = doc.get("outcomes").expect("outcomes object");
+    for key in ["correct", "degraded", "violations"] {
+        assert!(outcomes.get(key).and_then(Json::as_u64).is_some(), "outcomes.{key} missing");
+    }
+    assert!(doc.get("sites").and_then(Json::as_arr).is_some());
+    assert!(doc.get("violations").and_then(Json::as_arr).is_some());
+    let pairs = doc.get("pairs").and_then(Json::as_arr).expect("pairs array");
+    assert_eq!(pairs.len(), 4);
+    for p in pairs {
+        assert!(p.get("label").and_then(Json::as_str).is_some());
+        assert!(p.get("outcome").and_then(Json::as_str).is_some());
+        assert!(p.get("fired").and_then(Json::as_u64).is_some());
+        let injs = p.get("injections").and_then(Json::as_arr).expect("injections array");
+        assert!(!injs.is_empty());
+        for i in injs {
+            assert!(i.get("site").and_then(Json::as_str).is_some());
+            assert!(i.get("rank").and_then(Json::as_u64).is_some());
+            assert!(i.get("occurrence").and_then(Json::as_u64).is_some());
+            assert!(i.get("op").and_then(Json::as_str).is_some());
+        }
+    }
+    assert!(doc.get("elapsed_s").and_then(Json::as_f64).is_some());
+}

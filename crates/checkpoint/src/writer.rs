@@ -218,6 +218,7 @@ impl Checkpointer {
     /// counter*, not iteration number): `keep_versions` pruning assumes
     /// consecutive versions.
     pub fn checkpoint(&self, version: u64, payload: Vec<u8>) {
+        self.transport.fault().site(self.rank, "ckpt.local.write");
         self.write_local(version, payload);
         self.signal_copy(version);
     }
@@ -294,6 +295,7 @@ impl Checkpointer {
     /// `self.rank()`, or the failed rank a rescue process adopted).
     /// Resolution order: local node → neighbor replica → PFS.
     pub fn restore_latest(&self, for_rank: Rank, timeout: Duration) -> Option<Restored> {
+        self.transport.fault().site(self.rank, "ckpt.restore");
         let r = self.restore_latest_uncounted(for_rank, timeout)?;
         self.count_restore(&r);
         Some(r)
@@ -330,6 +332,7 @@ impl Checkpointer {
         version: u64,
         timeout: Duration,
     ) -> Option<Restored> {
+        self.transport.fault().site(self.rank, "ckpt.restore");
         let r = self.restore_exact_uncounted(for_rank, version, timeout)?;
         self.count_restore(&r);
         Some(r)
@@ -544,10 +547,19 @@ fn copy_one(
         finish(false);
         return;
     };
+    // Passive site: this is the library thread, not the rank's own, so a
+    // matching kill only poisons liveness — re-check and bail like the
+    // storage probe above, modeling a rank dying mid-replication.
+    transport.fault().site_passive(rank, "ckpt.neighbor.copy");
+    if !transport.fault().is_alive(rank) {
+        finish(false);
+        return;
+    }
     // PFS tier first (blocking, costed — deliberately on this thread, not
     // the application's).
     if let (Some(p), Some(k)) = (pfs, cfg.pfs_every) {
         if k > 0 && version.is_multiple_of(k) {
+            transport.fault().site_passive(rank, "ckpt.pfs.write");
             p.write(rank, cfg.tag, version, Arc::clone(&data));
             spills.fetch_add(1, Ordering::Relaxed);
         }

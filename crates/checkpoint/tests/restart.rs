@@ -110,6 +110,47 @@ fn pfs_fallback_when_both_nodes_dead() {
     assert_eq!(r.version, 4);
 }
 
+/// The restart *vote* path against the PFS tier: `latest_restorable`
+/// must count PFS versions and `restore_exact` of the agreed version
+/// must fall back to PFS when both the home node and the replica holder
+/// are gone — the path a group-wide consistent restore takes after a
+/// two-node loss.
+#[test]
+fn vote_path_restore_exact_falls_back_to_pfs() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+    let fault = world.fault();
+    let pfs = Pfs::new(PfsConfig::instant());
+    let p0 = world.proc_handle(0);
+    let cfg = CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(5) };
+    let ck0 = Checkpointer::new(&p0, cfg, Some(Arc::clone(&pfs)));
+    ck0.checkpoint(1, b"v1".to_vec());
+    ck0.checkpoint(2, b"v2".to_vec());
+    assert!(ck0.drain(T));
+
+    // Home node and replica holder both die.
+    fault.kill_node(NodeId(0));
+    fault.kill_node(NodeId(1));
+
+    let p2 = world.proc_handle(2);
+    let ck2 = Checkpointer::new(
+        &p2,
+        CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(5) },
+        Some(pfs),
+    );
+    ck2.refresh_failed(&[0, 1]);
+    // The vote must still see version 2 (via PFS)…
+    assert_eq!(ck2.latest_restorable(0, T), Some(2));
+    // …and the agreed version must be restorable from PFS — both the
+    // latest and the older one (a divergent-epoch vote may agree on v1).
+    let r = ck2.restore_exact(0, 2, T).expect("PFS exact restore");
+    assert_eq!(r.provenance, Provenance::Pfs);
+    assert_eq!(r.data, b"v2");
+    let r1 = ck2.restore_exact(0, 1, T).expect("PFS exact restore of older version");
+    assert_eq!(r1.provenance, Provenance::Pfs);
+    assert_eq!(r1.data, b"v1");
+    assert_eq!(ck2.stats().restores_pfs, 2);
+}
+
 #[test]
 fn keep_versions_prunes_old_checkpoints() {
     let world = GaspiWorld::new(GaspiConfig::deterministic(2));

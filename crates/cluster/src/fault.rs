@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::inject::{InjectOp, InjectState, Injection, InjectionPlan, SiteName, SiteRecord};
 use crate::topology::{NodeId, Rank, Topology};
 
 /// Panic payload raised by a killed rank's next communication call.
@@ -73,6 +74,11 @@ pub struct FaultPlane {
     /// Bumped on every kill/link event; cheap freshness check for cached
     /// liveness views.
     epoch: AtomicU64,
+    /// Fast-path gate for injection sites: sites are one relaxed load
+    /// until a recording or an armed plan turns this on.
+    inject_on: AtomicBool,
+    /// Step-indexed injection state (counters, log, armed plans).
+    inject: Mutex<InjectState>,
 }
 
 impl FaultPlane {
@@ -87,6 +93,8 @@ impl FaultPlane {
             broken_links: RwLock::new(HashSet::new()),
             hooks: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
+            inject_on: AtomicBool::new(false),
+            inject: Mutex::new(InjectState::default()),
         })
     }
 
@@ -198,6 +206,94 @@ impl FaultPlane {
     pub fn link_ok(&self, src: Rank, dst: Rank) -> bool {
         self.is_alive(src) && self.is_alive(dst) && !self.broken_links.read().contains(&(src, dst))
     }
+
+    // ---- Step-indexed injection sites (see `crate::inject`) ------------
+
+    /// Cross the named injection site on behalf of `rank`, **from the
+    /// rank's own thread**: counts the occurrence, logs it while
+    /// recording, and applies a matching armed [`Injection`]. A matching
+    /// [`InjectOp::Kill`]/[`InjectOp::KillNode`] poisons the liveness
+    /// flag (idempotently — a rank already dead by wall-clock schedule is
+    /// not killed twice) and then unwinds the calling thread with
+    /// [`RankKilled`], like [`FaultPlane::assert_alive`] after an
+    /// external kill.
+    ///
+    /// Free when injection is disabled: one relaxed atomic load.
+    pub fn site(&self, rank: Rank, site: SiteName) {
+        if let Some(op) = self.site_hit(rank, site) {
+            self.apply_site_op(rank, &op, true);
+        }
+    }
+
+    /// [`FaultPlane::site`] for crossings performed by helper threads
+    /// (the checkpoint library thread, the network scheduler): never
+    /// unwinds the calling thread. A kill match only poisons the rank's
+    /// liveness flag; the victim observes it at its next communication
+    /// call — external `kill -9` semantics.
+    pub fn site_passive(&self, rank: Rank, site: SiteName) {
+        if let Some(op) = self.site_hit(rank, site) {
+            self.apply_site_op(rank, &op, false);
+        }
+    }
+
+    fn site_hit(&self, rank: Rank, site: SiteName) -> Option<InjectOp> {
+        if !self.inject_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inject.lock().cross(rank, site)
+    }
+
+    fn apply_site_op(&self, rank: Rank, op: &InjectOp, may_raise: bool) {
+        match *op {
+            InjectOp::Kill => {
+                self.kill_rank(rank);
+                if may_raise {
+                    RankKilled { rank }.raise();
+                }
+            }
+            InjectOp::KillNode => {
+                self.kill_node(self.topo.node_of(rank));
+                if may_raise {
+                    RankKilled { rank }.raise();
+                }
+            }
+            InjectOp::BreakLink { peer } => self.break_link(rank, peer),
+            InjectOp::Delay { dur } => std::thread::sleep(dur),
+        }
+    }
+
+    /// Arm a set of step-indexed injections (cumulative across calls).
+    pub fn arm_injections(&self, plan: InjectionPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.inject.lock().arm(plan);
+        self.inject_on.store(true, Ordering::Release);
+    }
+
+    /// Start logging site crossings, keeping at most `cap_per_site`
+    /// occurrences per `(site, rank)` in the log (counters are unbounded;
+    /// only the log is capped). The log enumerates the kill points a
+    /// sweep can replay.
+    pub fn record_sites(&self, cap_per_site: u64) {
+        self.inject.lock().start_recording(cap_per_site);
+        self.inject_on.store(true, Ordering::Release);
+    }
+
+    /// The recorded site crossings, in crossing order.
+    pub fn site_log(&self) -> Vec<SiteRecord> {
+        self.inject.lock().log()
+    }
+
+    /// Armed injections that have fired so far, in firing order.
+    pub fn injections_fired(&self) -> Vec<Injection> {
+        self.inject.lock().fired()
+    }
+
+    /// Total crossings of `(site, rank)` so far.
+    pub fn site_count(&self, site: &str, rank: Rank) -> u64 {
+        self.inject.lock().count(site, rank)
+    }
 }
 
 /// One planned fault.
@@ -236,6 +332,7 @@ impl FaultAction {
 pub struct FaultSchedule {
     at_iteration: Vec<(Rank, u64)>,
     timed: Vec<(Duration, FaultAction)>,
+    injections: Vec<Injection>,
 }
 
 impl FaultSchedule {
@@ -257,6 +354,20 @@ impl FaultSchedule {
         self
     }
 
+    /// Arm a step-indexed [`Injection`] when the schedule starts. Kills
+    /// are idempotent on the fault plane, so a step-indexed kill and a
+    /// wall-clock kill of the same rank compose into exactly one kill
+    /// event.
+    pub fn inject(mut self, inj: Injection) -> Self {
+        self.injections.push(inj);
+        self
+    }
+
+    /// The armed step-indexed injections, for inspection.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
     /// Should `rank` kill itself upon reaching `iter`?
     pub fn kill_at_iteration(&self, rank: Rank, iter: u64) -> bool {
         self.at_iteration.iter().any(|&(r, i)| r == rank && i == iter)
@@ -268,8 +379,10 @@ impl FaultSchedule {
     }
 
     /// Spawn the timer thread applying the timed actions. The returned
-    /// guard aborts outstanding actions when dropped.
+    /// guard aborts outstanding actions when dropped. Step-indexed
+    /// injections are armed on the plane before the timer starts.
     pub fn start_timer(&self, plane: Arc<FaultPlane>) -> ScheduleTimer {
+        plane.arm_injections(InjectionPlan { injections: self.injections.clone() });
         let mut timed = self.timed.clone();
         timed.sort_by_key(|(d, _)| *d);
         let cancel = Arc::new(AtomicBool::new(false));
@@ -424,5 +537,101 @@ mod tests {
         let t = s.start_timer(Arc::clone(&p));
         t.cancel();
         assert!(p.is_alive(1));
+    }
+
+    #[test]
+    fn sites_are_free_until_enabled() {
+        let p = plane(4);
+        p.site(0, "x");
+        p.site(0, "x");
+        // Nothing enabled injection: no counters were kept.
+        assert_eq!(p.site_count("x", 0), 0);
+        p.record_sites(8);
+        p.site(0, "x");
+        assert_eq!(p.site_count("x", 0), 1);
+        assert_eq!(p.site_log().len(), 1);
+    }
+
+    #[test]
+    fn site_kill_fires_at_exact_occurrence_and_raises() {
+        let p = plane(4);
+        let s = FaultSchedule::none().inject(Injection::kill("loop.step", 1, 3));
+        let t = s.start_timer(Arc::clone(&p));
+        t.join();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..5 {
+                p.site(1, "loop.step");
+            }
+        }));
+        let payload = r.unwrap_err();
+        assert_eq!(payload.downcast_ref::<RankKilled>().unwrap().rank, 1);
+        assert!(!p.is_alive(1));
+        assert_eq!(p.site_count("loop.step", 1), 3);
+        assert_eq!(p.injections_fired().len(), 1);
+    }
+
+    /// A wall-clock kill and a step-indexed kill of the same rank must
+    /// compose into exactly one kill event — kill is idempotent on the
+    /// plane, whichever trigger wins the race.
+    #[test]
+    fn timed_and_step_kills_compose_without_double_kill() {
+        let p = plane(4);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&events);
+        p.on_kill(move |ev| e2.lock().push(ev.clone()));
+        // Wall-clock kill lands first…
+        let s = FaultSchedule::none()
+            .timed(Duration::ZERO, FaultAction::KillRank(1))
+            .inject(Injection::kill("loop.step", 1, 1));
+        let t = s.start_timer(Arc::clone(&p));
+        t.join();
+        assert!(!p.is_alive(1));
+        // …then the victim's thread crosses the armed site anyway: it
+        // must still unwind (it is dead), but not fire a second event.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.site(1, "loop.step")));
+        assert!(r.unwrap_err().downcast_ref::<RankKilled>().is_some());
+        let evs = events.lock();
+        assert_eq!(evs.len(), 1, "one rank, two triggers, exactly one kill event");
+        assert_eq!(evs[0].ranks, vec![1]);
+    }
+
+    /// Same composition, opposite order: the step kill fires first, the
+    /// timed kill arrives later and must be a no-op.
+    #[test]
+    fn step_then_timed_kill_is_still_one_event() {
+        let p = plane(4);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&events);
+        p.on_kill(move |ev| e2.lock().push(ev.clone()));
+        p.arm_injections(InjectionPlan::new().with(Injection::kill("loop.step", 2, 1)));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.site(2, "loop.step")));
+        assert!(r.unwrap_err().downcast_ref::<RankKilled>().is_some());
+        assert!(!p.kill_rank(2), "already dead: wall-clock kill is a no-op");
+        assert_eq!(events.lock().len(), 1);
+    }
+
+    #[test]
+    fn break_link_and_delay_ops_do_not_unwind() {
+        let p = plane(4);
+        p.arm_injections(
+            InjectionPlan::new()
+                .with(Injection::break_link("net.op", 0, 1, 2))
+                .with(Injection::delay("net.op", 0, 2, Duration::from_millis(1))),
+        );
+        p.site(0, "net.op"); // break link 0↔2
+        assert!(!p.link_ok(0, 2));
+        assert!(p.is_alive(0));
+        p.site(0, "net.op"); // delay, returns
+        assert!(p.is_alive(0));
+    }
+
+    #[test]
+    fn passive_site_kill_poisons_without_unwinding() {
+        let p = plane(6); // 2 ranks/node → 3 nodes
+        p.arm_injections(InjectionPlan::new().with(Injection::kill_node("ckpt.copy", 2, 1)));
+        p.site_passive(2, "ckpt.copy"); // must NOT panic this thread
+        assert!(!p.is_alive(2));
+        assert!(!p.is_alive(3), "node kill takes the whole node");
+        assert!(!p.node_is_alive(NodeId(1)));
     }
 }

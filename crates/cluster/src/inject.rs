@@ -1,0 +1,257 @@
+//! Step-indexed fault injection: named injection sites with per-rank
+//! occurrence counters.
+//!
+//! The paper validates recovery by killing processes at *arbitrary
+//! moments* (§VI); the wall-clock [`crate::FaultSchedule`] reproduces
+//! that, but a time-random kill cannot name the protocol step it hit, so
+//! a recovery bug at one specific boundary (say, between checkpoint
+//! commit and the neighbor-copy acknowledgment) survives until a lucky
+//! seed finds it. Injection sites make the failure space *enumerable*:
+//!
+//! * The communication and checkpoint layers call
+//!   [`crate::FaultPlane::site`] (or [`crate::FaultPlane::site_passive`] from helper
+//!   threads) at named protocol steps. Each `(site, rank)` pair carries a
+//!   monotonically increasing occurrence counter.
+//! * A recording pass ([`crate::FaultPlane::record_sites`]) logs the crossings
+//!   of a failure-free run, enumerating every `(site, occurrence, rank)`
+//!   triple a sweep can kill at.
+//! * An [`InjectionPlan`] arms deterministic faults: *kill rank r at the
+//!   k-th occurrence of site s* — plus node-kill, break-link, and delay
+//!   variants.
+//!
+//! Sites are free when injection is disabled (one relaxed atomic load);
+//! the plane only pays for counters once a recording or an armed plan
+//! switches injection on.
+//!
+//! `site` raises [`crate::RankKilled`] on a kill match and therefore must
+//! only be called by the dying rank's own thread. Library threads (the
+//! checkpoint replicator, the network scheduler) use `site_passive`,
+//! which poisons the rank's liveness flag without unwinding the calling
+//! thread — the victim observes its death at its next communication
+//! call, exactly like an external `kill -9`.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::topology::Rank;
+
+/// Injection-site names are compile-time constants at the call sites.
+pub type SiteName = &'static str;
+
+/// One recorded crossing of an injection site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SiteRecord {
+    /// Site name (e.g. `"gaspi.allreduce"`).
+    pub site: String,
+    /// The rank that crossed the site.
+    pub rank: Rank,
+    /// 1-based occurrence index of this crossing for `(site, rank)`.
+    pub occurrence: u64,
+}
+
+/// What to do when an armed injection matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectOp {
+    /// Fail-stop kill of the crossing rank (idempotent on the plane, so
+    /// it composes with wall-clock kills of the same rank).
+    Kill,
+    /// Kill the crossing rank's whole node — drops node-local state such
+    /// as checkpoints, via the registered kill hooks.
+    KillNode,
+    /// Break the bidirectional link between the crossing rank and `peer`.
+    BreakLink {
+        /// The other end of the link.
+        peer: Rank,
+    },
+    /// Stall the crossing thread for `dur` (models a slow step, e.g. a
+    /// GC pause or network hiccup, without killing anything).
+    Delay {
+        /// How long to stall.
+        dur: Duration,
+    },
+}
+
+/// One armed step-indexed fault: apply `op` when `rank` crosses `site`
+/// for the `occurrence`-th time. Fires at most once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    /// Site name to match.
+    pub site: String,
+    /// Rank whose crossing counts.
+    pub rank: Rank,
+    /// 1-based occurrence to fire at.
+    pub occurrence: u64,
+    /// The fault to apply.
+    pub op: InjectOp,
+}
+
+impl Injection {
+    /// Kill `rank` at its `occurrence`-th crossing of `site`.
+    pub fn kill(site: impl Into<String>, rank: Rank, occurrence: u64) -> Self {
+        Self { site: site.into(), rank, occurrence, op: InjectOp::Kill }
+    }
+
+    /// Kill `rank`'s node at its `occurrence`-th crossing of `site`.
+    pub fn kill_node(site: impl Into<String>, rank: Rank, occurrence: u64) -> Self {
+        Self { site: site.into(), rank, occurrence, op: InjectOp::KillNode }
+    }
+
+    /// Break the `rank`↔`peer` link at the `occurrence`-th crossing.
+    pub fn break_link(site: impl Into<String>, rank: Rank, occurrence: u64, peer: Rank) -> Self {
+        Self { site: site.into(), rank, occurrence, op: InjectOp::BreakLink { peer } }
+    }
+
+    /// Stall `rank` for `dur` at the `occurrence`-th crossing.
+    pub fn delay(site: impl Into<String>, rank: Rank, occurrence: u64, dur: Duration) -> Self {
+        Self { site: site.into(), rank, occurrence, op: InjectOp::Delay { dur } }
+    }
+}
+
+/// A set of step-indexed faults to arm on a [`crate::FaultPlane`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InjectionPlan {
+    /// The armed injections, in arming order.
+    pub injections: Vec<Injection>,
+}
+
+impl InjectionPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one injection (builder style).
+    pub fn with(mut self, inj: Injection) -> Self {
+        self.injections.push(inj);
+        self
+    }
+
+    /// True if nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+/// An armed injection plus its fired flag.
+#[derive(Debug)]
+struct Armed {
+    inj: Injection,
+    fired: bool,
+}
+
+/// Mutable injection state hanging off the fault plane (behind one
+/// mutex; only touched when injection is enabled).
+#[derive(Debug, Default)]
+pub(crate) struct InjectState {
+    armed: Vec<Armed>,
+    counters: HashMap<(SiteName, Rank), u64>,
+    recording: bool,
+    /// Max occurrences logged per `(site, rank)` — counters keep counting
+    /// beyond the cap, only the *log* is bounded.
+    record_cap: u64,
+    log: Vec<SiteRecord>,
+    fired: Vec<Injection>,
+}
+
+impl InjectState {
+    /// Count a crossing; log it while recording; return the op of a
+    /// matching armed injection, at most once per injection.
+    pub(crate) fn cross(&mut self, rank: Rank, site: SiteName) -> Option<InjectOp> {
+        let c = self.counters.entry((site, rank)).or_insert(0);
+        *c += 1;
+        let occurrence = *c;
+        if self.recording && occurrence <= self.record_cap {
+            self.log.push(SiteRecord { site: site.to_string(), rank, occurrence });
+        }
+        let armed = self.armed.iter_mut().find(|a| {
+            !a.fired && a.inj.rank == rank && a.inj.occurrence == occurrence && a.inj.site == site
+        })?;
+        armed.fired = true;
+        let inj = armed.inj.clone();
+        self.fired.push(inj.clone());
+        Some(inj.op)
+    }
+
+    pub(crate) fn arm(&mut self, plan: InjectionPlan) {
+        self.armed.extend(plan.injections.into_iter().map(|inj| Armed { inj, fired: false }));
+    }
+
+    pub(crate) fn start_recording(&mut self, cap_per_site: u64) {
+        self.recording = true;
+        self.record_cap = cap_per_site.max(1);
+    }
+
+    pub(crate) fn log(&self) -> Vec<SiteRecord> {
+        self.log.clone()
+    }
+
+    pub(crate) fn fired(&self) -> Vec<Injection> {
+        self.fired.clone()
+    }
+
+    pub(crate) fn count(&self, site: &str, rank: Rank) -> u64 {
+        self.counters.iter().find(|((s, r), _)| *s == site && *r == rank).map_or(0, |(_, &c)| c)
+    }
+}
+
+/// Sites crossed only by the owning rank's own thread replay
+/// deterministically: their occurrence index is a pure function of the
+/// rank's instruction stream. Sites also crossed by helper threads (the
+/// network scheduler's nested posts, the checkpoint library thread) get
+/// occurrence indices that depend on thread interleaving — a sweep still
+/// asserts the chaos contract on them, but must not assert same-triple ⇒
+/// same-outcome.
+pub fn site_is_deterministic(site: &str) -> bool {
+    !matches!(site, "transport.post" | "ckpt.neighbor.copy" | "ckpt.pfs.write")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_count_per_site_and_rank() {
+        let mut st = InjectState::default();
+        assert_eq!(st.cross(0, "a"), None);
+        assert_eq!(st.cross(0, "a"), None);
+        assert_eq!(st.cross(1, "a"), None);
+        assert_eq!(st.cross(0, "b"), None);
+        assert_eq!(st.count("a", 0), 2);
+        assert_eq!(st.count("a", 1), 1);
+        assert_eq!(st.count("b", 0), 1);
+        assert_eq!(st.count("b", 9), 0);
+    }
+
+    #[test]
+    fn armed_injection_fires_exactly_once_at_its_occurrence() {
+        let mut st = InjectState::default();
+        st.arm(InjectionPlan::new().with(Injection::kill("a", 0, 2)));
+        assert_eq!(st.cross(0, "a"), None); // occurrence 1
+        assert_eq!(st.cross(1, "a"), None); // other rank
+        assert_eq!(st.cross(0, "a"), Some(InjectOp::Kill)); // occurrence 2
+        assert_eq!(st.cross(0, "a"), None); // fired already
+        assert_eq!(st.fired().len(), 1);
+    }
+
+    #[test]
+    fn recording_caps_log_but_not_counters() {
+        let mut st = InjectState::default();
+        st.start_recording(2);
+        for _ in 0..5 {
+            st.cross(3, "x");
+        }
+        assert_eq!(st.count("x", 3), 5);
+        let log = st.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], SiteRecord { site: "x".into(), rank: 3, occurrence: 1 });
+        assert_eq!(log[1], SiteRecord { site: "x".into(), rank: 3, occurrence: 2 });
+    }
+
+    #[test]
+    fn deterministic_site_classification() {
+        assert!(site_is_deterministic("gaspi.allreduce"));
+        assert!(site_is_deterministic("recover.group.create"));
+        assert!(!site_is_deterministic("transport.post"));
+        assert!(!site_is_deterministic("ckpt.neighbor.copy"));
+    }
+}

@@ -27,6 +27,7 @@
 //! * [`time`] — the latency model and paper-scale conversion helpers.
 
 pub mod fault;
+pub mod inject;
 pub mod metrics;
 pub mod storage;
 pub mod time;
@@ -34,6 +35,7 @@ pub mod topology;
 pub mod transport;
 
 pub use fault::{FaultAction, FaultPlane, FaultSchedule, RankKilled, ScheduleTimer};
+pub use inject::{site_is_deterministic, InjectOp, Injection, InjectionPlan, SiteName, SiteRecord};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use storage::{BlobKey, NodeStorage};
 pub use time::LatencyModel;

@@ -184,6 +184,9 @@ impl Transport {
             (env.action)(self, Outcome::Cancelled);
             return;
         }
+        // Passive: `post` also runs on the network thread (nested response
+        // posts), which must never unwind with `RankKilled`.
+        self.inner.fault.site_passive(env.src, "transport.post");
         self.inner.metrics.msg_posted.fetch_add(1, Ordering::Relaxed);
         self.inner.metrics.bytes_posted.fetch_add(env.bytes as u64, Ordering::Relaxed);
         let u: f64 = self.inner.rng.lock().gen();

@@ -53,6 +53,7 @@ pub fn broadcast_plan(
     queue: u16,
     timeout: Timeout,
 ) -> GaspiResult<Vec<Rank>> {
+    proc.injection_site("ack.broadcast");
     let payload = plan.encode();
     let len = payload.len();
     // Stage [len][payload] in our own control segment, then push it

@@ -752,6 +752,7 @@ fn worker_run<A: FtApp>(
                 if ctx.cfg.checkpoint_every > 0 && iter.is_multiple_of(ctx.cfg.checkpoint_every) {
                     match app.checkpoint(ctx, iter) {
                         Ok(()) => {
+                            ctx.proc.injection_site("driver.checkpoint.commit");
                             let version = iter / ctx.cfg.checkpoint_every;
                             ctx.events.record(rank, EventKind::Checkpoint { version, iter });
                         }

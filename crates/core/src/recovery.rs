@@ -37,6 +37,7 @@ pub fn execute_recovery(
     events: &EventLog,
 ) -> FtResult<Group> {
     let proc = watch.proc();
+    proc.injection_site("recover.begin");
     // 1. The old group is gone (ignore errors: it may never have existed
     //    for a rescue process).
     if let Some(g) = prev_group {
@@ -50,6 +51,7 @@ pub fn execute_recovery(
     // 3. COMM_MAIN_NEW with the epoch-derived id; clear the remnants of an
     //    interrupted previous attempt at this epoch, if any.
     let gid = plan.group_id();
+    proc.injection_site("recover.group.create");
     let group = match proc.group_create_with_id(gid) {
         Ok(g) => g,
         Err(_) => {
@@ -77,6 +79,7 @@ pub fn execute_recovery(
             Err(e) => return Err(e.into()),
         }
     }
+    proc.injection_site("recover.committed");
     events.record(proc.rank(), EventKind::GroupRebuilt { epoch: plan.epoch });
     Ok(group)
 }

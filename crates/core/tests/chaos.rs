@@ -152,23 +152,52 @@ fn storm(seed: u64) {
     }
 }
 
-#[test]
-fn chaos_storm_seeds_0_to_3() {
-    for seed in 0..4 {
-        storm(seed);
-    }
+/// One `#[test]` per seed in the fixed bank: a failing seed is a stable
+/// test name (`chaos_storm_seed_7`) that can be rerun and bisected
+/// directly, instead of a number buried in a loop's panic message.
+macro_rules! storm_matrix {
+    ($($name:ident => $seed:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                storm($seed);
+            }
+        )+
+    };
 }
 
-#[test]
-fn chaos_storm_seeds_4_to_7() {
-    for seed in 4..8 {
-        storm(seed);
-    }
+storm_matrix! {
+    chaos_storm_seed_0 => 0,
+    chaos_storm_seed_1 => 1,
+    chaos_storm_seed_2 => 2,
+    chaos_storm_seed_3 => 3,
+    chaos_storm_seed_4 => 4,
+    chaos_storm_seed_5 => 5,
+    chaos_storm_seed_6 => 6,
+    chaos_storm_seed_7 => 7,
+    chaos_storm_seed_8 => 8,
+    chaos_storm_seed_9 => 9,
+    chaos_storm_seed_10 => 10,
+    chaos_storm_seed_11 => 11,
 }
 
+/// CI sweep hook: `FT_CHAOS_SEEDS="100..120"` or `FT_CHAOS_SEEDS="17,42,99"`
+/// runs extra storms beyond the fixed bank. A no-op when unset, so local
+/// `cargo test` stays fast.
 #[test]
-fn chaos_storm_seeds_8_to_11() {
-    for seed in 8..12 {
-        storm(seed);
+fn chaos_storm_env_seeds() {
+    let Ok(spec) = std::env::var("FT_CHAOS_SEEDS") else {
+        return;
+    };
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if let Some((lo, hi)) = part.split_once("..") {
+            let lo: u64 = lo.trim().parse().expect("FT_CHAOS_SEEDS range start");
+            let hi: u64 = hi.trim().parse().expect("FT_CHAOS_SEEDS range end");
+            for seed in lo..hi {
+                storm(seed);
+            }
+        } else {
+            storm(part.parse().expect("FT_CHAOS_SEEDS seed"));
+        }
     }
 }

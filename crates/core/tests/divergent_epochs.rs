@@ -1,0 +1,151 @@
+//! Regression pins for `consistent_restore` when surviving ranks hold
+//! *different* checkpoint epochs after a mid-commit kill.
+//!
+//! A rank killed while writing checkpoint version `v` leaves the group
+//! split: survivors finished `v`, the victim's adopter can reach only
+//! `v-1`. The pinned behavior is the allreduce-min vote — everyone
+//! rolls back to the newest version *every* member can restore, so the
+//! group resumes from one consistent iteration and still produces the
+//! exact result. Both kill flavors are pinned: the rank's own thread
+//! dying at the local-write site, and the checkpoint library thread
+//! being poisoned at the neighbor-copy site.
+
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_cluster::{FaultSchedule, Injection};
+use ft_core::ckpt::consistent_restore;
+use ft_core::{run_ft_job, EventKind, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
+
+const STATE_TAG: u32 = 1;
+const FETCH: Duration = Duration::from_secs(5);
+
+struct Acc {
+    acc: f64,
+    ck: Checkpointer,
+}
+
+impl Acc {
+    fn new(ctx: &FtCtx) -> Self {
+        Self {
+            acc: 0.0,
+            ck: Checkpointer::new(&ctx.proc, CheckpointerConfig::for_tag(STATE_TAG), None),
+        }
+    }
+}
+
+impl FtApp for Acc {
+    type Summary = f64;
+
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        ctx.barrier_ft()?;
+        Ok(())
+    }
+
+    fn join_as_rescue(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool> {
+        let x = f64::from(ctx.app_rank() + 1) * (iter + 1) as f64;
+        self.acc += ctx.allreduce_f64_ft(&[x], ReduceOp::Sum)?[0];
+        Ok(false)
+    }
+
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        // Synchronous replication: when the group later votes, survivor
+        // versions are deterministic, which is what this pin relies on.
+        assert!(self.ck.drain(FETCH));
+        Ok(())
+    }
+
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
+        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
+            Some(r) => {
+                let mut d = Dec::new(&r.data);
+                let iter = d.u64().unwrap();
+                self.acc = d.f64().unwrap();
+                Ok(iter)
+            }
+            None => {
+                self.acc = 0.0;
+                Ok(0)
+            }
+        }
+    }
+
+    fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
+        self.ck.refresh_failed(&plan.failed);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<f64> {
+        Ok(self.acc)
+    }
+}
+
+fn run_divergent(inj: Injection) -> (Vec<u64>, bool) {
+    let workers = 4u32;
+    let iters = 16u64;
+    let layout = WorldLayout::new(workers, 2);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let schedule = FaultSchedule::none().inject(inj);
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 4;
+    cfg.max_iters = iters;
+    cfg.policy.abandon = Duration::from_secs(20);
+    let report = run_ft_job(&world, cfg, schedule, Acc::new);
+
+    let summaries = report.worker_summaries();
+    assert_eq!(summaries.len(), workers as usize, "all app ranks must finish: {summaries:?}");
+    let expected =
+        f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64;
+    for (app, acc) in &summaries {
+        assert_eq!(**acc, expected, "app rank {app} accumulated a wrong total");
+    }
+    let killed = !report.killed().is_empty();
+    let restored: Vec<u64> = report
+        .events
+        .snapshot()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Restored { iter, .. } => Some(iter),
+            _ => None,
+        })
+        .collect();
+    (restored, killed)
+}
+
+/// Rank 1 dies entering its *second* local checkpoint write (version 2,
+/// iteration 8): survivors finish version 2, the adopter can reach only
+/// version 1. The vote must agree on version 1 — every restore resumes
+/// from iteration 4, not from the survivors' newer epoch.
+#[test]
+fn mid_commit_kill_votes_down_to_common_version() {
+    let (restored, killed) = run_divergent(Injection::kill("ckpt.local.write", 1, 2));
+    assert!(killed, "the injected kill must fire");
+    assert!(!restored.is_empty(), "recovery must restore from a checkpoint");
+    assert!(
+        restored.iter().all(|&i| i == 4),
+        "divergent epochs must vote down to version 1 (iteration 4), got {restored:?}"
+    );
+}
+
+/// Same divergence via the library thread: rank 1's replicator is
+/// poisoned at its second neighbor copy, so version 2 never reaches the
+/// replica holder. The adopter again reaches only version 1 and the
+/// vote must roll the whole group back to iteration 4.
+#[test]
+fn kill_during_neighbor_copy_votes_down_to_common_version() {
+    let (restored, killed) = run_divergent(Injection::kill("ckpt.neighbor.copy", 1, 2));
+    assert!(killed, "the injected kill must fire");
+    assert!(!restored.is_empty(), "recovery must restore from a checkpoint");
+    assert!(
+        restored.iter().all(|&i| i == 4),
+        "divergent epochs must vote down to version 1 (iteration 4), got {restored:?}"
+    );
+}

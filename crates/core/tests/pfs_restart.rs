@@ -1,0 +1,139 @@
+//! Full-stack restart through the PFS checkpoint tier: a two-node loss
+//! that destroys a rank's local checkpoint *and* its neighbor replica
+//! must restore from the PFS copy and still finish with the exact
+//! result.
+//!
+//! The kill is step-indexed (node kill at the 3rd crossing of
+//! `driver.checkpoint.commit`), so the drained version-3 checkpoint is
+//! provably on all three tiers when the nodes die.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc, Pfs, PfsConfig};
+use ft_cluster::{FaultSchedule, Injection};
+use ft_core::ckpt::consistent_restore;
+use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
+use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
+
+const STATE_TAG: u32 = 1;
+const FETCH: Duration = Duration::from_secs(5);
+
+struct PfsApp {
+    acc: f64,
+    ck: Checkpointer,
+}
+
+impl PfsApp {
+    fn new(ctx: &FtCtx, pfs: &Arc<Pfs>) -> Self {
+        Self {
+            acc: 0.0,
+            ck: Checkpointer::new(
+                &ctx.proc,
+                CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(STATE_TAG) },
+                Some(Arc::clone(pfs)),
+            ),
+        }
+    }
+}
+
+impl FtApp for PfsApp {
+    /// `(accumulator, restores served from PFS)`.
+    type Summary = (f64, u64);
+
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        ctx.barrier_ft()?;
+        Ok(())
+    }
+
+    fn join_as_rescue(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool> {
+        let x = f64::from(ctx.app_rank() + 1) * (iter + 1) as f64;
+        self.acc += ctx.allreduce_f64_ft(&[x], ReduceOp::Sum)?[0];
+        Ok(false)
+    }
+
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        // Make every tier durable before the commit site: the injected
+        // node kill below must find the PFS copy already written.
+        assert!(self.ck.drain(FETCH), "replication must land");
+        Ok(())
+    }
+
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
+        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
+            Some(r) => {
+                let mut d = Dec::new(&r.data);
+                let iter = d.u64().unwrap();
+                self.acc = d.f64().unwrap();
+                Ok(iter)
+            }
+            None => {
+                self.acc = 0.0;
+                Ok(0)
+            }
+        }
+    }
+
+    fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
+        self.ck.refresh_failed(&plan.failed);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<(f64, u64)> {
+        Ok((self.acc, self.ck.stats().restores_pfs))
+    }
+}
+
+#[test]
+fn two_node_loss_restores_from_pfs_tier() {
+    // 1 rank/node: node n hosts rank n. Node 2 holds node 1's replicas,
+    // so killing nodes 1 and 2 destroys rank 1's local copy AND its
+    // neighbor replica — only the PFS copy survives.
+    let workers = 4u32;
+    let iters = 24u64;
+    let layout = WorldLayout::new(workers, 3);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let schedule = FaultSchedule::none()
+        .inject(Injection::kill_node("driver.checkpoint.commit", 1, 3))
+        .inject(Injection::kill_node("driver.checkpoint.commit", 2, 3));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 4;
+    cfg.max_iters = iters;
+    cfg.policy.abandon = Duration::from_secs(20);
+    let pfs = Pfs::new(PfsConfig::instant());
+    let report = run_ft_job(&world, cfg, schedule, move |ctx| PfsApp::new(ctx, &pfs));
+
+    let mut killed = report.killed();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 2], "both injected node kills must fire");
+
+    let summaries = report.worker_summaries();
+    assert_eq!(summaries.len(), workers as usize, "all app ranks must finish: {summaries:?}");
+    let expected =
+        f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64;
+    for (app, (acc, _)) in &summaries {
+        assert_eq!(*acc, expected, "app rank {app} accumulated a wrong total");
+    }
+    // Rank 1's adopter had no local copy and no neighbor replica left:
+    // at least one restore must have been served from the PFS tier.
+    let pfs_restores: u64 = summaries.iter().map(|(_, (_, p))| p).sum();
+    assert!(pfs_restores >= 1, "no restore came from the PFS tier");
+    // And the run did restore from a real checkpoint, not from scratch.
+    let ev = report.events.snapshot();
+    let restored: Vec<u64> = ev
+        .iter()
+        .filter_map(|e| match e.kind {
+            ft_core::EventKind::Restored { iter, .. } => Some(iter),
+            _ => None,
+        })
+        .collect();
+    assert!(!restored.is_empty());
+    assert!(restored.iter().all(|&i| i > 0), "restores must come from checkpoints: {restored:?}");
+}

@@ -165,6 +165,7 @@ impl GaspiProc {
     /// interrupted instance keeps its sequence number and its tokens.
     pub fn barrier(&self, group: crate::Group, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.barrier");
         let (members, seq, resumed) =
             self.shared().groups.collective_ticket(group.0, crate::group::CollKind::Barrier)?;
         if resumed {
@@ -260,6 +261,7 @@ impl GaspiProc {
         dec: impl Fn([u8; 8]) -> T,
     ) -> GaspiResult<Vec<T>> {
         self.check_self();
+        self.injection_site("gaspi.allreduce");
         if input.len() > ALLREDUCE_MAX_ELEMS {
             return Err(GaspiError::InvalidArg("allreduce buffer exceeds 255 elements"));
         }

@@ -228,6 +228,7 @@ impl GaspiProc {
     /// so a commit that timed out can be retried.
     pub fn group_commit(&self, group: Group, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.group.commit");
         let members = self.shared().groups.members(group.0)?;
         if !members.contains(&self.rank()) {
             return Err(GaspiError::Group { what: "commit on group not containing self" });
@@ -258,6 +259,7 @@ impl GaspiProc {
                 return Err(GaspiError::Group { what: "member set mismatch at commit" });
             }
         }
+        self.injection_site("gaspi.group.commit.done");
         self.shared().groups.mark_committed(group.0)?;
         self.world().metrics.count_group_commit();
         Ok(())

@@ -90,6 +90,13 @@ impl GaspiProc {
         self.world.fault.assert_alive(self.rank);
     }
 
+    /// Cross a named fault-injection site on this rank's own thread.
+    /// Free when injection is disabled; unwinds with [`RankKilled`] if an
+    /// armed step-indexed kill matches (see [`ft_cluster::InjectionPlan`]).
+    pub fn injection_site(&self, name: &'static str) {
+        self.world.fault.site(self.rank, name);
+    }
+
     /// Simulated `exit(-1)`: mark self dead and unwind the rank thread.
     pub fn exit_failure(&self) -> ! {
         self.world.fault.kill_rank(self.rank);
@@ -162,6 +169,7 @@ impl GaspiProc {
     /// (`gaspi_segment_create`). Remote ranks can access it immediately.
     pub fn segment_create(&self, seg: SegId, size: usize) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.segment.create");
         self.shared().segments.create(seg, size, self.world.cfg.notification_slots)
     }
 
@@ -239,6 +247,7 @@ impl GaspiProc {
         queue: u16,
     ) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.write");
         self.validate_queue(queue)?;
         self.validate_rank(dst)?;
         let data = self.shared().segments.require(lseg)?.read_at(loff, len)?;
@@ -257,6 +266,7 @@ impl GaspiProc {
         queue: u16,
     ) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.notify");
         self.validate_queue(queue)?;
         self.validate_rank(dst)?;
         if value == 0 {
@@ -285,6 +295,7 @@ impl GaspiProc {
         queue: u16,
     ) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.write_notify");
         self.validate_queue(queue)?;
         self.validate_rank(dst)?;
         if value == 0 {
@@ -358,6 +369,7 @@ impl GaspiProc {
         queue: u16,
     ) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.read");
         self.validate_queue(queue)?;
         self.validate_rank(dst)?;
         // Validate the local landing zone up front.
@@ -423,6 +435,7 @@ impl GaspiProc {
     /// vector.
     pub fn wait(&self, queue: u16, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.queue.wait");
         self.validate_queue(queue)?;
         let q = &self.shared().queues[queue as usize];
         let target = q.posted();
@@ -577,6 +590,7 @@ impl GaspiProc {
     /// dies now and when it was already unreachable.
     pub fn proc_kill(&self, dst: Rank, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.proc_kill");
         self.validate_rank(dst)?;
         if dst == self.rank {
             self.exit_failure();
@@ -618,6 +632,7 @@ impl GaspiProc {
     /// (`gaspi_passive_send`). Blocks until the transfer is accepted.
     pub fn passive_send(&self, dst: Rank, data: Vec<u8>, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
+        self.injection_site("gaspi.passive_send");
         self.validate_rank(dst)?;
         let cell = Arc::new(AtomicU8::new(0));
         let me = self.shared_arc();
