@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy};
 use ft_gaspi::{GaspiConfig, GaspiWorld};
 use ft_matgen::graphene::Graphene;
 use ft_matgen::RowGen;
@@ -104,21 +104,23 @@ fn bench_checkpoint(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("local_write", size), &size, |b, _| {
             b.iter(|| {
                 v += 1;
-                ck.write_local(v, payload.clone());
+                ck.commit(v, payload.clone(), CopyPolicy::LocalOnly);
             });
         });
         g.bench_with_input(BenchmarkId::new("write_plus_neighbor_copy", size), &size, |b, _| {
             b.iter(|| {
                 v += 1;
-                ck.checkpoint(v, payload.clone());
+                ck.commit(v, payload.clone(), CopyPolicy::Replicate);
                 assert!(ck.drain(Duration::from_secs(10)));
             });
         });
         g.bench_with_input(BenchmarkId::new("restore_local", size), &size, |b, _| {
-            ck.checkpoint(v, payload.clone());
+            ck.commit(v, payload.clone(), CopyPolicy::Replicate);
             assert!(ck.drain(Duration::from_secs(10)));
             b.iter(|| {
-                criterion::black_box(ck.restore_latest(1, Duration::from_secs(5)).unwrap().version)
+                criterion::black_box(
+                    ck.restore_latest(1, Duration::from_secs(5)).hit().unwrap().version,
+                )
             });
         });
     }

@@ -1,0 +1,227 @@
+//! Micro-benchmark: incremental (chunk-deduplicated) vs. full-image
+//! checkpointing of an evolving Lanczos state.
+//!
+//! A sequential Lanczos recurrence on a 1-D Laplacian grows the exact
+//! state the paper checkpoints — two dense vectors that change wholesale
+//! every iteration plus an append-only α/β history. The state is encoded
+//! with the chunk-aligned [`ft_solver::LanczosState::encode`] layout and
+//! committed once per epoch to two checkpointers over the same payloads:
+//!
+//! * `incremental` — `full_every(8)`: commits write only dirty chunks +
+//!   a manifest; every 8th version is a self-contained full commit that
+//!   bounds the restore chain,
+//! * `full baseline` — `full_every(1)`: every commit rewrites the whole
+//!   image, which is what the pre-incremental pipeline always did.
+//!
+//! The headline metric is the **final-pair dirty ratio**: bytes written
+//! by the *last incremental* commit divided by the payload size at that
+//! epoch. It is taken at the end of the run because that is when the
+//! α/β history (the clean, append-only part) is largest relative to the
+//! vectors — i.e. it measures the steady state the dedup is for, not the
+//! warm-up where almost everything is dirty. The run asserts it ≤ 0.40
+//! (the acceptance bound) and that both checkpointers restore the final
+//! payload bit-exactly.
+//!
+//! Run: `cargo bench -p ft-bench --bench micro_ckpt_incremental`
+//! Environment: `FT_CKPT_INC_SMOKE=1` shrinks the run (8 epochs × 200
+//! iterations) for CI; `FT_CKPT_INC_EPOCHS` / `FT_CKPT_INC_ITERS`
+//! override either dimension explicitly.
+
+use std::time::Duration;
+
+use ft_bench::table::Table;
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, CopyPolicy};
+use ft_gaspi::{GaspiConfig, GaspiWorld};
+use ft_solver::LanczosState;
+use ft_telemetry::{Json, TelemetrySnapshot};
+
+const DIM: usize = 256;
+const CHUNK: usize = 1024;
+const FULL_EVERY: u64 = 8;
+const T: Duration = Duration::from_secs(30);
+
+/// One sequential Lanczos step on the 1-D Laplacian stencil
+/// `w[i] = 2 v[i] − v[i−1] − v[i+1]` (the simplest symmetric operator
+/// that keeps the recurrence — and hence the α/β history — nontrivial).
+fn step(s: &mut LanczosState) {
+    let n = s.v.len();
+    let mut w = vec![0.0; n];
+    for (i, wi) in w.iter_mut().enumerate() {
+        let left = if i > 0 { s.v[i - 1] } else { 0.0 };
+        let right = if i + 1 < n { s.v[i + 1] } else { 0.0 };
+        *wi = 2.0 * s.v[i] - left - right;
+    }
+    let alpha: f64 = w.iter().zip(&s.v).map(|(a, b)| a * b).sum();
+    let beta_prev = s.betas.last().copied().unwrap_or(0.0);
+    for (wi, (vi, pi)) in w.iter_mut().zip(s.v.iter().zip(&s.v_prev)) {
+        *wi -= alpha * vi + beta_prev * pi;
+    }
+    let beta = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+    s.alphas.push(alpha);
+    s.betas.push(beta);
+    std::mem::swap(&mut s.v_prev, &mut s.v);
+    if beta > 0.0 {
+        for (vi, wi) in s.v.iter_mut().zip(&w) {
+            *vi = wi / beta;
+        }
+    } else {
+        s.v.iter_mut().for_each(|x| *x = 0.0);
+    }
+    s.iter += 1;
+}
+
+/// Pipeline bytes a commit wrote: dirty chunks + the manifest.
+fn written(d: &CkptStats) -> u64 {
+    d.chunk_bytes + d.manifest_bytes
+}
+
+struct Epoch {
+    version: u64,
+    full: bool,
+    payload_bytes: u64,
+    written_bytes: u64,
+    ratio: f64,
+}
+
+fn main() {
+    let smoke = std::env::var_os("FT_CKPT_INC_SMOKE").is_some_and(|v| v != "0");
+    let (def_epochs, def_iters) = if smoke { (8u64, 200u64) } else { (16u64, 400u64) };
+    let epochs: u64 =
+        std::env::var("FT_CKPT_INC_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(def_epochs);
+    let iters_per_epoch: u64 =
+        std::env::var("FT_CKPT_INC_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(def_iters);
+    println!(
+        "incremental checkpoint: Lanczos dim {DIM}, {epochs} epochs x {iters_per_epoch} iters, \
+         chunk {CHUNK} B, full every {FULL_EVERY}{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Two simulated nodes: rank 0 writes, node 2 holds the replicas.
+    let world = GaspiWorld::new(GaspiConfig::deterministic(2));
+    let p0 = world.proc_handle(0);
+    let cfg_inc = CheckpointerConfig::builder(11)
+        .chunk_size(CHUNK)
+        .full_every(FULL_EVERY)
+        .build()
+        .expect("valid config");
+    let cfg_full = CheckpointerConfig::builder(12)
+        .chunk_size(CHUNK)
+        .full_every(1)
+        .build()
+        .expect("valid config");
+    let ck_inc = Checkpointer::new(&p0, cfg_inc, None);
+    let ck_full = Checkpointer::new(&p0, cfg_full, None);
+
+    let mut state = LanczosState::init(0, DIM, 42);
+    let norm = state.v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    state.v.iter_mut().for_each(|x| *x /= norm);
+
+    let mut rows = Vec::new();
+    let mut last = ck_inc.stats();
+    let mut last_payload = Vec::new();
+    for version in 1..=epochs {
+        for _ in 0..iters_per_epoch {
+            step(&mut state);
+        }
+        let payload = state.encode();
+        ck_inc.commit(version, payload.clone(), CopyPolicy::Replicate);
+        ck_full.commit(version, payload.clone(), CopyPolicy::Replicate);
+        let now = ck_inc.stats();
+        let d = now.since(&last);
+        last = now;
+        rows.push(Epoch {
+            version,
+            full: d.full_commits > 0,
+            payload_bytes: payload.len() as u64,
+            written_bytes: written(&d),
+            ratio: written(&d) as f64 / payload.len() as f64,
+        });
+        last_payload = payload;
+    }
+    assert!(ck_inc.drain(T) && ck_full.drain(T), "replication must drain");
+
+    let mut t = Table::new(&["version", "commit", "payload", "written", "ratio"]);
+    for e in &rows {
+        t.row(vec![
+            e.version.to_string(),
+            if e.full { "full" } else { "incremental" }.to_string(),
+            format!("{} B", e.payload_bytes),
+            format!("{} B", e.written_bytes),
+            format!("{:.3}", e.ratio),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let inc_rows: Vec<&Epoch> = rows.iter().filter(|e| !e.full).collect();
+    let final_inc =
+        inc_rows.last().expect("at least one incremental commit (epochs > full_every?)");
+    let mean_ratio = inc_rows.iter().map(|e| e.ratio).sum::<f64>() / inc_rows.len() as f64;
+    let inc_total = ck_inc.stats();
+    let full_total = ck_full.stats();
+    let pipeline_vs_baseline = written(&inc_total) as f64 / written(&full_total).max(1) as f64;
+    println!(
+        "final incremental dirty ratio (v{}): {:.3}; mean over {} incremental commits: {:.3}",
+        final_inc.version,
+        final_inc.ratio,
+        inc_rows.len(),
+        mean_ratio
+    );
+    println!(
+        "pipeline bytes: incremental {} B vs full baseline {} B ({:.1}% of baseline); \
+         replica copy bytes {} vs {}",
+        written(&inc_total),
+        written(&full_total),
+        100.0 * pipeline_vs_baseline,
+        inc_total.copy_bytes,
+        full_total.copy_bytes,
+    );
+
+    // Both pipelines must reassemble the final image bit-exactly.
+    for (name, ck) in [("incremental", &ck_inc), ("full", &ck_full)] {
+        let r = ck.restore_latest(0, T).hit().unwrap_or_else(|| panic!("{name} restore"));
+        assert_eq!(r.version, epochs, "{name}: latest version");
+        assert_eq!(r.data, last_payload, "{name}: restored image must be bit-exact");
+    }
+    // The acceptance bound: adjacent-epoch dirty chunks are ≤ 40% of the
+    // full image once the history dominates the payload.
+    assert!(
+        final_inc.ratio <= 0.40,
+        "final incremental dirty ratio {:.3} exceeds the 0.40 acceptance bound",
+        final_inc.ratio
+    );
+    println!("OK: final incremental dirty ratio {:.3} <= 0.40", final_inc.ratio);
+
+    let counters = TelemetrySnapshot::of_world(&world).with_ckpt(inc_total);
+    let doc = Json::obj([
+        ("schema", Json::Str("gaspi-ft/ckpt-incremental/v1".into())),
+        ("dim", Json::num_u64(DIM as u64)),
+        ("epochs", Json::num_u64(epochs)),
+        ("iters_per_epoch", Json::num_u64(iters_per_epoch)),
+        ("chunk_size", Json::num_u64(CHUNK as u64)),
+        ("full_every", Json::num_u64(FULL_EVERY)),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "epochs_detail",
+            Json::Arr(
+                rows.iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("version", Json::num_u64(e.version)),
+                            ("full", Json::Bool(e.full)),
+                            ("payload_bytes", Json::num_u64(e.payload_bytes)),
+                            ("written_bytes", Json::num_u64(e.written_bytes)),
+                            ("ratio", Json::Num(e.ratio)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("final_incremental_ratio", Json::Num(final_inc.ratio)),
+        ("mean_incremental_ratio", Json::Num(mean_ratio)),
+        ("incremental_pipeline_bytes", Json::num_u64(written(&inc_total))),
+        ("full_baseline_pipeline_bytes", Json::num_u64(written(&full_total))),
+        ("pipeline_vs_baseline", Json::Num(pipeline_vs_baseline)),
+        ("counters", counters.to_json()),
+    ]);
+    ft_bench::report::write_report("ckpt_incremental.json", &doc);
+}

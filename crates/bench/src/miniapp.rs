@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, CopyPolicy, Dec, Enc};
 use ft_core::baselines::{AllToAllDetector, InlineDetector, NeighborRingDetector};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtResult, RecoveryPlan};
@@ -143,7 +143,7 @@ impl FtApp for MiniApp {
         let version = iter / ctx.cfg.checkpoint_every;
         let mut e = Enc::new();
         e.u64(iter).f64(self.acc);
-        self.ck.checkpoint(version, e.finish());
+        self.ck.commit(version, e.finish(), CopyPolicy::Replicate);
         Ok(())
     }
 

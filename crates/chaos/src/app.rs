@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtResult, RecoveryPlan};
 use ft_gaspi::ReduceOp;
@@ -59,7 +59,7 @@ impl FtApp for SweepApp {
     fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
         let mut e = Enc::new();
         e.u64(iter).f64(self.acc);
-        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
         Ok(())
     }
 

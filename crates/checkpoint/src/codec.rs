@@ -8,6 +8,21 @@
 
 use std::fmt;
 
+/// FNV-1a 64-bit hash — the content hash of the incremental checkpoint
+/// pipeline (chunk identity and whole-payload checksums). Dependency-free
+/// and stable across platforms, which is all a *simulated* content store
+/// needs; it is not collision-resistant against adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -102,6 +117,19 @@ impl Enc {
         self
     }
 
+    /// Pad with zero bytes until the encoded length is a multiple of
+    /// `align`. Used by chunk-aligned checkpoint layouts so that sections
+    /// start on chunk boundaries and an append-only section dirties only
+    /// its final chunk. No-op when already aligned; `align` must be ≥ 1.
+    pub fn pad_to(&mut self, align: usize) -> &mut Self {
+        debug_assert!(align >= 1);
+        let rem = self.buf.len() % align;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (align - rem), 0);
+        }
+        self
+    }
+
     /// Take the encoded buffer.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -188,6 +216,23 @@ impl<'a> Dec<'a> {
         Ok(self.take(n)?.to_vec())
     }
 
+    /// Skip `n` bytes (padding written by [`Enc::pad_to`]).
+    pub fn skip(&mut self, n: usize) -> Result<(), CodecError> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Skip forward to the next multiple of `align`, mirroring
+    /// [`Enc::pad_to`]. Errors with [`CodecError::Eof`] if the padding
+    /// would run past the buffer (a truncated blob).
+    pub fn align_to(&mut self, align: usize) -> Result<(), CodecError> {
+        debug_assert!(align >= 1);
+        let rem = self.pos % align;
+        if rem != 0 {
+            self.skip(align - rem)?;
+        }
+        Ok(())
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -249,6 +294,37 @@ mod tests {
         let mut d = Dec::new(&buf);
         d.u32().unwrap();
         assert!(d.expect_end().is_err());
+    }
+
+    #[test]
+    fn padding_roundtrip_and_truncation() {
+        let mut e = Enc::new();
+        e.u64(7).pad_to(64);
+        e.f64(1.5).pad_to(64).pad_to(64); // second pad is a no-op
+        let buf = e.finish();
+        assert_eq!(buf.len(), 128);
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u64().unwrap(), 7);
+        d.align_to(64).unwrap();
+        assert_eq!(d.f64().unwrap(), 1.5);
+        d.align_to(64).unwrap();
+        d.expect_end().unwrap();
+        // Truncated padding is a loud EOF, not a silent success.
+        let mut d = Dec::new(&buf[..100]);
+        d.u64().unwrap();
+        d.align_to(64).unwrap();
+        d.f64().unwrap();
+        assert!(d.align_to(64).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        // Sensitivity: one flipped bit changes the hash.
+        assert_ne!(fnv1a64(&[0u8; 32]), fnv1a64(&[1u8; 32]));
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! signals (paper Fig. 2). Optionally, every k-th checkpoint also goes to
 //! a (slow, simulated) PFS tier for a higher degree of reliability.
 //!
+//! On top of the paper's tiering, commits are **incremental and
+//! chunk-deduplicated** (module [`chunk`]): payloads are split into
+//! fixed-size content-hashed chunks, [`Checkpointer::commit`] writes only
+//! the chunks that changed since the previous commit plus a compact
+//! manifest, and the neighbor copy ships only those dirty chunks.
+//! Periodic full commits bound the delta chain; every restore reassembles
+//! a full image from manifest + chunks and verifies a whole-payload
+//! checksum, falling back to the previous consistent version on any gap.
+//!
 //! Because node-local storage dies with the node, a failed rank's state is
 //! recovered from the *neighbor's* replica — and since failures change who
 //! neighbors whom, the library is itself fault-aware:
@@ -14,20 +23,30 @@
 //! cumulative failed-process list the fault detector distributes, exactly
 //! as the paper describes ("the C/R library refreshes its list of
 //! neighboring processes based on the failed processes list provided by
-//! the application thread").
+//! the application thread"), and additionally forces the next commit to be
+//! full so a new replica holder gets a self-contained base image.
 //!
 //! Restore resolution order ([`Checkpointer::restore_latest`]):
 //! local node → neighbor replica → PFS; the returned [`Provenance`] lets
-//! benchmarks attribute re-initialization cost (the paper's OHF3).
+//! benchmarks attribute re-initialization cost (the paper's OHF3), and the
+//! [`RestoreOutcome`] distinguishes *why* a restore missed (not found /
+//! timeout / checksum mismatch) for the recovery vote path.
 
+pub mod chunk;
 pub mod codec;
 pub mod neighbor;
 pub mod pfs;
 pub mod stats;
 pub mod writer;
 
-pub use codec::{CodecError, Dec, Enc};
+pub use chunk::{
+    chunk_hashes, chunk_range, chunk_tag, Manifest, CHUNK_TAG_BIT, DEFAULT_CHUNK_SIZE,
+};
+pub use codec::{fnv1a64, CodecError, Dec, Enc};
 pub use neighbor::NeighborMap;
 pub use pfs::{Pfs, PfsConfig};
 pub use stats::CkptStats;
-pub use writer::{Checkpointer, CheckpointerConfig, Provenance, Restored};
+pub use writer::{
+    Checkpointer, CheckpointerConfig, CheckpointerConfigBuilder, ConfigError, CopyPolicy,
+    Provenance, RestoreOutcome, Restored,
+};

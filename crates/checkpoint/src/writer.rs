@@ -1,13 +1,29 @@
-//! The checkpointer: local write, asynchronous neighbor copy, restore.
+//! The checkpointer: incremental local commit, asynchronous neighbor
+//! copy, reassembling restore.
 //!
 //! Mirrors the paper's Fig. 2 interaction: at `init` the library spawns a
 //! thread that waits for a signal from the application; at a checkpoint
-//! iteration the application writes the checkpoint on its local node and
-//! signals the thread, which then copies the blob to the neighbor node
+//! iteration the application commits the checkpoint on its local node and
+//! signals the thread, which then replicates it to the neighbor node
 //! (and, optionally, every k-th version to the PFS). The application never
 //! blocks on the replication — which is why the paper measures ≈0.01 %
 //! checkpoint overhead in failure-free runs.
+//!
+//! On top of the paper's design, commits are **incremental and
+//! chunk-deduplicated** (see [`crate::chunk`]): the payload is split into
+//! fixed-size content-hashed chunks, only chunks whose hash changed since
+//! the previous commit are written (and replicated), and a compact
+//! manifest per version ties them together. Chunks are written *before*
+//! the manifest, so the manifest put is the atomic commit point: a torn
+//! commit (killed mid-chunk or mid-manifest) leaves the new version
+//! invisible and every tier falls back to the previous consistent one.
+//! Periodic full commits (`full_every`), plus forced fulls after a
+//! neighbor-ring change or a non-consecutive version, bound the delta
+//! chain; a rescue process adopting a failed identity always restores (and
+//! re-homes) a fully materialized image.
 
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -18,6 +34,8 @@ use parking_lot::{Condvar, Mutex};
 use ft_cluster::{BlobKey, Envelope, NodeId, NodeStorage, Outcome, Rank, Topology, Transport};
 use ft_gaspi::GaspiProc;
 
+use crate::chunk::{chunk_hashes, chunk_range, chunk_tag, Manifest, DEFAULT_CHUNK_SIZE};
+use crate::codec::fnv1a64;
 use crate::neighbor::NeighborMap;
 use crate::pfs::Pfs;
 use crate::stats::CkptStats;
@@ -39,37 +57,222 @@ pub enum Provenance {
 pub struct Restored {
     /// Checkpoint version (the application's checkpoint counter).
     pub version: u64,
-    /// Checkpoint payload.
+    /// Checkpoint payload (always a fully materialized image).
     pub data: Vec<u8>,
     /// Which tier served it.
     pub provenance: Provenance,
 }
 
+/// Whether a commit is replicated to the neighbor (and PFS, when due) or
+/// stays on the local node only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyPolicy {
+    /// Signal the library thread: asynchronous neighbor copy plus the
+    /// every-k-th PFS spill — the paper's normal checkpoint path.
+    Replicate,
+    /// Local-node write only (ablations, scratch state).
+    LocalOnly,
+}
+
+/// Outcome of a restore probe or fetch, distinguishing *why* nothing was
+/// returned — the vote path in `ft-core` surfaces the distinction in its
+/// recovery events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreOutcome<T> {
+    /// Restored successfully.
+    Hit(T),
+    /// No tier holds anything restorable (a fresh start, or everything
+    /// genuinely lost).
+    NotFound,
+    /// A remote tier did not answer within the timeout; state may still
+    /// exist there.
+    Timeout,
+    /// A payload was reassembled but rejected by the whole-payload
+    /// checksum, and no other tier could serve a valid image.
+    ChecksumMismatch {
+        /// The newest version that failed verification.
+        version: u64,
+    },
+}
+
+impl<T> RestoreOutcome<T> {
+    /// The hit value, discarding miss details.
+    pub fn hit(self) -> Option<T> {
+        match self {
+            RestoreOutcome::Hit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, RestoreOutcome::Hit(_))
+    }
+
+    /// Stable label for the miss ("not-found" / "timeout" /
+    /// "checksum-mismatch"), `None` for a hit. Used in recovery events.
+    pub fn miss_reason(&self) -> Option<&'static str> {
+        match self {
+            RestoreOutcome::Hit(_) => None,
+            RestoreOutcome::NotFound => Some("not-found"),
+            RestoreOutcome::Timeout => Some("timeout"),
+            RestoreOutcome::ChecksumMismatch { .. } => Some("checksum-mismatch"),
+        }
+    }
+
+    /// Map the hit value.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RestoreOutcome<U> {
+        match self {
+            RestoreOutcome::Hit(v) => RestoreOutcome::Hit(f(v)),
+            RestoreOutcome::NotFound => RestoreOutcome::NotFound,
+            RestoreOutcome::Timeout => RestoreOutcome::Timeout,
+            RestoreOutcome::ChecksumMismatch { version } => {
+                RestoreOutcome::ChecksumMismatch { version }
+            }
+        }
+    }
+}
+
+/// An invalid [`CheckpointerConfig`], rejected by the builder (and by
+/// [`Checkpointer::new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The tag has the reserved chunk-store bit set.
+    ReservedTag(u32),
+    /// `keep_versions` must be ≥ 1.
+    ZeroKeepVersions,
+    /// `chunk_size` must be ≥ 1 and fit the manifest's `u32` field.
+    BadChunkSize(usize),
+    /// `full_every` must be ≥ 1.
+    ZeroFullEvery,
+    /// `pfs_every = Some(0)` is meaningless — use `None` to disable.
+    ZeroPfsEvery,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ReservedTag(t) => {
+                write!(f, "tag {t:#x} uses the reserved chunk-store bit")
+            }
+            ConfigError::ZeroKeepVersions => write!(f, "keep_versions must be >= 1"),
+            ConfigError::BadChunkSize(n) => write!(f, "invalid chunk_size {n}"),
+            ConfigError::ZeroFullEvery => write!(f, "full_every must be >= 1"),
+            ConfigError::ZeroPfsEvery => write!(f, "pfs_every must be None or >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Checkpointer configuration.
 #[derive(Debug, Clone)]
 pub struct CheckpointerConfig {
     /// Stream tag separating independent checkpoint streams (state vs.
-    /// communication plan).
+    /// communication plan). The high bit is reserved for the chunk store.
     pub tag: u32,
     /// How many recent versions to keep on each tier (≥1; 2 tolerates a
     /// failure *during* checkpointing).
     pub keep_versions: u64,
-    /// Also copy every k-th version to the PFS (None = never).
+    /// Also spill every k-th version to the PFS as a reconstituted full
+    /// image (None = never).
     pub pfs_every: Option<u64>,
     /// Replicate to the neighbor node (disable only for ablations).
     pub neighbor_copy: bool,
+    /// Chunk size of the incremental pipeline (bytes).
+    pub chunk_size: usize,
+    /// Write a full (non-incremental) checkpoint whenever
+    /// `version % full_every == 0` — bounds the delta-chain length.
+    pub full_every: u64,
 }
 
 impl CheckpointerConfig {
     /// Defaults matching the paper's setup: neighbor copies on, keep two
-    /// versions, no PFS.
+    /// versions, no PFS; incremental commits with a full anchor every 8
+    /// versions.
     pub fn for_tag(tag: u32) -> Self {
-        Self { tag, keep_versions: 2, pfs_every: None, neighbor_copy: true }
+        Self {
+            tag,
+            keep_versions: 2,
+            pfs_every: None,
+            neighbor_copy: true,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            full_every: 8,
+        }
+    }
+
+    /// Validating builder over [`CheckpointerConfig::for_tag`] defaults.
+    pub fn builder(tag: u32) -> CheckpointerConfigBuilder {
+        CheckpointerConfigBuilder { cfg: Self::for_tag(tag) }
+    }
+
+    /// Check the invariants the writer relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tag & crate::chunk::CHUNK_TAG_BIT != 0 {
+            return Err(ConfigError::ReservedTag(self.tag));
+        }
+        if self.keep_versions == 0 {
+            return Err(ConfigError::ZeroKeepVersions);
+        }
+        if self.chunk_size == 0 || self.chunk_size > u32::MAX as usize {
+            return Err(ConfigError::BadChunkSize(self.chunk_size));
+        }
+        if self.full_every == 0 {
+            return Err(ConfigError::ZeroFullEvery);
+        }
+        if self.pfs_every == Some(0) {
+            return Err(ConfigError::ZeroPfsEvery);
+        }
+        Ok(())
+    }
+}
+
+/// Builder returned by [`CheckpointerConfig::builder`]; `build` validates.
+#[derive(Debug, Clone)]
+pub struct CheckpointerConfigBuilder {
+    cfg: CheckpointerConfig,
+}
+
+impl CheckpointerConfigBuilder {
+    /// Versions retained per tier.
+    pub fn keep_versions(mut self, n: u64) -> Self {
+        self.cfg.keep_versions = n;
+        self
+    }
+
+    /// Spill every k-th version to the PFS.
+    pub fn pfs_every(mut self, k: u64) -> Self {
+        self.cfg.pfs_every = Some(k);
+        self
+    }
+
+    /// Disable the asynchronous neighbor copy (ablations).
+    pub fn no_neighbor_copy(mut self) -> Self {
+        self.cfg.neighbor_copy = false;
+        self
+    }
+
+    /// Chunk size of the incremental pipeline.
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.cfg.chunk_size = bytes;
+        self
+    }
+
+    /// Full-checkpoint period.
+    pub fn full_every(mut self, k: u64) -> Self {
+        self.cfg.full_every = k;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<CheckpointerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
 enum Job {
-    Copy { version: u64 },
+    Copy { version: u64, dirty: Vec<u64>, release: Vec<u64> },
     Stop,
 }
 
@@ -77,6 +280,40 @@ enum Job {
 struct Pending {
     count: Mutex<u64>,
     cv: Condvar,
+}
+
+/// The per-tag chunk-hash table: what the last commit looked like, which
+/// manifests are retained (for chunk GC), and whether the next commit
+/// must be full.
+#[derive(Default)]
+struct ChunkTable {
+    /// Chunk hashes of the last committed version, by chunk index.
+    last: Vec<u64>,
+    /// Version of the last commit (None before the first).
+    last_version: Option<u64>,
+    /// `(version, chunk hashes)` of the retained manifests, oldest first.
+    history: VecDeque<(u64, Vec<u64>)>,
+    /// Next commit must be a full checkpoint (fresh table, ring change).
+    force_full: bool,
+    /// Neighbor-ring generation observed at the last commit.
+    ring_gen: u64,
+}
+
+/// Shared state the library thread needs for one replication job.
+struct CopyShared {
+    rank: Rank,
+    node: NodeId,
+    cfg: CheckpointerConfig,
+    topo: Topology,
+    storage: Arc<NodeStorage>,
+    transport: Transport,
+    neighbors: Arc<Mutex<NeighborMap>>,
+    pending: Arc<Pending>,
+    done: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    spills: Arc<AtomicU64>,
+    copy_bytes: Arc<AtomicU64>,
+    pfs: Option<Arc<Pfs>>,
 }
 
 /// Per-rank neighbor-level checkpoint/restart handle.
@@ -89,6 +326,7 @@ pub struct Checkpointer {
     transport: Transport,
     pfs: Option<Arc<Pfs>>,
     neighbors: Arc<Mutex<NeighborMap>>,
+    table: Mutex<ChunkTable>,
     tx: Sender<Job>,
     worker: Option<std::thread::JoinHandle<()>>,
     pending: Arc<Pending>,
@@ -96,13 +334,27 @@ pub struct Checkpointer {
     pub copies_done: Arc<AtomicU64>,
     /// Neighbor copies that failed (broken link / dead neighbor).
     pub copy_failures: Arc<AtomicU64>,
-    /// Local checkpoint bytes written.
+    /// Bytes shipped to the neighbor (dirty chunks + manifests).
+    pub copy_bytes: Arc<AtomicU64>,
+    /// Logical checkpoint bytes committed (full-image equivalent).
     pub bytes_local: AtomicU64,
-    /// Local checkpoint writes.
+    /// Checkpoint commits.
     pub local_writes: AtomicU64,
+    /// Full (non-incremental) commits.
+    pub full_commits: AtomicU64,
+    /// Incremental commits.
+    pub incremental_commits: AtomicU64,
+    /// Dirty chunks written locally.
+    pub chunks_written: AtomicU64,
+    /// Bytes of dirty chunks written locally.
+    pub chunk_bytes: AtomicU64,
+    /// Clean payload bytes skipped thanks to chunk dedup.
+    pub dedup_bytes: AtomicU64,
+    /// Manifest bytes written locally.
+    pub manifest_bytes: AtomicU64,
     /// Versions spilled to the PFS tier (library thread).
     pub pfs_spills: Arc<AtomicU64>,
-    /// Restores served locally / from the neighbor replica / from PFS.
+    /// Restores served locally.
     pub restores_local: AtomicU64,
     /// Restores served from the neighbor replica.
     pub restores_neighbor: AtomicU64,
@@ -110,11 +362,19 @@ pub struct Checkpointer {
     pub restores_pfs: AtomicU64,
     /// Total payload bytes restored.
     pub restore_bytes: AtomicU64,
+    /// Manifest versions skipped during restore because a chunk was gone.
+    pub restore_gaps: Arc<AtomicU64>,
+    /// Reassembled payloads rejected by the whole-payload checksum.
+    pub checksum_failures: Arc<AtomicU64>,
 }
 
 impl Checkpointer {
     /// `init`: bind to a rank and spawn the library thread (paper Fig. 2).
+    ///
+    /// Panics on an invalid config — construct through
+    /// [`CheckpointerConfig::builder`] to validate ahead of time.
     pub fn new(proc: &GaspiProc, cfg: CheckpointerConfig, pfs: Option<Arc<Pfs>>) -> Self {
+        cfg.validate().expect("invalid CheckpointerConfig");
         let rank = proc.rank();
         let topo = proc.topology().clone();
         let node = topo.node_of(rank);
@@ -125,39 +385,33 @@ impl Checkpointer {
         let pending = Arc::new(Pending::default());
         let copies_done = Arc::new(AtomicU64::new(0));
         let copy_failures = Arc::new(AtomicU64::new(0));
+        let copy_bytes = Arc::new(AtomicU64::new(0));
         let pfs_spills = Arc::new(AtomicU64::new(0));
 
-        let w_storage = Arc::clone(&storage);
-        let w_transport = transport.clone();
-        let w_neighbors = Arc::clone(&neighbors);
-        let w_pending = Arc::clone(&pending);
-        let w_done = Arc::clone(&copies_done);
-        let w_fail = Arc::clone(&copy_failures);
-        let w_spills = Arc::clone(&pfs_spills);
-        let w_pfs = pfs.clone();
-        let w_cfg = cfg.clone();
-        let w_topo = topo.clone();
+        let shared = CopyShared {
+            rank,
+            node,
+            cfg: cfg.clone(),
+            topo: topo.clone(),
+            storage: Arc::clone(&storage),
+            transport: transport.clone(),
+            neighbors: Arc::clone(&neighbors),
+            pending: Arc::clone(&pending),
+            done: Arc::clone(&copies_done),
+            failed: Arc::clone(&copy_failures),
+            spills: Arc::clone(&pfs_spills),
+            copy_bytes: Arc::clone(&copy_bytes),
+            pfs: pfs.clone(),
+        };
         let worker = std::thread::Builder::new()
             .name(format!("ckpt-lib-{rank}"))
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::Stop => break,
-                        Job::Copy { version } => copy_one(
-                            rank,
-                            node,
-                            version,
-                            &w_cfg,
-                            &w_topo,
-                            &w_storage,
-                            &w_transport,
-                            &w_neighbors,
-                            &w_pending,
-                            &w_done,
-                            &w_fail,
-                            &w_spills,
-                            w_pfs.as_deref(),
-                        ),
+                        Job::Copy { version, dirty, release } => {
+                            copy_one(&shared, version, &dirty, &release);
+                        }
                     }
                 }
             })
@@ -172,18 +426,28 @@ impl Checkpointer {
             transport,
             pfs,
             neighbors,
+            table: Mutex::new(ChunkTable::default()),
             tx,
             worker: Some(worker),
             pending,
             copies_done,
             copy_failures,
+            copy_bytes,
             bytes_local: AtomicU64::new(0),
             local_writes: AtomicU64::new(0),
+            full_commits: AtomicU64::new(0),
+            incremental_commits: AtomicU64::new(0),
+            chunks_written: AtomicU64::new(0),
+            chunk_bytes: AtomicU64::new(0),
+            dedup_bytes: AtomicU64::new(0),
+            manifest_bytes: AtomicU64::new(0),
             pfs_spills,
             restores_local: AtomicU64::new(0),
             restores_neighbor: AtomicU64::new(0),
             restores_pfs: AtomicU64::new(0),
             restore_bytes: AtomicU64::new(0),
+            restore_gaps: Arc::new(AtomicU64::new(0)),
+            checksum_failures: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -195,13 +459,22 @@ impl Checkpointer {
         CkptStats {
             local_writes: self.local_writes.load(Ordering::Relaxed),
             bytes_local: self.bytes_local.load(Ordering::Relaxed),
+            full_commits: self.full_commits.load(Ordering::Relaxed),
+            incremental_commits: self.incremental_commits.load(Ordering::Relaxed),
+            chunks_written: self.chunks_written.load(Ordering::Relaxed),
+            chunk_bytes: self.chunk_bytes.load(Ordering::Relaxed),
+            dedup_bytes: self.dedup_bytes.load(Ordering::Relaxed),
+            manifest_bytes: self.manifest_bytes.load(Ordering::Relaxed),
             neighbor_copies: self.copies_done.load(Ordering::Relaxed),
             copy_failures: self.copy_failures.load(Ordering::Relaxed),
+            copy_bytes: self.copy_bytes.load(Ordering::Relaxed),
             pfs_spills: self.pfs_spills.load(Ordering::Relaxed),
             restores_local: self.restores_local.load(Ordering::Relaxed),
             restores_neighbor: self.restores_neighbor.load(Ordering::Relaxed),
             restores_pfs: self.restores_pfs.load(Ordering::Relaxed),
             restore_bytes: self.restore_bytes.load(Ordering::Relaxed),
+            restore_gaps: self.restore_gaps.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -210,39 +483,131 @@ impl Checkpointer {
         self.cfg.tag
     }
 
-    /// Write a checkpoint on the local node and signal the library thread
-    /// to replicate it. Returns immediately after the (in-memory) local
-    /// write — the fast path the paper relies on.
+    /// Commit checkpoint `version` on the local node and, under
+    /// [`CopyPolicy::Replicate`], signal the library thread to replicate
+    /// it. Returns immediately after the (in-memory) local write — the
+    /// fast path the paper relies on.
     ///
-    /// `version` must increase by 1 per checkpoint (use *checkpoint
-    /// counter*, not iteration number): `keep_versions` pruning assumes
-    /// consecutive versions.
-    pub fn checkpoint(&self, version: u64, payload: Vec<u8>) {
-        self.transport.fault().site(self.rank, "ckpt.local.write");
-        self.write_local(version, payload);
-        self.signal_copy(version);
-    }
+    /// The write is incremental: only chunks whose content hash changed
+    /// since the previous commit are stored, plus a manifest. Chunks go
+    /// first, the manifest last — a kill anywhere in between leaves this
+    /// version invisible and restore falls back to the previous one.
+    ///
+    /// `version` must increase by 1 per commit (use the *checkpoint
+    /// counter*, not the iteration number): `keep_versions` pruning
+    /// assumes consecutive versions. A non-consecutive version is
+    /// tolerated (it forces a full commit) but loses dedup.
+    pub fn commit(&self, version: u64, payload: Vec<u8>, policy: CopyPolicy) {
+        let fault = self.transport.fault();
+        fault.site(self.rank, "ckpt.local.write");
 
-    /// The local-node write alone.
-    pub fn write_local(&self, version: u64, payload: Vec<u8>) {
-        let key = BlobKey { rank: self.rank, tag: self.cfg.tag, version };
-        self.bytes_local.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.local_writes.fetch_add(1, Ordering::Relaxed);
-        self.storage.put(self.node, key, Arc::new(payload));
-        if version + 1 >= self.cfg.keep_versions {
-            let keep_from = version + 1 - self.cfg.keep_versions;
-            self.storage.prune(self.node, self.rank, self.cfg.tag, keep_from);
+        let mut t = self.table.lock();
+        let ring_gen = self.neighbors.lock().generation();
+        let seq_ok = match t.last_version {
+            None => true,
+            Some(lv) => version == lv + 1,
+        };
+        let full = t.force_full
+            || !seq_ok
+            || t.last_version.is_none()
+            || ring_gen != t.ring_gen
+            || version.is_multiple_of(self.cfg.full_every);
+        if !seq_ok {
+            // Superseded chain (restart-from-scratch redo): forget the old
+            // history rather than GC against it. The redo rewrites
+            // bit-identical content, so the content-addressed chunks are
+            // reused, not leaked.
+            t.history.clear();
         }
-    }
 
-    /// Signal the library thread to copy `version` to the neighbor (and
-    /// PFS when due) — the paper's "signals the library thread after
-    /// completion".
-    pub fn signal_copy(&self, version: u64) {
-        *self.pending.count.lock() += 1;
-        if self.tx.send(Job::Copy { version }).is_err() {
-            let mut c = self.pending.count.lock();
-            *c -= 1;
+        let hashes = chunk_hashes(&payload, self.cfg.chunk_size);
+        let ctag = chunk_tag(self.cfg.tag);
+        let mut written = HashSet::new();
+        let mut dirty = Vec::new();
+        let mut dirty_bytes = 0u64;
+        for (i, &h) in hashes.iter().enumerate() {
+            let clean = !full && t.last.get(i) == Some(&h);
+            if clean || !written.insert(h) {
+                continue;
+            }
+            fault.site(self.rank, "ckpt.chunk.write");
+            let blob = payload[chunk_range(i, self.cfg.chunk_size, payload.len())].to_vec();
+            dirty_bytes += blob.len() as u64;
+            self.storage.put(
+                self.node,
+                BlobKey { rank: self.rank, tag: ctag, version: h },
+                Arc::new(blob),
+            );
+            dirty.push(h);
+        }
+
+        let manifest = Manifest {
+            version,
+            total_len: payload.len() as u64,
+            chunk_size: self.cfg.chunk_size as u32,
+            full,
+            checksum: fnv1a64(&payload),
+            chunks: hashes.clone(),
+        };
+        fault.site(self.rank, "ckpt.manifest.write");
+        let mbytes = manifest.encode();
+        let mlen = mbytes.len() as u64;
+        self.storage.put(
+            self.node,
+            BlobKey { rank: self.rank, tag: self.cfg.tag, version },
+            Arc::new(mbytes),
+        );
+
+        // The version is now durable locally: prune old manifests, GC the
+        // chunks only they referenced, update the table and counters.
+        let keep_from = (version + 1).saturating_sub(self.cfg.keep_versions);
+        self.storage.prune(self.node, self.rank, self.cfg.tag, keep_from);
+        t.history.push_back((version, hashes.clone()));
+        let mut dropped: Vec<u64> = Vec::new();
+        while t.history.front().is_some_and(|(v, _)| *v < keep_from) {
+            let (_, old) = t.history.pop_front().expect("front checked");
+            dropped.extend(old);
+        }
+        let release: Vec<u64> = if dropped.is_empty() {
+            Vec::new()
+        } else {
+            let retained: HashSet<u64> =
+                t.history.iter().flat_map(|(_, hs)| hs.iter().copied()).collect();
+            let release: Vec<u64> = dropped
+                .into_iter()
+                .collect::<HashSet<u64>>()
+                .into_iter()
+                .filter(|h| !retained.contains(h))
+                .collect();
+            for &h in &release {
+                self.storage.remove(self.node, BlobKey { rank: self.rank, tag: ctag, version: h });
+            }
+            release
+        };
+        t.last = hashes;
+        t.last_version = Some(version);
+        t.force_full = false;
+        t.ring_gen = ring_gen;
+        drop(t);
+
+        self.local_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_local.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if full {
+            self.full_commits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.incremental_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.chunks_written.fetch_add(dirty.len() as u64, Ordering::Relaxed);
+        self.chunk_bytes.fetch_add(dirty_bytes, Ordering::Relaxed);
+        self.dedup_bytes.fetch_add(payload.len() as u64 - dirty_bytes, Ordering::Relaxed);
+        self.manifest_bytes.fetch_add(mlen, Ordering::Relaxed);
+
+        if policy == CopyPolicy::Replicate {
+            *self.pending.count.lock() += 1;
+            if self.tx.send(Job::Copy { version, dirty, release }).is_err() {
+                let mut c = self.pending.count.lock();
+                *c -= 1;
+            }
         }
     }
 
@@ -261,23 +626,17 @@ impl Checkpointer {
     }
 
     /// Fault-aware refresh: fold the cumulative failed list into the
-    /// neighbor ring (paper §IV-C). Call after every recovery.
+    /// neighbor ring (paper §IV-C). Call after every recovery. The next
+    /// commit is forced full so a (possibly new) replica holder receives
+    /// a self-contained base image.
     pub fn refresh_failed(&self, failed: &[Rank]) {
         self.neighbors.lock().mark_failed(failed);
+        self.table.lock().force_full = true;
     }
 
     /// Current neighbor node for this rank's checkpoints.
     pub fn neighbor_node(&self) -> Option<NodeId> {
         self.neighbors.lock().neighbor_of(self.node)
-    }
-
-    /// Latest locally stored version for `for_rank` (only meaningful when
-    /// `for_rank`'s node is this rank's node).
-    fn local_latest(&self, for_rank: Rank) -> Option<u64> {
-        if self.topo.node_of(for_rank) != self.node {
-            return None;
-        }
-        self.storage.latest_version(self.node, for_rank, self.cfg.tag)
     }
 
     /// Count a served restore by provenance (the paper's OHF3 cost
@@ -291,37 +650,62 @@ impl Checkpointer {
         self.restore_bytes.fetch_add(r.data.len() as u64, Ordering::Relaxed);
     }
 
-    /// Restore the newest reachable checkpoint of `for_rank` (usually
-    /// `self.rank()`, or the failed rank a rescue process adopted).
-    /// Resolution order: local node → neighbor replica → PFS.
-    pub fn restore_latest(&self, for_rank: Rank, timeout: Duration) -> Option<Restored> {
-        self.transport.fault().site(self.rank, "ckpt.restore");
-        let r = self.restore_latest_uncounted(for_rank, timeout)?;
-        self.count_restore(&r);
-        Some(r)
+    /// Fold one tier's probe misses into the running miss state.
+    fn note_probe(&self, probe: &TierProbe, misses: &mut Misses) {
+        self.restore_gaps.fetch_add(probe.gaps, Ordering::Relaxed);
+        if let Some(v) = probe.mismatch {
+            self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            misses.note_mismatch(v);
+        }
     }
 
-    fn restore_latest_uncounted(&self, for_rank: Rank, timeout: Duration) -> Option<Restored> {
+    /// Restore the newest reachable checkpoint of `for_rank` (usually
+    /// `self.rank()`, or the failed rank a rescue process adopted),
+    /// reassembled from manifest + chunks and checksum-verified.
+    /// Resolution order: local node → neighbor replica → PFS; within a
+    /// tier, a version with missing chunks or a bad checksum falls back
+    /// to the next older one.
+    pub fn restore_latest(&self, for_rank: Rank, timeout: Duration) -> RestoreOutcome<Restored> {
+        self.transport.fault().site(self.rank, "ckpt.restore");
+        let mut misses = Misses::default();
         // 1. Local.
-        if let Some(v) = self.local_latest(for_rank) {
-            let key = BlobKey { rank: for_rank, tag: self.cfg.tag, version: v };
-            if let Some(data) = self.storage.get(self.node, key) {
-                return Some(Restored {
-                    version: v,
-                    data: data.as_ref().clone(),
-                    provenance: Provenance::Local,
-                });
+        if self.topo.node_of(for_rank) == self.node {
+            let p = assemble_best(&self.storage, self.node, for_rank, self.cfg.tag);
+            self.note_probe(&p, &mut misses);
+            if let Some((version, data)) = p.found {
+                let r = Restored { version, data, provenance: Provenance::Local };
+                self.count_restore(&r);
+                return RestoreOutcome::Hit(r);
             }
         }
         // 2. Neighbor replica.
-        if let Some(r) = self.fetch_from_neighbor(for_rank, None, timeout) {
-            return Some(r);
+        match self.fetch_from_neighbor(for_rank, None, timeout) {
+            Fetch::Found(r) => {
+                self.count_restore(&r);
+                return RestoreOutcome::Hit(r);
+            }
+            Fetch::TimedOut => misses.timeout = true,
+            Fetch::Miss { mismatch } => {
+                if let Some(v) = mismatch {
+                    misses.note_mismatch(v);
+                }
+            }
         }
-        // 3. PFS.
-        let pfs = self.pfs.as_ref()?;
-        let v = pfs.latest_version(for_rank, self.cfg.tag)?;
-        let data = pfs.read(for_rank, self.cfg.tag, v)?;
-        Some(Restored { version: v, data: data.as_ref().clone(), provenance: Provenance::Pfs })
+        // 3. PFS (stores reconstituted full images).
+        if let Some(pfs) = self.pfs.as_ref() {
+            if let Some(v) = pfs.latest_version(for_rank, self.cfg.tag) {
+                if let Some(data) = pfs.read(for_rank, self.cfg.tag, v) {
+                    let r = Restored {
+                        version: v,
+                        data: data.as_ref().clone(),
+                        provenance: Provenance::Pfs,
+                    };
+                    self.count_restore(&r);
+                    return RestoreOutcome::Hit(r);
+                }
+            }
+        }
+        misses.outcome()
     }
 
     /// Restore a specific version (after the group agreed on a consistent
@@ -331,82 +715,121 @@ impl Checkpointer {
         for_rank: Rank,
         version: u64,
         timeout: Duration,
-    ) -> Option<Restored> {
+    ) -> RestoreOutcome<Restored> {
         self.transport.fault().site(self.rank, "ckpt.restore");
-        let r = self.restore_exact_uncounted(for_rank, version, timeout)?;
-        self.count_restore(&r);
-        Some(r)
-    }
-
-    fn restore_exact_uncounted(
-        &self,
-        for_rank: Rank,
-        version: u64,
-        timeout: Duration,
-    ) -> Option<Restored> {
-        let key = BlobKey { rank: for_rank, tag: self.cfg.tag, version };
+        let mut misses = Misses::default();
         if self.topo.node_of(for_rank) == self.node {
-            if let Some(data) = self.storage.get(self.node, key) {
-                return Some(Restored {
-                    version,
-                    data: data.as_ref().clone(),
-                    provenance: Provenance::Local,
-                });
+            let p = assemble_exact(&self.storage, self.node, for_rank, self.cfg.tag, version);
+            self.note_probe(&p, &mut misses);
+            if let Some((version, data)) = p.found {
+                let r = Restored { version, data, provenance: Provenance::Local };
+                self.count_restore(&r);
+                return RestoreOutcome::Hit(r);
             }
         }
-        if let Some(r) = self.fetch_from_neighbor(for_rank, Some(version), timeout) {
-            return Some(r);
+        match self.fetch_from_neighbor(for_rank, Some(version), timeout) {
+            Fetch::Found(r) => {
+                self.count_restore(&r);
+                return RestoreOutcome::Hit(r);
+            }
+            Fetch::TimedOut => misses.timeout = true,
+            Fetch::Miss { mismatch } => {
+                if let Some(v) = mismatch {
+                    misses.note_mismatch(v);
+                }
+            }
         }
-        let pfs = self.pfs.as_ref()?;
-        let data = pfs.read(for_rank, self.cfg.tag, version)?;
-        Some(Restored { version, data: data.as_ref().clone(), provenance: Provenance::Pfs })
+        if let Some(pfs) = self.pfs.as_ref() {
+            if let Some(data) = pfs.read(for_rank, self.cfg.tag, version) {
+                let r =
+                    Restored { version, data: data.as_ref().clone(), provenance: Provenance::Pfs };
+                self.count_restore(&r);
+                return RestoreOutcome::Hit(r);
+            }
+        }
+        misses.outcome()
     }
 
     /// The newest version this rank could restore for `for_rank`, without
-    /// transferring the payload. Feed the group minimum of this into
+    /// transferring the payload (each tier verifies reassembly before
+    /// answering). Feed the group minimum of this into
     /// [`Checkpointer::restore_exact`].
-    pub fn latest_restorable(&self, for_rank: Rank, timeout: Duration) -> Option<u64> {
-        let local = self.local_latest(for_rank);
+    pub fn latest_restorable(&self, for_rank: Rank, timeout: Duration) -> RestoreOutcome<u64> {
+        let mut misses = Misses::default();
+        let mut best: Option<u64> = None;
+        if self.topo.node_of(for_rank) == self.node {
+            let p = assemble_best(&self.storage, self.node, for_rank, self.cfg.tag);
+            self.note_probe(&p, &mut misses);
+            best = best.max(p.found.map(|(v, _)| v));
+        }
         let replica_node = self.neighbors.lock().neighbor_of(self.topo.node_of(for_rank));
-        let neighbor = replica_node.and_then(|nb| {
+        if let Some(nb) = replica_node {
             if nb == self.node {
-                self.storage.latest_version(nb, for_rank, self.cfg.tag)
+                let p = assemble_best(&self.storage, nb, for_rank, self.cfg.tag);
+                self.note_probe(&p, &mut misses);
+                best = best.max(p.found.map(|(v, _)| v));
             } else {
-                self.remote_latest(nb, for_rank, timeout)
+                match self.remote_latest(nb, for_rank, timeout) {
+                    Some(v) => best = best.max(v),
+                    None => misses.timeout = true,
+                }
             }
-        });
-        let pfs = self.pfs.as_ref().and_then(|p| p.latest_version(for_rank, self.cfg.tag));
-        [local, neighbor, pfs].into_iter().flatten().max()
+        }
+        if let Some(pfs) = self.pfs.as_ref() {
+            best = best.max(pfs.latest_version(for_rank, self.cfg.tag));
+        }
+        match best {
+            Some(v) => RestoreOutcome::Hit(v),
+            None => misses.outcome(),
+        }
     }
 
-    /// Fetch `for_rank`'s checkpoint from the neighbor replica holder.
+    /// Fetch `for_rank`'s checkpoint from the neighbor replica holder,
+    /// which reassembles a full image from its manifest + chunk replica
+    /// and ships the materialized bytes.
     fn fetch_from_neighbor(
         &self,
         for_rank: Rank,
         version: Option<u64>,
         timeout: Duration,
-    ) -> Option<Restored> {
+    ) -> Fetch {
         let home = self.topo.node_of(for_rank);
-        let replica_node = self.neighbors.lock().neighbor_of(home)?;
+        let Some(replica_node) = self.neighbors.lock().neighbor_of(home) else {
+            return Fetch::Miss { mismatch: None };
+        };
         let tag = self.cfg.tag;
         if replica_node == self.node {
             // The rescue process happens to *be* the replica holder.
-            let v = version.or_else(|| self.storage.latest_version(self.node, for_rank, tag))?;
-            let key = BlobKey { rank: for_rank, tag, version: v };
-            let data = self.storage.get(self.node, key)?;
-            return Some(Restored {
-                version: v,
-                data: data.as_ref().clone(),
-                provenance: Provenance::Neighbor(replica_node),
-            });
+            let p = match version {
+                Some(v) => assemble_exact(&self.storage, self.node, for_rank, tag, v),
+                None => assemble_best(&self.storage, self.node, for_rank, tag),
+            };
+            let mut misses = Misses::default();
+            self.note_probe(&p, &mut misses);
+            return match p.found {
+                Some((v, data)) => Fetch::Found(Restored {
+                    version: v,
+                    data,
+                    provenance: Provenance::Neighbor(replica_node),
+                }),
+                None => Fetch::Miss { mismatch: misses.mismatch },
+            };
         }
-        // Remote fetch: request → replica holder reads its node storage →
-        // costed response.
-        let dst = self.representative_rank(replica_node)?;
-        type Cell = Arc<(Mutex<Option<Option<(u64, Arc<Vec<u8>>)>>>, Condvar)>;
+        // Remote fetch: request → replica holder reassembles from its
+        // node storage → costed full-image response.
+        let Some(dst) = self.representative_rank(replica_node) else {
+            return Fetch::Miss { mismatch: None };
+        };
+        struct Reply {
+            found: Option<(u64, Arc<Vec<u8>>)>,
+            mismatch: Option<u64>,
+        }
+        type Cell = Arc<(Mutex<Option<Reply>>, Condvar)>;
         let cell: Cell = Arc::new((Mutex::new(None), Condvar::new()));
         let c1 = Arc::clone(&cell);
         let storage = Arc::clone(&self.storage);
+        let gaps = Arc::clone(&self.restore_gaps);
+        let cksum = Arc::clone(&self.checksum_failures);
         let me = self.rank;
         self.transport.post(Envelope {
             src: me,
@@ -414,14 +837,20 @@ impl Checkpointer {
             queue: u16::MAX, // dedicated checkpoint-fetch stream
             bytes: 24,
             action: Box::new(move |t, out| {
-                let found = (out == Outcome::Delivered)
-                    .then(|| {
-                        let v = version
-                            .or_else(|| storage.latest_version(replica_node, for_rank, tag))?;
-                        let key = BlobKey { rank: for_rank, tag, version: v };
-                        storage.get(replica_node, key).map(|d| (v, d))
-                    })
-                    .flatten();
+                let probe = if out == Outcome::Delivered {
+                    match version {
+                        Some(v) => assemble_exact(&storage, replica_node, for_rank, tag, v),
+                        None => assemble_best(&storage, replica_node, for_rank, tag),
+                    }
+                } else {
+                    TierProbe::default()
+                };
+                gaps.fetch_add(probe.gaps, Ordering::Relaxed);
+                if probe.mismatch.is_some() {
+                    cksum.fetch_add(1, Ordering::Relaxed);
+                }
+                let mismatch = probe.mismatch;
+                let found = probe.found.map(|(v, d)| (v, Arc::new(d)));
                 let bytes = found.as_ref().map_or(0, |(_, d)| d.len());
                 let c2 = Arc::clone(&c1);
                 t.post(Envelope {
@@ -430,8 +859,12 @@ impl Checkpointer {
                     queue: u16::MAX,
                     bytes,
                     action: Box::new(move |_, out2| {
-                        let value = if out2 == Outcome::Delivered { found } else { None };
-                        *c2.0.lock() = Some(value);
+                        let reply = if out2 == Outcome::Delivered {
+                            Reply { found, mismatch }
+                        } else {
+                            Reply { found: None, mismatch: None }
+                        };
+                        *c2.0.lock() = Some(reply);
                         c2.1.notify_all();
                     }),
                 });
@@ -444,27 +877,32 @@ impl Checkpointer {
                 break;
             }
         }
-        let (v, data) = g.take().flatten()?;
-        Some(Restored {
-            version: v,
-            data: data.as_ref().clone(),
-            provenance: Provenance::Neighbor(replica_node),
-        })
+        match g.take() {
+            None => Fetch::TimedOut,
+            Some(Reply { found: Some((v, data)), .. }) => Fetch::Found(Restored {
+                version: v,
+                data: data.as_ref().clone(),
+                provenance: Provenance::Neighbor(replica_node),
+            }),
+            Some(Reply { found: None, mismatch }) => Fetch::Miss { mismatch },
+        }
     }
 
-    /// Version-only remote query against the replica holder.
+    /// Version-only remote query against the replica holder (the replica
+    /// verifies reassembly before answering). `None` means timeout.
     fn remote_latest(
         &self,
         replica_node: NodeId,
         for_rank: Rank,
         timeout: Duration,
-    ) -> Option<u64> {
+    ) -> Option<Option<u64>> {
         let dst = self.representative_rank(replica_node)?;
         let tag = self.cfg.tag;
         type Cell = Arc<(Mutex<Option<Option<u64>>>, Condvar)>;
         let cell: Cell = Arc::new((Mutex::new(None), Condvar::new()));
         let c1 = Arc::clone(&cell);
         let storage = Arc::clone(&self.storage);
+        let gaps = Arc::clone(&self.restore_gaps);
         let me = self.rank;
         self.transport.post(Envelope {
             src: me,
@@ -472,9 +910,13 @@ impl Checkpointer {
             queue: u16::MAX,
             bytes: 16,
             action: Box::new(move |t, out| {
-                let v = (out == Outcome::Delivered)
-                    .then(|| storage.latest_version(replica_node, for_rank, tag))
-                    .flatten();
+                let v = if out == Outcome::Delivered {
+                    let probe = assemble_best(&storage, replica_node, for_rank, tag);
+                    gaps.fetch_add(probe.gaps, Ordering::Relaxed);
+                    probe.found.map(|(v, _)| v)
+                } else {
+                    None
+                };
                 let c2 = Arc::clone(&c1);
                 t.post(Envelope {
                     src: dst,
@@ -495,7 +937,7 @@ impl Checkpointer {
                 break;
             }
         }
-        g.take().flatten()
+        g.take()
     }
 
     /// Lowest non-failed rank on `node` — the endpoint for remote fetches.
@@ -514,35 +956,148 @@ impl Drop for Checkpointer {
     }
 }
 
-/// One neighbor (and possibly PFS) replication, on the library thread.
-#[allow(clippy::too_many_arguments)]
-fn copy_one(
-    rank: Rank,
+/// How a neighbor fetch resolved.
+enum Fetch {
+    Found(Restored),
+    TimedOut,
+    Miss { mismatch: Option<u64> },
+}
+
+/// Running miss state across tiers, resolved into a [`RestoreOutcome`]
+/// when no tier hit. Timeout outranks mismatch (it is transient — the
+/// data may still exist), mismatch outranks plain not-found.
+#[derive(Default)]
+struct Misses {
+    timeout: bool,
+    mismatch: Option<u64>,
+}
+
+impl Misses {
+    fn note_mismatch(&mut self, version: u64) {
+        let best = self.mismatch.map_or(version, |m| m.max(version));
+        self.mismatch = Some(best);
+    }
+
+    fn outcome<T>(&self) -> RestoreOutcome<T> {
+        if self.timeout {
+            RestoreOutcome::Timeout
+        } else if let Some(version) = self.mismatch {
+            RestoreOutcome::ChecksumMismatch { version }
+        } else {
+            RestoreOutcome::NotFound
+        }
+    }
+}
+
+/// Result of probing one tier for a reassemblable version.
+#[derive(Default)]
+struct TierProbe {
+    /// Newest `(version, materialized payload)` that reassembled and
+    /// verified.
+    found: Option<(u64, Vec<u8>)>,
+    /// Newest version rejected by the checksum, if any.
+    mismatch: Option<u64>,
+    /// Versions skipped because a referenced chunk was missing.
+    gaps: u64,
+}
+
+/// How one manifest version reassembled on one node.
+enum Assembled {
+    Ok(Vec<u8>),
+    NoManifest,
+    Gap,
+    Mismatch,
+}
+
+/// Reassemble `(rank, tag, version)` from `node`'s manifest + chunk
+/// store: fetch every referenced chunk by content hash, concatenate,
+/// verify the whole-payload checksum.
+fn assemble(storage: &NodeStorage, node: NodeId, rank: Rank, tag: u32, version: u64) -> Assembled {
+    let Some(mbytes) = storage.get(node, BlobKey { rank, tag, version }) else {
+        return Assembled::NoManifest;
+    };
+    let Ok(m) = Manifest::decode(&mbytes) else {
+        // A corrupt (torn) manifest is as unusable as a missing one.
+        return Assembled::Gap;
+    };
+    let ctag = chunk_tag(tag);
+    let mut out = Vec::with_capacity(m.total_len as usize);
+    for (i, &h) in m.chunks.iter().enumerate() {
+        let Some(c) = storage.get(node, BlobKey { rank, tag: ctag, version: h }) else {
+            return Assembled::Gap;
+        };
+        if c.len() != m.chunk_range(i).len() {
+            return Assembled::Gap;
+        }
+        out.extend_from_slice(&c);
+    }
+    if out.len() as u64 != m.total_len {
+        return Assembled::Gap;
+    }
+    if fnv1a64(&out) != m.checksum {
+        return Assembled::Mismatch;
+    }
+    Assembled::Ok(out)
+}
+
+/// Probe exactly one version on one node.
+fn assemble_exact(
+    storage: &NodeStorage,
     node: NodeId,
+    rank: Rank,
+    tag: u32,
     version: u64,
-    cfg: &CheckpointerConfig,
-    topo: &Topology,
-    storage: &Arc<NodeStorage>,
-    transport: &Transport,
-    neighbors: &Arc<Mutex<NeighborMap>>,
-    pending: &Arc<Pending>,
-    done: &Arc<AtomicU64>,
-    failed: &Arc<AtomicU64>,
-    spills: &Arc<AtomicU64>,
-    pfs: Option<&Pfs>,
-) {
+) -> TierProbe {
+    let mut p = TierProbe::default();
+    match assemble(storage, node, rank, tag, version) {
+        Assembled::Ok(data) => p.found = Some((version, data)),
+        Assembled::Mismatch => p.mismatch = Some(version),
+        Assembled::Gap => p.gaps += 1,
+        Assembled::NoManifest => {}
+    }
+    p
+}
+
+/// Walk a node's manifest versions newest → oldest; first one that
+/// reassembles and verifies wins, anything broken is recorded and
+/// skipped (the fall-back-on-gap behavior).
+fn assemble_best(storage: &NodeStorage, node: NodeId, rank: Rank, tag: u32) -> TierProbe {
+    let mut p = TierProbe::default();
+    for v in storage.versions_of(node, rank, tag) {
+        match assemble(storage, node, rank, tag, v) {
+            Assembled::Ok(data) => {
+                p.found = Some((v, data));
+                break;
+            }
+            Assembled::Mismatch => {
+                if p.mismatch.is_none() {
+                    p.mismatch = Some(v);
+                }
+            }
+            Assembled::Gap => p.gaps += 1,
+            Assembled::NoManifest => {}
+        }
+    }
+    p
+}
+
+/// One neighbor (and possibly PFS) replication, on the library thread.
+/// Ships only the commit's dirty chunks plus the manifest; applies the
+/// same manifest pruning and chunk releases on the replica so the two
+/// stores stay in lockstep.
+fn copy_one(s: &CopyShared, version: u64, dirty: &[u64], release: &[u64]) {
     let finish = |ok: bool| {
         if ok {
-            done.fetch_add(1, Ordering::Relaxed);
+            s.done.fetch_add(1, Ordering::Relaxed);
         } else {
-            failed.fetch_add(1, Ordering::Relaxed);
+            s.failed.fetch_add(1, Ordering::Relaxed);
         }
-        let mut c = pending.count.lock();
+        let mut c = s.pending.count.lock();
         *c -= 1;
-        pending.cv.notify_all();
+        s.pending.cv.notify_all();
     };
-    let key = BlobKey { rank, tag: cfg.tag, version };
-    let Some(data) = storage.get(node, key) else {
+    let mkey = BlobKey { rank: s.rank, tag: s.cfg.tag, version };
+    let Some(mbytes) = s.storage.get(s.node, mkey) else {
         // Node died (or version pruned) between signal and copy.
         finish(false);
         return;
@@ -550,45 +1105,65 @@ fn copy_one(
     // Passive site: this is the library thread, not the rank's own, so a
     // matching kill only poisons liveness — re-check and bail like the
     // storage probe above, modeling a rank dying mid-replication.
-    transport.fault().site_passive(rank, "ckpt.neighbor.copy");
-    if !transport.fault().is_alive(rank) {
+    s.transport.fault().site_passive(s.rank, "ckpt.neighbor.copy");
+    if !s.transport.fault().is_alive(s.rank) {
         finish(false);
         return;
     }
     // PFS tier first (blocking, costed — deliberately on this thread, not
-    // the application's).
-    if let (Some(p), Some(k)) = (pfs, cfg.pfs_every) {
+    // the application's). The PFS stores *reconstituted full images*:
+    // reassemble from the local manifest + chunk store before writing.
+    if let (Some(p), Some(k)) = (s.pfs.as_deref(), s.cfg.pfs_every) {
         if k > 0 && version.is_multiple_of(k) {
-            transport.fault().site_passive(rank, "ckpt.pfs.write");
-            p.write(rank, cfg.tag, version, Arc::clone(&data));
-            spills.fetch_add(1, Ordering::Relaxed);
+            s.transport.fault().site_passive(s.rank, "ckpt.pfs.write");
+            if let Assembled::Ok(img) = assemble(&s.storage, s.node, s.rank, s.cfg.tag, version) {
+                p.write(s.rank, s.cfg.tag, version, Arc::new(img));
+                s.spills.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
-    if !cfg.neighbor_copy {
+    if !s.cfg.neighbor_copy {
         finish(true);
         return;
     }
     let (neighbor_node, dst) = {
-        let nb = neighbors.lock();
-        let Some(nn) = nb.neighbor_of(node) else {
+        let nb = s.neighbors.lock();
+        let Some(nn) = nb.neighbor_of(s.node) else {
             drop(nb);
             finish(false);
             return;
         };
-        let Some(dst) = topo.ranks_on(nn).find(|r| !nb.failed().contains(r)) else {
+        let Some(dst) = s.topo.ranks_on(nn).find(|r| !nb.failed().contains(r)) else {
             drop(nb);
             finish(false);
             return;
         };
         (nn, dst)
     };
-    let storage2 = Arc::clone(storage);
-    let pending2 = Arc::clone(pending);
-    let done2 = Arc::clone(done);
-    let failed2 = Arc::clone(failed);
-    let bytes = data.len();
-    let keep = cfg.keep_versions;
-    transport.post(Envelope {
+    // Gather the dirty chunk payloads; a chunk GC'd since the commit
+    // means this version is already superseded — fail the copy cleanly.
+    let ctag = chunk_tag(s.cfg.tag);
+    let mut blobs: Vec<(u64, Arc<Vec<u8>>)> = Vec::with_capacity(dirty.len());
+    for &h in dirty {
+        let key = BlobKey { rank: s.rank, tag: ctag, version: h };
+        match s.storage.get(s.node, key) {
+            Some(d) => blobs.push((h, d)),
+            None => {
+                finish(false);
+                return;
+            }
+        }
+    }
+    let bytes = mbytes.len() + blobs.iter().map(|(_, d)| d.len()).sum::<usize>();
+    let storage2 = Arc::clone(&s.storage);
+    let pending2 = Arc::clone(&s.pending);
+    let done2 = Arc::clone(&s.done);
+    let failed2 = Arc::clone(&s.failed);
+    let wire2 = Arc::clone(&s.copy_bytes);
+    let release2 = release.to_vec();
+    let rank = s.rank;
+    let keep = s.cfg.keep_versions;
+    s.transport.post(Envelope {
         src: rank,
         dst,
         queue: u16::MAX - 1, // checkpoint replication stream
@@ -596,12 +1171,17 @@ fn copy_one(
         action: Box::new(move |_, out| {
             let ok = out == Outcome::Delivered;
             if ok {
-                storage2.put(neighbor_node, key, data);
-                if version + 1 >= keep {
-                    storage2.prune(neighbor_node, rank, key.tag, version + 1 - keep);
+                for (h, d) in blobs {
+                    storage2.put(neighbor_node, BlobKey { rank, tag: ctag, version: h }, d);
                 }
-            }
-            if ok {
+                storage2.put(neighbor_node, mkey, mbytes);
+                if version + 1 >= keep {
+                    storage2.prune(neighbor_node, rank, mkey.tag, version + 1 - keep);
+                }
+                for &h in &release2 {
+                    storage2.remove(neighbor_node, BlobKey { rank, tag: ctag, version: h });
+                }
+                wire2.fetch_add(bytes as u64, Ordering::Relaxed);
                 done2.fetch_add(1, Ordering::Relaxed);
             } else {
                 failed2.fetch_add(1, Ordering::Relaxed);

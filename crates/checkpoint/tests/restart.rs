@@ -3,7 +3,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Pfs, PfsConfig, Provenance};
+use ft_checkpoint::{
+    Checkpointer, CheckpointerConfig, CopyPolicy, Pfs, PfsConfig, Provenance, RestoreOutcome,
+};
 use ft_cluster::NodeId;
 use ft_gaspi::{GaspiConfig, GaspiWorld};
 
@@ -14,10 +16,10 @@ fn local_restore_is_fast_path() {
     let world = GaspiWorld::new(GaspiConfig::deterministic(2));
     let p = world.proc_handle(0);
     let ck = Checkpointer::new(&p, CheckpointerConfig::for_tag(1), None);
-    ck.checkpoint(1, vec![1, 2, 3]);
-    ck.checkpoint(2, vec![4, 5, 6]);
+    ck.commit(1, vec![1, 2, 3], CopyPolicy::Replicate);
+    ck.commit(2, vec![4, 5, 6], CopyPolicy::Replicate);
     assert!(ck.drain(T));
-    let r = ck.restore_latest(0, T).expect("restore");
+    let r = ck.restore_latest(0, T).hit().expect("restore");
     assert_eq!(r.version, 2);
     assert_eq!(r.data, vec![4, 5, 6]);
     assert_eq!(r.provenance, Provenance::Local);
@@ -30,7 +32,7 @@ fn neighbor_replica_survives_node_kill() {
     // Rank 1 checkpoints; its neighbor (node 2) receives the replica.
     let p1 = world.proc_handle(1);
     let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(7), None);
-    ck1.checkpoint(5, vec![9u8; 64]);
+    ck1.commit(5, vec![9u8; 64], CopyPolicy::Replicate);
     assert!(ck1.drain(T), "async neighbor copy must land");
     assert_eq!(ck1.copies_done.load(std::sync::atomic::Ordering::Relaxed), 1);
     assert_eq!(ck1.neighbor_node(), Some(NodeId(2)));
@@ -42,7 +44,7 @@ fn neighbor_replica_survives_node_kill() {
     let p3 = world.proc_handle(3);
     let ck3 = Checkpointer::new(&p3, CheckpointerConfig::for_tag(7), None);
     ck3.refresh_failed(&[1]);
-    let r = ck3.restore_latest(1, T).expect("neighbor restore");
+    let r = ck3.restore_latest(1, T).hit().expect("neighbor restore");
     assert_eq!(r.version, 5);
     assert_eq!(r.data, vec![9u8; 64]);
     assert_eq!(r.provenance, Provenance::Neighbor(NodeId(2)));
@@ -54,14 +56,14 @@ fn rescue_on_replica_node_restores_without_network() {
     let fault = world.fault();
     let p0 = world.proc_handle(0);
     let ck0 = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
-    ck0.checkpoint(1, b"state-of-rank-0".to_vec());
+    ck0.commit(1, b"state-of-rank-0".to_vec(), CopyPolicy::Replicate);
     assert!(ck0.drain(T));
     fault.kill_node(NodeId(0));
     // Rank 1 *is* the replica holder (node 1 is node 0's neighbor).
     let p1 = world.proc_handle(1);
     let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
     ck1.refresh_failed(&[0]);
-    let r = ck1.restore_latest(0, T).expect("restore");
+    let r = ck1.restore_latest(0, T).hit().expect("restore");
     assert_eq!(r.provenance, Provenance::Neighbor(NodeId(1)));
     assert_eq!(r.data, b"state-of-rank-0");
 }
@@ -76,7 +78,7 @@ fn ring_skips_dead_nodes_after_refresh() {
     fault.kill_node(NodeId(1));
     ck0.refresh_failed(&[1]);
     assert_eq!(ck0.neighbor_node(), Some(NodeId(2)));
-    ck0.checkpoint(1, vec![7u8; 16]);
+    ck0.commit(1, vec![7u8; 16], CopyPolicy::Replicate);
     assert!(ck0.drain(T));
     let storage = world.storage();
     assert!(storage
@@ -92,7 +94,7 @@ fn pfs_fallback_when_both_nodes_dead() {
     let p0 = world.proc_handle(0);
     let cfg = CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(3) };
     let ck0 = Checkpointer::new(&p0, cfg, Some(Arc::clone(&pfs)));
-    ck0.checkpoint(4, b"pfs-me".to_vec());
+    ck0.commit(4, b"pfs-me".to_vec(), CopyPolicy::Replicate);
     assert!(ck0.drain(T));
     // Both the home node and the replica holder die.
     fault.kill_node(NodeId(0));
@@ -104,7 +106,7 @@ fn pfs_fallback_when_both_nodes_dead() {
         Some(pfs),
     );
     ck2.refresh_failed(&[0, 1]);
-    let r = ck2.restore_latest(0, T).expect("PFS restore");
+    let r = ck2.restore_latest(0, T).hit().expect("PFS restore");
     assert_eq!(r.provenance, Provenance::Pfs);
     assert_eq!(r.data, b"pfs-me");
     assert_eq!(r.version, 4);
@@ -123,8 +125,8 @@ fn vote_path_restore_exact_falls_back_to_pfs() {
     let p0 = world.proc_handle(0);
     let cfg = CheckpointerConfig { pfs_every: Some(1), ..CheckpointerConfig::for_tag(5) };
     let ck0 = Checkpointer::new(&p0, cfg, Some(Arc::clone(&pfs)));
-    ck0.checkpoint(1, b"v1".to_vec());
-    ck0.checkpoint(2, b"v2".to_vec());
+    ck0.commit(1, b"v1".to_vec(), CopyPolicy::Replicate);
+    ck0.commit(2, b"v2".to_vec(), CopyPolicy::Replicate);
     assert!(ck0.drain(T));
 
     // Home node and replica holder both die.
@@ -139,13 +141,13 @@ fn vote_path_restore_exact_falls_back_to_pfs() {
     );
     ck2.refresh_failed(&[0, 1]);
     // The vote must still see version 2 (via PFS)…
-    assert_eq!(ck2.latest_restorable(0, T), Some(2));
+    assert_eq!(ck2.latest_restorable(0, T), RestoreOutcome::Hit(2));
     // …and the agreed version must be restorable from PFS — both the
     // latest and the older one (a divergent-epoch vote may agree on v1).
-    let r = ck2.restore_exact(0, 2, T).expect("PFS exact restore");
+    let r = ck2.restore_exact(0, 2, T).hit().expect("PFS exact restore");
     assert_eq!(r.provenance, Provenance::Pfs);
     assert_eq!(r.data, b"v2");
-    let r1 = ck2.restore_exact(0, 1, T).expect("PFS exact restore of older version");
+    let r1 = ck2.restore_exact(0, 1, T).hit().expect("PFS exact restore of older version");
     assert_eq!(r1.provenance, Provenance::Pfs);
     assert_eq!(r1.data, b"v1");
     assert_eq!(ck2.stats().restores_pfs, 2);
@@ -157,7 +159,7 @@ fn keep_versions_prunes_old_checkpoints() {
     let p0 = world.proc_handle(0);
     let ck = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
     for v in 1..=5 {
-        ck.checkpoint(v, vec![v as u8; 8]);
+        ck.commit(v, vec![v as u8; 8], CopyPolicy::Replicate);
     }
     assert!(ck.drain(T));
     let storage = world.storage();
@@ -180,16 +182,16 @@ fn latest_restorable_sees_remote_replica() {
     let fault = world.fault();
     let p1 = world.proc_handle(1);
     let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
-    ck1.checkpoint(1, vec![1]);
-    ck1.checkpoint(2, vec![2]);
+    ck1.commit(1, vec![1], CopyPolicy::Replicate);
+    ck1.commit(2, vec![2], CopyPolicy::Replicate);
     assert!(ck1.drain(T));
     fault.kill_node(NodeId(1));
     let p3 = world.proc_handle(3);
     let ck3 = Checkpointer::new(&p3, CheckpointerConfig::for_tag(1), None);
     ck3.refresh_failed(&[1]);
-    assert_eq!(ck3.latest_restorable(1, T), Some(2));
+    assert_eq!(ck3.latest_restorable(1, T), RestoreOutcome::Hit(2));
     // And restore_exact of the agreed version works remotely.
-    let r = ck3.restore_exact(1, 2, T).expect("exact restore");
+    let r = ck3.restore_exact(1, 2, T).hit().expect("exact restore");
     assert_eq!(r.data, vec![2]);
 }
 
@@ -199,7 +201,7 @@ fn exhausted_ring_restores_nothing() {
     let fault = world.fault();
     let p0 = world.proc_handle(0);
     let ck0 = Checkpointer::new(&p0, CheckpointerConfig::for_tag(1), None);
-    ck0.checkpoint(1, vec![1]);
+    ck0.commit(1, vec![1], CopyPolicy::Replicate);
     assert!(ck0.drain(T));
     fault.kill_node(NodeId(0));
     fault.kill_node(NodeId(1));
@@ -207,5 +209,5 @@ fn exhausted_ring_restores_nothing() {
     let p1 = world.proc_handle(1);
     let ck1 = Checkpointer::new(&p1, CheckpointerConfig::for_tag(1), None);
     ck1.refresh_failed(&[0, 1]);
-    assert!(ck1.restore_latest(0, Duration::from_millis(500)).is_none());
+    assert!(matches!(ck1.restore_latest(0, Duration::from_millis(500)), RestoreOutcome::NotFound));
 }

@@ -85,6 +85,21 @@ impl NodeStorage {
             .max()
     }
 
+    /// All versions stored on `node` for `(rank, tag)`, newest first.
+    /// The checkpoint writer walks this when restoring: try the newest
+    /// manifest, fall back to older ones on a gap.
+    pub fn versions_of(&self, node: NodeId, rank: Rank, tag: u32) -> Vec<u64> {
+        let mut vs: Vec<u64> = self
+            .shelf(node)
+            .lock()
+            .keys()
+            .filter(|k| k.rank == rank && k.tag == tag)
+            .map(|k| k.version)
+            .collect();
+        vs.sort_unstable_by(|a, b| b.cmp(a));
+        vs
+    }
+
     /// Drop all versions of `(rank, tag)` on `node` older than
     /// `keep_from`. Returns how many blobs were pruned. The checkpoint
     /// writer uses this to keep a bounded history.
@@ -150,6 +165,17 @@ mod tests {
         s.put(NodeId(0), BlobKey { rank: 0, tag: 9, version: 1 }, Arc::new(vec![]));
         assert_eq!(s.prune(NodeId(0), 0, 7, 100), 2);
         assert_eq!(s.blobs_on(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn versions_of_lists_newest_first() {
+        let s = NodeStorage::new(Topology::new(2, 1));
+        for v in [3u64, 1, 5] {
+            s.put(NodeId(0), key(0, v), Arc::new(vec![0u8; 4]));
+        }
+        s.put(NodeId(0), BlobKey { rank: 0, tag: 9, version: 8 }, Arc::new(vec![]));
+        assert_eq!(s.versions_of(NodeId(0), 0, 7), vec![5, 3, 1]);
+        assert!(s.versions_of(NodeId(0), 1, 7).is_empty());
     }
 
     #[test]

@@ -13,12 +13,13 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, Restored};
+use ft_checkpoint::{Checkpointer, CopyPolicy, RestoreOutcome, Restored};
 use ft_cluster::Rank;
 use ft_gaspi::ReduceOp;
 
 use crate::driver::FtCtx;
 use crate::error::FtResult;
+use crate::events::EventKind;
 use crate::plan::RecoveryPlan;
 
 /// Versions are shifted by one on the wire so that 0 means "nothing
@@ -70,7 +71,17 @@ pub fn consistent_restore(
     source: Rank,
     fetch_timeout: Duration,
 ) -> FtResult<Option<Restored>> {
-    let mine = encode_version(ck.latest_restorable(source, fetch_timeout));
+    let me = ctx.proc.rank();
+    let probed = ck.latest_restorable(source, fetch_timeout);
+    if let Some(reason) = probed.miss_reason() {
+        // Not-found is the normal fresh-start vote; a timeout or a
+        // checksum mismatch means state existed but was unusable — worth
+        // an event, since it degrades the whole group's vote.
+        if !matches!(probed, RestoreOutcome::NotFound) {
+            ctx.events.record(me, EventKind::RestoreMiss { stage: "vote", reason });
+        }
+    }
+    let mine = encode_version(probed.hit());
     let agreed = ctx.allreduce_u64_ft(&[mine], ReduceOp::Min)?[0];
     if agreed == 0 {
         // At least one member has nothing at all: fresh start. (No
@@ -79,16 +90,21 @@ pub fn consistent_restore(
     }
     let version = agreed - 1;
     let fetched = ck.restore_exact(source, version, fetch_timeout);
-    let ok = u64::from(fetched.is_some());
+    if let Some(reason) = fetched.miss_reason() {
+        ctx.events.record(me, EventKind::RestoreMiss { stage: "fetch", reason });
+    }
+    let ok = u64::from(fetched.is_hit());
     let all_ok = ctx.allreduce_u64_ft(&[ok], ReduceOp::Min)?[0] == 1;
     if !all_ok {
         return Ok(None);
     }
-    let restored = fetched.expect("confirmed fetch");
-    if source != ctx.proc.rank() {
+    let restored = fetched.hit().expect("confirmed fetch");
+    if source != me {
         // Re-home the adopted state under our own rank so the next
-        // recovery resolves it locally.
-        ck.checkpoint(restored.version, restored.data.clone());
+        // recovery resolves it locally. The commit is full (fresh chunk
+        // table), so the rescue's replica holder gets a self-contained
+        // base image.
+        ck.commit(restored.version, restored.data.clone(), CopyPolicy::Replicate);
     }
     Ok(Some(restored))
 }

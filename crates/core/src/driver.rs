@@ -775,6 +775,12 @@ fn worker_run<A: FtApp>(
             Err(e) => return Err(e),
         }
     }
+    // Finalize BEFORE telling the FD: finalize may run group collectives
+    // (summary reductions), and the FD answers a done signal by
+    // broadcasting shutdown to every rank — a worker that sees that
+    // shutdown before joining the final collective would abort the whole
+    // group on the last step.
+    let summary = app.finalize(ctx)?;
     // Tell the FD the application is done (app rank 0 speaks for the
     // group, if a detector is still standing — the *current* one, which
     // may be the shadow after a takeover).
@@ -787,5 +793,5 @@ fn worker_run<A: FtApp>(
             ctx.cfg.detector.ack_timeout,
         );
     }
-    app.finalize(ctx)
+    Ok(summary)
 }

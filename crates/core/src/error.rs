@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ft_checkpoint::CodecError;
 use ft_gaspi::GaspiError;
 
 use crate::plan::RecoveryPlan;
@@ -26,6 +27,8 @@ pub enum FtError {
     Signal(FtSignal),
     /// An unrecoverable communication error.
     Gaspi(GaspiError),
+    /// A checkpoint payload failed to decode (torn or mismatched blob).
+    Codec(CodecError),
     /// The job cannot continue: more failures than spare processes
     /// (paper restriction 1) or the FD itself is gone (restriction 2).
     CapacityExhausted,
@@ -39,6 +42,7 @@ impl fmt::Display for FtError {
             }
             FtError::Signal(FtSignal::Shutdown) => write!(f, "shutdown signal received"),
             FtError::Gaspi(e) => write!(f, "GASPI error: {e}"),
+            FtError::Codec(e) => write!(f, "checkpoint codec error: {e}"),
             FtError::CapacityExhausted => write!(f, "fault-tolerance capacity exhausted"),
         }
     }
@@ -49,6 +53,12 @@ impl std::error::Error for FtError {}
 impl From<GaspiError> for FtError {
     fn from(e: GaspiError) -> Self {
         FtError::Gaspi(e)
+    }
+}
+
+impl From<CodecError> for FtError {
+    fn from(e: CodecError) -> Self {
+        FtError::Codec(e)
     }
 }
 
@@ -65,5 +75,8 @@ mod tests {
         assert!(matches!(e, FtError::Gaspi(GaspiError::Timeout)));
         assert!(e.to_string().contains("GASPI_TIMEOUT"));
         assert!(FtError::CapacityExhausted.to_string().contains("capacity"));
+        let c: FtError = CodecError::Eof { want: 8, have: 0 }.into();
+        assert!(matches!(c, FtError::Codec(_)));
+        assert!(c.to_string().contains("codec"));
     }
 }

@@ -61,6 +61,17 @@ pub enum EventKind {
         /// Epoch recovered to.
         epoch: u64,
     },
+    /// A restore probe or fetch missed during the consistent-restore
+    /// protocol (the group then degrades to an older version or a fresh
+    /// start).
+    RestoreMiss {
+        /// Protocol stage: `"vote"` (latest-restorable probe) or
+        /// `"fetch"` (confirm-round exact fetch).
+        stage: &'static str,
+        /// Why it missed: `"not-found"`, `"timeout"`, or
+        /// `"checksum-mismatch"` (see `RestoreOutcome::miss_reason`).
+        reason: &'static str,
+    },
     /// State restored from a checkpoint (end of OHF3).
     Restored {
         /// Epoch recovered to.

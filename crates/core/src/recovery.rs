@@ -56,7 +56,7 @@ pub fn execute_recovery(
         Ok(g) => g,
         Err(_) => {
             let _ = proc.group_delete(Group(gid));
-            proc.group_create_with_id(gid).map_err(FtError::from)?
+            proc.group_create_with_id(gid)?
         }
     };
     let members = plan.worker_set(layout);

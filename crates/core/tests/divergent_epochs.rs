@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
 use ft_cluster::{FaultSchedule, Injection};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{run_ft_job, EventKind, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
@@ -56,7 +56,7 @@ impl FtApp for Acc {
     fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
         let mut e = Enc::new();
         e.u64(iter).f64(self.acc);
-        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
         // Synchronous replication: when the group later votes, survivor
         // versions are deterministic, which is what this pin relies on.
         assert!(self.ck.drain(FETCH));

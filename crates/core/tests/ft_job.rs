@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
 use ft_cluster::FaultSchedule;
 use ft_core::ack::FIRST_APP_SEG;
 use ft_core::ckpt::consistent_restore;
@@ -62,7 +62,7 @@ impl FtApp for ToyApp {
         // to read instead of redoing setup.
         let mut e = Enc::new();
         e.u64(PLAN_MAGIC).u32(ctx.app_rank());
-        self.plan_ck.checkpoint(0, e.finish());
+        self.plan_ck.commit(0, e.finish(), CopyPolicy::Replicate);
         // A data segment, to make the world realistic.
         ctx.proc.segment_create(FIRST_APP_SEG, 256)?;
         ctx.barrier_ft()?;
@@ -78,6 +78,7 @@ impl FtApp for ToyApp {
         let r = self
             .plan_ck
             .restore_latest(source, FETCH)
+            .hit()
             .ok_or(FtError::Gaspi(ft_gaspi::GaspiError::Timeout))?;
         let mut d = Dec::new(&r.data);
         let magic = d.u64().expect("plan blob magic");
@@ -85,7 +86,7 @@ impl FtApp for ToyApp {
         assert_eq!(magic, PLAN_MAGIC);
         assert_eq!(app, ctx.app_rank(), "adopted the wrong identity");
         // Re-home the plan blob under our own rank.
-        self.plan_ck.checkpoint(0, r.data);
+        self.plan_ck.commit(0, r.data, CopyPolicy::Replicate);
         Ok(())
     }
 
@@ -100,7 +101,7 @@ impl FtApp for ToyApp {
         // Versions must be consecutive: use the checkpoint counter, not
         // the iteration number (the payload carries the iteration).
         let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.checkpoint(version, self.encode_state(iter));
+        self.state_ck.commit(version, self.encode_state(iter), CopyPolicy::Replicate);
         Ok(())
     }
 

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc, Pfs, PfsConfig};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc, Pfs, PfsConfig};
 use ft_cluster::{FaultSchedule, Injection};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
@@ -59,7 +59,7 @@ impl FtApp for PfsApp {
     fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
         let mut e = Enc::new();
         e.u64(iter).f64(self.acc);
-        self.ck.checkpoint(iter / ctx.cfg.checkpoint_every, e.finish());
+        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
         // Make every tier durable before the commit site: the injected
         // node kill below must find the PFS copy already written.
         assert!(self.ck.drain(FETCH), "replication must land");

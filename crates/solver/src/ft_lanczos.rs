@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, Pfs};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, CopyPolicy, Pfs};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtError, FtResult, RecoveryPlan};
 use ft_gaspi::{GaspiError, SegId, Timeout};
@@ -168,12 +168,15 @@ impl FtApp for FtLanczos {
         let me = ctx.app_rank();
         // Pre-processing: determine needed RHS indices and exchange them.
         let needed = DistMatrix::needed_columns(self.cfg.gen.as_ref(), &part, me);
-        let plan = CommPlan::receives_from_needs(me, part.parts(), &needed)
-            .negotiate(&ctx.proc, &|a| ctx.gaspi_of(a), part.range(me).start, Timeout::Ms(30_000))
-            .map_err(FtError::Gaspi)?;
+        let plan = CommPlan::receives_from_needs(me, part.parts(), &needed).negotiate(
+            &ctx.proc,
+            &|a| ctx.gaspi_of(a),
+            part.range(me).start,
+            Timeout::Ms(30_000),
+        )?;
         // "Each process writes a checkpoint after the pre-processing
         // stage" — the one-time plan checkpoint.
-        self.plan_ck.checkpoint(0, plan.encode());
+        self.plan_ck.commit(0, plan.encode(), CopyPolicy::Replicate);
         self.install_plan(ctx, plan)?;
         self.state = Some(self.fresh_state(ctx)?);
         ctx.barrier_ft()?;
@@ -189,6 +192,7 @@ impl FtApp for FtLanczos {
         let blob = self
             .plan_ck
             .restore_latest(source, self.cfg.fetch_timeout)
+            .hit()
             .ok_or(FtError::Gaspi(GaspiError::Timeout))?;
         let plan = CommPlan::decode(&blob.data)
             .ok_or(FtError::Gaspi(GaspiError::InvalidArg("corrupt plan checkpoint")))?;
@@ -197,7 +201,7 @@ impl FtApp for FtLanczos {
         }
         // Re-home the plan under our own rank, then regenerate the matrix
         // chunk locally (no PFS read, §V).
-        self.plan_ck.checkpoint(0, blob.data);
+        self.plan_ck.commit(0, blob.data, CopyPolicy::Replicate);
         self.install_plan(ctx, plan)?;
         Ok(())
     }
@@ -225,7 +229,7 @@ impl FtApp for FtLanczos {
     fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
         let state = self.state.as_ref().expect("checkpoint before setup");
         let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.checkpoint(version, state.encode());
+        self.state_ck.commit(version, state.encode(), CopyPolicy::Replicate);
         Ok(())
     }
 
@@ -233,8 +237,7 @@ impl FtApp for FtLanczos {
         let source = ctx.restore_source();
         match consistent_restore(ctx, &self.state_ck, source, self.cfg.fetch_timeout)? {
             Some(r) => {
-                let st = LanczosState::decode(&r.data)
-                    .map_err(|_| FtError::Gaspi(GaspiError::InvalidArg("corrupt checkpoint")))?;
+                let st = LanczosState::decode(&r.data)?;
                 let iter = st.iter;
                 self.state = Some(st);
                 self.last_low_eig = None;

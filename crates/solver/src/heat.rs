@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc, Pfs};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc, Pfs};
 use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtError, FtResult, RecoveryPlan};
 use ft_gaspi::{GaspiError, SegId, Timeout};
@@ -140,10 +140,13 @@ impl FtApp for FtHeat {
         let part = self.partition(ctx);
         let me = ctx.app_rank();
         let needed = DistMatrix::needed_columns(&self.gen, &part, me);
-        let plan = CommPlan::receives_from_needs(me, part.parts(), &needed)
-            .negotiate(&ctx.proc, &|a| ctx.gaspi_of(a), part.range(me).start, Timeout::Ms(30_000))
-            .map_err(FtError::Gaspi)?;
-        self.plan_ck.checkpoint(0, plan.encode());
+        let plan = CommPlan::receives_from_needs(me, part.parts(), &needed).negotiate(
+            &ctx.proc,
+            &|a| ctx.gaspi_of(a),
+            part.range(me).start,
+            Timeout::Ms(30_000),
+        )?;
+        self.plan_ck.commit(0, plan.encode(), CopyPolicy::Replicate);
         self.install_plan(ctx, plan)?;
         self.u = vec![0.0; part.len(me)];
         ctx.barrier_ft()?;
@@ -155,10 +158,11 @@ impl FtApp for FtHeat {
         let blob = self
             .plan_ck
             .restore_latest(source, self.cfg.fetch_timeout)
+            .hit()
             .ok_or(FtError::Gaspi(GaspiError::Timeout))?;
         let plan = CommPlan::decode(&blob.data)
             .ok_or(FtError::Gaspi(GaspiError::InvalidArg("corrupt plan checkpoint")))?;
-        self.plan_ck.checkpoint(0, blob.data);
+        self.plan_ck.commit(0, blob.data, CopyPolicy::Replicate);
         self.install_plan(ctx, plan)?;
         self.u = vec![0.0; self.partition(ctx).len(ctx.app_rank())];
         Ok(())
@@ -193,7 +197,7 @@ impl FtApp for FtHeat {
 
     fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
         let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.checkpoint(version, self.encode_state());
+        self.state_ck.commit(version, self.encode_state(), CopyPolicy::Replicate);
         Ok(())
     }
 
@@ -202,12 +206,8 @@ impl FtApp for FtHeat {
         match consistent_restore(ctx, &self.state_ck, source, self.cfg.fetch_timeout)? {
             Some(r) => {
                 let mut d = Dec::new(&r.data);
-                let iter = d
-                    .u64()
-                    .map_err(|_| FtError::Gaspi(GaspiError::InvalidArg("corrupt checkpoint")))?;
-                self.u = d
-                    .f64s()
-                    .map_err(|_| FtError::Gaspi(GaspiError::InvalidArg("corrupt checkpoint")))?;
+                let iter = d.u64()?;
+                self.u = d.f64s()?;
                 self.iter = iter;
                 Ok(iter)
             }

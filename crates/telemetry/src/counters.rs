@@ -104,13 +104,23 @@ impl TelemetrySnapshot {
                 Json::obj([
                     ("local_writes", Json::num_u64(c.local_writes)),
                     ("bytes_local", Json::num_u64(c.bytes_local)),
+                    ("full_commits", Json::num_u64(c.full_commits)),
+                    ("incremental_commits", Json::num_u64(c.incremental_commits)),
+                    ("chunks_written", Json::num_u64(c.chunks_written)),
+                    ("chunk_bytes", Json::num_u64(c.chunk_bytes)),
+                    ("dedup_bytes", Json::num_u64(c.dedup_bytes)),
+                    ("manifest_bytes", Json::num_u64(c.manifest_bytes)),
+                    ("dedup_ratio", Json::Num(c.dedup_ratio())),
                     ("neighbor_copies", Json::num_u64(c.neighbor_copies)),
                     ("copy_failures", Json::num_u64(c.copy_failures)),
+                    ("copy_bytes", Json::num_u64(c.copy_bytes)),
                     ("pfs_spills", Json::num_u64(c.pfs_spills)),
                     ("restores_local", Json::num_u64(c.restores_local)),
                     ("restores_neighbor", Json::num_u64(c.restores_neighbor)),
                     ("restores_pfs", Json::num_u64(c.restores_pfs)),
                     ("restore_bytes", Json::num_u64(c.restore_bytes)),
+                    ("restore_gaps", Json::num_u64(c.restore_gaps)),
+                    ("checksum_failures", Json::num_u64(c.checksum_failures)),
                 ]),
             ),
             (
@@ -164,6 +174,17 @@ mod tests {
             j.get("gaspi").and_then(|g| g.get("group_commits")).and_then(Json::as_u64),
             Some(0)
         );
+        // The incremental-pipeline counters are reported.
+        for key in ["chunks_written", "chunk_bytes", "dedup_bytes", "manifest_bytes", "copy_bytes"]
+        {
+            assert_eq!(
+                j.get("checkpoint").and_then(|c| c.get(key)).and_then(Json::as_u64),
+                Some(0),
+                "missing checkpoint.{key}"
+            );
+        }
+        let ratio = j.get("checkpoint").and_then(|c| c.get("dedup_ratio"));
+        assert!(matches!(ratio, Some(Json::Num(v)) if *v == 1.0));
         // An idle snapshot reports perfect (vacuous) overlap.
         let eff = j.get("spmv_overlap").and_then(|s| s.get("overlap_efficiency"));
         assert!(matches!(eff, Some(Json::Num(v)) if *v == 1.0));

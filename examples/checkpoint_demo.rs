@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use gaspi_ft::checkpoint::{Checkpointer, CheckpointerConfig, Pfs, PfsConfig};
+use gaspi_ft::checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Pfs, PfsConfig};
 use gaspi_ft::cluster::NodeId;
 use gaspi_ft::gaspi::{GaspiConfig, GaspiWorld};
 
@@ -19,20 +19,24 @@ fn main() {
     // Rank 1 checkpoints every "iteration"; every 2nd version also goes to
     // the (slow) PFS tier.
     let p1 = world.proc_handle(1);
-    let cfg = CheckpointerConfig {
-        pfs_every: Some(2),
-        keep_versions: 4, // keep all four so the async copies can't race pruning
-        ..CheckpointerConfig::for_tag(7)
-    };
+    let cfg = CheckpointerConfig::builder(7)
+        .pfs_every(2)
+        .keep_versions(4) // keep all four so the async copies can't race pruning
+        .build()
+        .expect("valid config");
     let ck1 = Checkpointer::new(&p1, cfg, Some(Arc::clone(&pfs)));
     println!("rank 1 writes checkpoints; its neighbor ring partner is {:?}", ck1.neighbor_node());
 
     for version in 1..=4u64 {
-        let payload = vec![version as u8; 1 << 16]; // 64 KiB of state
+        // 64 KiB of state, of which only the last KiB changes per version:
+        // the incremental pipeline rewrites (and replicates) only the
+        // dirty chunks plus a manifest.
+        let mut payload = vec![0xABu8; 1 << 16];
+        payload[(1 << 16) - 1024..].fill(version as u8);
         let t0 = std::time::Instant::now();
-        ck1.checkpoint(version, payload);
+        ck1.commit(version, payload, CopyPolicy::Replicate);
         println!(
-            "  v{version}: local write returned in {:?} (replication continues in background)",
+            "  v{version}: local commit returned in {:?} (replication continues in background)",
             t0.elapsed()
         );
     }
@@ -43,6 +47,16 @@ fn main() {
         ck1.copy_failures.load(std::sync::atomic::Ordering::Relaxed),
         pfs.blobs()
     );
+    let st = ck1.stats();
+    println!(
+        "  incremental pipeline: {} full + {} incremental commits, {} chunk bytes \
+for {} logical bytes (dedup ratio {:.3})",
+        st.full_commits,
+        st.incremental_commits,
+        st.chunk_bytes,
+        st.bytes_local,
+        st.dedup_ratio()
+    );
 
     // Node 1 dies — its local checkpoints are gone.
     fault.kill_node(NodeId(1));
@@ -52,7 +66,7 @@ fn main() {
     let p3 = world.proc_handle(3);
     let ck3 = Checkpointer::new(&p3, CheckpointerConfig::for_tag(7), Some(Arc::clone(&pfs)));
     ck3.refresh_failed(&[1]);
-    let r = ck3.restore_latest(1, Duration::from_secs(5)).expect("restore");
+    let r = ck3.restore_latest(1, Duration::from_secs(5)).hit().expect("restore");
     println!(
         "rescue on rank 3 restored v{} ({} bytes) from {:?}",
         r.version,
@@ -65,7 +79,7 @@ fn main() {
     // the versions that were copied there (every 2nd).
     fault.kill_node(NodeId(2));
     ck3.refresh_failed(&[1, 2]);
-    let r = ck3.restore_latest(1, Duration::from_secs(5)).expect("PFS restore");
+    let r = ck3.restore_latest(1, Duration::from_secs(5)).hit().expect("PFS restore");
     println!(
         "after the replica node died as well: restored v{} from {:?} (every-2nd-version tier)",
         r.version, r.provenance
