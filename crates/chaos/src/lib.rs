@@ -20,14 +20,24 @@
 //! Results aggregate into a `gaspi-ft/killpoint-sweep/v1` JSON document
 //! ([`report::SweepReport`]) written to `target/telemetry/` by the
 //! `killpoint_sweep` binary, so CI diffs site coverage across PRs.
+//!
+//! The [`process`] module re-runs the same contract over the **process
+//! backend** (every rank an OS process over TCP, kills delivered as real
+//! `SIGKILL`s or armed process exits) via the `process_sweep` binary —
+//! the conformance suite for the transport seam.
 
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod process;
 pub mod report;
 pub mod sweep;
 
 pub use app::SweepApp;
+pub use process::{
+    classify_process, maybe_run_child, process_smoke_sweep, run_process, select_triples,
+    sweep_gaspi_config, SmokeOutcome,
+};
 pub use report::{PairOutcome, SweepReport, TripleOutcome, SCHEMA};
 pub use sweep::{
     exhaustive_sweep, pair_scenarios, pair_sweep, replay_triple, run_with, JobRun, PairScenario,

@@ -1,0 +1,198 @@
+//! Process-backend conformance: the kill-point sweep's chaos contract
+//! enforced over *real OS rank processes*.
+//!
+//! The in-memory sweep proves the recovery stack correct under
+//! cooperative fail-stop (poisoned liveness flags). This module replays
+//! the same job — same [`SweepApp`], same driver configuration, same
+//! step-indexed injection triples — through
+//! [`ft_core::process::run_supervisor`], where every rank is an OS
+//! process over TCP and a kill is either an armed process exit or a
+//! genuine `SIGKILL`. The contract is unchanged: a run either completes
+//! with the exact expected accumulator value in every worker, or
+//! degrades cleanly with the deaths on record — never a hang, never a
+//! wrong number.
+//!
+//! Triples are enumerated by the **in-memory** recording pass (the site
+//! instrumentation is backend-independent: sites are crossed by the rank
+//! that owns them, so occurrence counts agree), filtered to
+//! deterministic sites, and a coverage-spread subset is replayed as real
+//! processes — one supervisor job per triple, in smoke-test budget.
+
+use std::io;
+use std::time::Duration;
+
+use ft_cluster::{site_is_deterministic, FaultSchedule, Rank, SiteRecord};
+use ft_core::process::{run_supervisor, ProcJobReport, SupervisorConfig};
+use ft_core::{child_env, run_child};
+use ft_gaspi::GaspiConfig;
+
+use crate::app::SweepApp;
+use crate::sweep::{run_with, RunClass, SweepConfig};
+
+/// The GASPI world configuration both supervisor bookkeeping and every
+/// child build from `cfg` (they must agree bit-for-bit).
+pub fn sweep_gaspi_config(cfg: &SweepConfig) -> GaspiConfig {
+    GaspiConfig::deterministic(cfg.ft_config().layout.total()).with_seed(cfg.seed)
+}
+
+/// Child-mode hook: when the current process is a supervised rank child,
+/// run the sweep app for that one rank and return the exit code for
+/// `main`. Binaries hosting the process sweep call this before anything
+/// else.
+pub fn maybe_run_child(cfg: &SweepConfig) -> Option<i32> {
+    let env = child_env()?;
+    let ft = cfg.ft_config();
+    let gaspi = sweep_gaspi_config(cfg);
+    Some(run_child(env, ft, gaspi, SweepApp::new, |s: &f64| s.to_le_bytes().to_vec()))
+}
+
+/// Run one sweep job over the process backend with `schedule` armed.
+/// `child_args` must route the re-executed binary back into
+/// [`maybe_run_child`] with the same `cfg`.
+pub fn run_process(
+    cfg: &SweepConfig,
+    schedule: FaultSchedule,
+    child_args: &[&str],
+    deadline: Duration,
+) -> io::Result<ProcJobReport> {
+    let total = cfg.ft_config().layout.total();
+    let sup = SupervisorConfig::new(total, schedule)
+        .with_args(child_args.iter().copied())
+        .with_deadline(deadline);
+    run_supervisor(sup)
+}
+
+/// The chaos contract over a process-backend report: complete ⇒ every
+/// worker summary is the exact expected value; incomplete ⇒ at least one
+/// recorded kill or error, and nothing crashed, timed out, or produced a
+/// wrong number.
+pub fn classify_process(cfg: &SweepConfig, report: &ProcJobReport) -> Result<RunClass, String> {
+    for o in &report.outcomes {
+        match o {
+            ft_core::ProcOutcome::TimedOut => return Err("rank timed out (hang)".into()),
+            ft_core::ProcOutcome::Crashed(d) => return Err(format!("rank crashed: {d}")),
+            _ => {}
+        }
+    }
+    let expected = SweepApp::expected(cfg.workers, cfg.max_iters);
+    let summaries = report.worker_summaries();
+    for (app, bytes) in &summaries {
+        let Ok(arr) = <[u8; 8]>::try_from(*bytes) else {
+            return Err(format!("app rank {app}: malformed 8-byte summary"));
+        };
+        let acc = f64::from_le_bytes(arr);
+        if acc != expected {
+            return Err(format!("app rank {app} produced {acc}, expected {expected}"));
+        }
+    }
+    if summaries.len() == cfg.workers as usize {
+        return Ok(RunClass::Correct);
+    }
+    let killed = report.killed().len();
+    let errored = report.first_error().is_some();
+    if killed == 0 && !errored {
+        return Err(format!(
+            "incomplete ({}/{} summaries) without any recorded failure",
+            summaries.len(),
+            cfg.workers
+        ));
+    }
+    Ok(RunClass::Degraded)
+}
+
+/// Pick at most `max` replay triples from an in-memory site log:
+/// deterministic sites only, spread for `(site, rank)` coverage (first
+/// occurrence of each kill point, breadth before depth).
+pub fn select_triples(log: &[SiteRecord], max: usize) -> Vec<SiteRecord> {
+    let mut seen: Vec<(&str, Rank)> = Vec::new();
+    let mut picked = Vec::new();
+    for rec in log {
+        if picked.len() >= max {
+            break;
+        }
+        if !site_is_deterministic(&rec.site) {
+            continue;
+        }
+        let key = (rec.site.as_str(), rec.rank);
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        picked.push(rec.clone());
+    }
+    picked
+}
+
+/// One smoke-sweep replay: the kill point, the in-memory backend's
+/// classification of the same injection, and the process backend's.
+pub struct SmokeOutcome {
+    /// The replayed kill point.
+    pub triple: SiteRecord,
+    /// What the in-memory backend makes of this kill (the reference).
+    pub in_memory: Result<RunClass, String>,
+    /// What the process backend makes of it.
+    pub process: Result<RunClass, String>,
+}
+
+impl SmokeOutcome {
+    /// True when both backends agree on the classification (the strong
+    /// conformance statement; the contract itself only requires that
+    /// neither side *violates*).
+    pub fn agree(&self) -> bool {
+        matches!((&self.in_memory, &self.process), (Ok(a), Ok(b)) if a == b)
+    }
+}
+
+/// Enumerate kill points in memory, then replay `max_triples` of them
+/// both in memory (the reference classification) and as real-process
+/// jobs.
+pub fn process_smoke_sweep(
+    cfg: &SweepConfig,
+    max_triples: usize,
+    child_args: &[&str],
+    per_job_deadline: Duration,
+) -> io::Result<Vec<SmokeOutcome>> {
+    let recording = run_with(cfg, &[], true);
+    if let Err(v) = recording.class {
+        return Err(io::Error::other(format!("in-memory enumeration run violated: {v}")));
+    }
+    let mut out = Vec::new();
+    for triple in select_triples(&recording.log, max_triples) {
+        let in_memory = crate::sweep::replay_triple(cfg, &triple);
+        let schedule = FaultSchedule::none().inject(ft_cluster::Injection::kill(
+            triple.site.clone(),
+            triple.rank,
+            triple.occurrence,
+        ));
+        let report = run_process(cfg, schedule, child_args, per_job_deadline)?;
+        let process = classify_process(cfg, &report);
+        out.push(SmokeOutcome { triple, in_memory, process });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_selection_dedups_and_filters() {
+        let rec = |site: &str, rank: Rank, occ: u64| SiteRecord {
+            site: site.to_string(),
+            rank,
+            occurrence: occ,
+        };
+        let log = vec![
+            rec("gaspi.allreduce", 0, 1),
+            rec("gaspi.allreduce", 0, 2), // same kill point: skipped
+            rec("transport.post", 1, 1),  // non-deterministic: skipped
+            rec("gaspi.allreduce", 1, 1),
+            rec("recover.begin", 0, 1),
+        ];
+        let picked = select_triples(&log, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].site, "gaspi.allreduce");
+        assert_eq!(picked[0].rank, 0);
+        assert_eq!(picked[1].rank, 1);
+    }
+}

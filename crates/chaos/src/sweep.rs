@@ -49,7 +49,10 @@ impl SweepConfig {
         }
     }
 
-    fn ft_config(&self) -> FtConfig {
+    /// The driver configuration this sweep world runs (shared by the
+    /// in-memory backend and the process backend's supervisor/children,
+    /// which must agree on it exactly).
+    pub fn ft_config(&self) -> FtConfig {
         let mut ft = FtConfig::new(WorldLayout::new(self.workers, self.spares));
         ft.checkpoint_every = self.checkpoint_every;
         ft.max_iters = self.max_iters;

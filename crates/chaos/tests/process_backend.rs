@@ -1,0 +1,52 @@
+//! Regression tests for the process-backend conformance driver.
+//!
+//! Each test runs the `process_sweep` binary in one of its supervisor
+//! modes — the binary re-executes itself as the rank children, so this
+//! exercises the full path: spawn, PORT/MAP handshake, TCP transport,
+//! fault delivery (armed exits and real `SIGKILL`s), reaping, and
+//! contract classification. The binary exits non-zero on any contract
+//! violation, so the assertion here is simply "exit success", with the
+//! captured output attached on failure.
+
+#![cfg(unix)]
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling well above the binary's own per-job deadlines, so a
+/// supervisor-level hang fails the test instead of wedging CI.
+const TEST_DEADLINE: Duration = Duration::from_secs(240);
+
+fn run_mode(mode: &str, envs: &[(&str, &str)]) {
+    let t0 = Instant::now();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_process_sweep"));
+    cmd.arg(mode);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("failed to launch process_sweep {mode}: {e}"));
+    let elapsed = t0.elapsed();
+    assert!(
+        out.status.success(),
+        "process_sweep {mode} failed ({:?}, {elapsed:?})\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(elapsed < TEST_DEADLINE, "process_sweep {mode} took {elapsed:?} (> {TEST_DEADLINE:?})");
+}
+
+/// Smoke conformance: replay a small triple subset as real-process jobs
+/// and require zero violations. Three triples keeps this in test budget
+/// while still crossing spawn + injected-kill + degraded classification.
+#[test]
+fn process_smoke_conformance() {
+    run_mode("smoke", &[("FT_PROC_SWEEP_TRIPLES", "3")]);
+}
+
+/// The paper's `kill -9` experiment end to end: SIGKILL a worker process
+/// mid-solve, require detect → rebuild → restore → exact final values.
+#[test]
+fn process_fdkill_end_to_end() {
+    run_mode("fdkill", &[]);
+}

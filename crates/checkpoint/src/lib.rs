@@ -36,6 +36,7 @@ pub mod chunk;
 pub mod codec;
 pub mod neighbor;
 pub mod pfs;
+pub mod service;
 pub mod stats;
 pub mod writer;
 

@@ -1,0 +1,246 @@
+//! The checkpoint service protocol: the replica-holder side of neighbor
+//! replication and restore, spoken over the transport seam.
+//!
+//! The GASPI endpoint routes any message on a queue `>=`
+//! [`ft_gaspi::CKPT_QUEUE_BASE`] to the world's installed checkpoint
+//! handler without decoding it; this module defines that handler and the
+//! three requests it services:
+//!
+//! * **copy** — a committing rank pushes its dirty chunks + manifest; the
+//!   replica holder writes them into *its* node store and applies the
+//!   same pruning/GC, keeping the two stores in lockstep.
+//! * **fetch** — a restoring (or rescue) rank asks the replica holder to
+//!   reassemble a full image from its manifest + chunk replica and ship
+//!   the materialized bytes.
+//! * **latest** — version-only probe: the newest version the replica
+//!   holder could serve, verified by reassembly, without the payload.
+//!
+//! Under the in-memory backend the handler runs on the scheduler thread
+//! against the shared [`NodeStorage`]; under the process backend it runs
+//! inside the replica holder's OS process against storage only that
+//! process can see — which is exactly why the assembly logic lives here,
+//! on the serving side, and the requester gets only bytes. Miss details
+//! (gap and checksum-mismatch counts) ride back in the reply so the
+//! requester's counters stay equivalent to the old in-process accounting.
+
+use std::sync::Arc;
+
+use ft_cluster::{BlobKey, Dec, Enc, NodeStorage, QueueId, Rank, Topology};
+use ft_gaspi::{CkptHandler, GaspiProc};
+
+use crate::chunk::chunk_tag;
+use crate::writer::{assemble_best, assemble_exact};
+
+/// Queue for fetch/latest request-reply traffic.
+pub const FETCH_QUEUE: QueueId = u16::MAX;
+/// Queue for the one-way replication push.
+pub const COPY_QUEUE: QueueId = u16::MAX - 1;
+
+const SVC_FETCH: u8 = 1;
+const SVC_LATEST: u8 = 2;
+const SVC_COPY: u8 = 3;
+
+const OK: u8 = 1;
+const FAIL: u8 = 0;
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+pub(crate) fn enc_fetch(for_rank: Rank, tag: u32, version: Option<u64>) -> Vec<u8> {
+    let mut e = Enc::with_capacity(24);
+    e.u8(SVC_FETCH).u32(for_rank).u32(tag);
+    match version {
+        Some(v) => e.u8(1).u64(v),
+        None => e.u8(0),
+    };
+    e.finish()
+}
+
+pub(crate) fn enc_latest(for_rank: Rank, tag: u32) -> Vec<u8> {
+    let mut e = Enc::with_capacity(12);
+    e.u8(SVC_LATEST).u32(for_rank).u32(tag);
+    e.finish()
+}
+
+pub(crate) fn enc_copy(
+    rank: Rank,
+    tag: u32,
+    version: u64,
+    keep: u64,
+    blobs: &[(u64, Arc<Vec<u8>>)],
+    manifest: &[u8],
+    release: &[u64],
+) -> Vec<u8> {
+    let total: usize = manifest.len() + blobs.iter().map(|(_, d)| d.len()).sum::<usize>();
+    let mut e = Enc::with_capacity(total + 64 + blobs.len() * 16);
+    e.u8(SVC_COPY).u32(rank).u32(tag).u64(version).u64(keep);
+    e.u64(blobs.len() as u64);
+    for (h, d) in blobs {
+        e.u64(*h).bytes(d);
+    }
+    e.bytes(manifest);
+    e.u64s(release);
+    e.finish()
+}
+
+// ---------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------
+
+/// Decoded fetch reply (defaults mean "miss, nothing to count").
+#[derive(Default)]
+pub(crate) struct FetchReply {
+    pub found: Option<(u64, Vec<u8>)>,
+    pub mismatch: Option<u64>,
+    pub gaps: u64,
+}
+
+pub(crate) fn dec_fetch_reply(reply: &[u8]) -> FetchReply {
+    fn inner(reply: &[u8]) -> Result<FetchReply, ft_cluster::CodecError> {
+        let mut d = Dec::new(reply);
+        let found = match d.u8()? {
+            OK => Some((d.u64()?, d.bytes()?)),
+            _ => None,
+        };
+        let mismatch = match d.u8()? {
+            OK => Some(d.u64()?),
+            _ => None,
+        };
+        let gaps = d.u64()?;
+        Ok(FetchReply { found, mismatch, gaps })
+    }
+    inner(reply).unwrap_or_default()
+}
+
+/// Decoded latest reply: `(newest restorable version, gaps observed)`.
+pub(crate) fn dec_latest_reply(reply: &[u8]) -> (Option<u64>, u64) {
+    fn inner(reply: &[u8]) -> Result<(Option<u64>, u64), ft_cluster::CodecError> {
+        let mut d = Dec::new(reply);
+        let v = match d.u8()? {
+            OK => Some(d.u64()?),
+            _ => None,
+        };
+        let gaps = d.u64()?;
+        Ok((v, gaps))
+    }
+    inner(reply).unwrap_or((None, 0))
+}
+
+pub(crate) fn copy_reply_ok(reply: &[u8]) -> bool {
+    reply.first() == Some(&OK)
+}
+
+// ---------------------------------------------------------------------
+// The handler (serving side)
+// ---------------------------------------------------------------------
+
+/// Build the service handler over a node store and placement. `to` is the
+/// locally hosted rank the message was addressed to; all storage access
+/// resolves through its node.
+pub fn handler(storage: Arc<NodeStorage>, topo: Topology) -> CkptHandler {
+    Arc::new(move |to: Rank, _from: Rank, _queue: QueueId, msg: &[u8]| {
+        serve(&storage, &topo, to, msg).unwrap_or_else(|| vec![FAIL])
+    })
+}
+
+/// Install the service handler for `proc`'s world (first install wins).
+/// Called by [`crate::Checkpointer::new`] and by the drivers, so that
+/// ranks which never construct a `Checkpointer` (idle spares) still
+/// answer fetches against their node's replica store.
+pub fn install(proc: &GaspiProc) {
+    proc.install_ckpt_handler(handler(proc.cluster_storage(), proc.topology().clone()));
+}
+
+fn serve(storage: &Arc<NodeStorage>, topo: &Topology, to: Rank, msg: &[u8]) -> Option<Vec<u8>> {
+    let node = topo.node_of(to);
+    let mut d = Dec::new(msg);
+    match d.u8().ok()? {
+        SVC_FETCH => {
+            let for_rank = d.u32().ok()?;
+            let tag = d.u32().ok()?;
+            let version = match d.u8().ok()? {
+                0 => None,
+                _ => Some(d.u64().ok()?),
+            };
+            let probe = match version {
+                Some(v) => assemble_exact(storage, node, for_rank, tag, v),
+                None => assemble_best(storage, node, for_rank, tag),
+            };
+            let mut e = Enc::new();
+            match probe.found {
+                Some((v, data)) => e.u8(OK).u64(v).bytes(&data),
+                None => e.u8(FAIL),
+            };
+            match probe.mismatch {
+                Some(v) => e.u8(OK).u64(v),
+                None => e.u8(FAIL),
+            };
+            e.u64(probe.gaps);
+            Some(e.finish())
+        }
+        SVC_LATEST => {
+            let for_rank = d.u32().ok()?;
+            let tag = d.u32().ok()?;
+            let probe = assemble_best(storage, node, for_rank, tag);
+            let mut e = Enc::new();
+            match probe.found {
+                Some((v, _)) => e.u8(OK).u64(v),
+                None => e.u8(FAIL),
+            };
+            e.u64(probe.gaps);
+            Some(e.finish())
+        }
+        SVC_COPY => {
+            let rank = d.u32().ok()?;
+            let tag = d.u32().ok()?;
+            let version = d.u64().ok()?;
+            let keep = d.u64().ok()?;
+            let n = d.u64().ok()? as usize;
+            let ctag = chunk_tag(tag);
+            for _ in 0..n {
+                let h = d.u64().ok()?;
+                let blob = d.bytes().ok()?;
+                storage.put(node, BlobKey { rank, tag: ctag, version: h }, Arc::new(blob));
+            }
+            let manifest = d.bytes().ok()?;
+            let release = d.u64s().ok()?;
+            storage.put(node, BlobKey { rank, tag, version }, Arc::new(manifest));
+            if version + 1 >= keep {
+                storage.prune(node, rank, tag, version + 1 - keep);
+            }
+            for h in release {
+                storage.remove(node, BlobKey { rank, tag: ctag, version: h });
+            }
+            Some(vec![OK])
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_request_roundtrip() {
+        let m = enc_fetch(3, 7, Some(9));
+        let mut d = Dec::new(&m);
+        assert_eq!(d.u8().unwrap(), SVC_FETCH);
+        assert_eq!(d.u32().unwrap(), 3);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.u64().unwrap(), 9);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reply_decoders_tolerate_garbage() {
+        let r = dec_fetch_reply(&[0xff, 0x01]);
+        assert!(r.found.is_none());
+        assert_eq!(r.gaps, 0);
+        assert_eq!(dec_latest_reply(&[]), (None, 0));
+        assert!(!copy_reply_ok(&[]));
+        assert!(copy_reply_ok(&[OK]));
+    }
+}

@@ -31,13 +31,14 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use ft_cluster::{BlobKey, Envelope, NodeId, NodeStorage, Outcome, Rank, Topology, Transport};
+use ft_cluster::{BlobKey, NodeId, NodeStorage, Outcome, Rank, Topology, Transport};
 use ft_gaspi::GaspiProc;
 
 use crate::chunk::{chunk_hashes, chunk_range, chunk_tag, Manifest, DEFAULT_CHUNK_SIZE};
 use crate::codec::fnv1a64;
 use crate::neighbor::NeighborMap;
 use crate::pfs::Pfs;
+use crate::service;
 use crate::stats::CkptStats;
 
 /// Where a restored checkpoint came from (the paper's OHF3 has different
@@ -306,7 +307,7 @@ struct CopyShared {
     cfg: CheckpointerConfig,
     topo: Topology,
     storage: Arc<NodeStorage>,
-    transport: Transport,
+    transport: Arc<dyn Transport>,
     neighbors: Arc<Mutex<NeighborMap>>,
     pending: Arc<Pending>,
     done: Arc<AtomicU64>,
@@ -323,7 +324,7 @@ pub struct Checkpointer {
     topo: Topology,
     cfg: CheckpointerConfig,
     storage: Arc<NodeStorage>,
-    transport: Transport,
+    transport: Arc<dyn Transport>,
     pfs: Option<Arc<Pfs>>,
     neighbors: Arc<Mutex<NeighborMap>>,
     table: Mutex<ChunkTable>,
@@ -375,6 +376,9 @@ impl Checkpointer {
     /// [`CheckpointerConfig::builder`] to validate ahead of time.
     pub fn new(proc: &GaspiProc, cfg: CheckpointerConfig, pfs: Option<Arc<Pfs>>) -> Self {
         cfg.validate().expect("invalid CheckpointerConfig");
+        // Make sure this world answers replication pushes and fetches
+        // addressed to this rank (idempotent; first install wins).
+        service::install(proc);
         let rank = proc.rank();
         let topo = proc.topology().clone();
         let node = topo.node_of(rank);
@@ -815,61 +819,43 @@ impl Checkpointer {
                 None => Fetch::Miss { mismatch: misses.mismatch },
             };
         }
-        // Remote fetch: request → replica holder reassembles from its
-        // node storage → costed full-image response.
+        // Remote fetch: request → the replica holder's service handler
+        // reassembles from *its* node storage → costed full-image reply.
+        // Gap/mismatch counts observed by the holder ride back in the
+        // reply and are folded into this rank's counters.
         let Some(dst) = self.representative_rank(replica_node) else {
             return Fetch::Miss { mismatch: None };
         };
         struct Reply {
-            found: Option<(u64, Arc<Vec<u8>>)>,
+            found: Option<(u64, Vec<u8>)>,
             mismatch: Option<u64>,
         }
         type Cell = Arc<(Mutex<Option<Reply>>, Condvar)>;
         let cell: Cell = Arc::new((Mutex::new(None), Condvar::new()));
         let c1 = Arc::clone(&cell);
-        let storage = Arc::clone(&self.storage);
         let gaps = Arc::clone(&self.restore_gaps);
         let cksum = Arc::clone(&self.checksum_failures);
         let me = self.rank;
-        self.transport.post(Envelope {
-            src: me,
+        self.transport.call(
+            me,
             dst,
-            queue: u16::MAX, // dedicated checkpoint-fetch stream
-            bytes: 24,
-            action: Box::new(move |t, out| {
-                let probe = if out == Outcome::Delivered {
-                    match version {
-                        Some(v) => assemble_exact(&storage, replica_node, for_rank, tag, v),
-                        None => assemble_best(&storage, replica_node, for_rank, tag),
-                    }
+            service::FETCH_QUEUE,
+            24,
+            service::enc_fetch(for_rank, tag, version),
+            Box::new(move |out, reply| {
+                let r = if out == Outcome::Delivered {
+                    service::dec_fetch_reply(&reply)
                 } else {
-                    TierProbe::default()
+                    service::FetchReply::default()
                 };
-                gaps.fetch_add(probe.gaps, Ordering::Relaxed);
-                if probe.mismatch.is_some() {
+                gaps.fetch_add(r.gaps, Ordering::Relaxed);
+                if r.mismatch.is_some() {
                     cksum.fetch_add(1, Ordering::Relaxed);
                 }
-                let mismatch = probe.mismatch;
-                let found = probe.found.map(|(v, d)| (v, Arc::new(d)));
-                let bytes = found.as_ref().map_or(0, |(_, d)| d.len());
-                let c2 = Arc::clone(&c1);
-                t.post(Envelope {
-                    src: dst,
-                    dst: me,
-                    queue: u16::MAX,
-                    bytes,
-                    action: Box::new(move |_, out2| {
-                        let reply = if out2 == Outcome::Delivered {
-                            Reply { found, mismatch }
-                        } else {
-                            Reply { found: None, mismatch: None }
-                        };
-                        *c2.0.lock() = Some(reply);
-                        c2.1.notify_all();
-                    }),
-                });
+                *c1.0.lock() = Some(Reply { found: r.found, mismatch: r.mismatch });
+                c1.1.notify_all();
             }),
-        });
+        );
         let deadline = Instant::now() + timeout;
         let mut g = cell.0.lock();
         while g.is_none() {
@@ -881,7 +867,7 @@ impl Checkpointer {
             None => Fetch::TimedOut,
             Some(Reply { found: Some((v, data)), .. }) => Fetch::Found(Restored {
                 version: v,
-                data: data.as_ref().clone(),
+                data,
                 provenance: Provenance::Neighbor(replica_node),
             }),
             Some(Reply { found: None, mismatch }) => Fetch::Miss { mismatch },
@@ -901,35 +887,26 @@ impl Checkpointer {
         type Cell = Arc<(Mutex<Option<Option<u64>>>, Condvar)>;
         let cell: Cell = Arc::new((Mutex::new(None), Condvar::new()));
         let c1 = Arc::clone(&cell);
-        let storage = Arc::clone(&self.storage);
         let gaps = Arc::clone(&self.restore_gaps);
         let me = self.rank;
-        self.transport.post(Envelope {
-            src: me,
+        self.transport.call(
+            me,
             dst,
-            queue: u16::MAX,
-            bytes: 16,
-            action: Box::new(move |t, out| {
+            service::FETCH_QUEUE,
+            16,
+            service::enc_latest(for_rank, tag),
+            Box::new(move |out, reply| {
                 let v = if out == Outcome::Delivered {
-                    let probe = assemble_best(&storage, replica_node, for_rank, tag);
-                    gaps.fetch_add(probe.gaps, Ordering::Relaxed);
-                    probe.found.map(|(v, _)| v)
+                    let (v, g) = service::dec_latest_reply(&reply);
+                    gaps.fetch_add(g, Ordering::Relaxed);
+                    v
                 } else {
                     None
                 };
-                let c2 = Arc::clone(&c1);
-                t.post(Envelope {
-                    src: dst,
-                    dst: me,
-                    queue: u16::MAX,
-                    bytes: 8,
-                    action: Box::new(move |_, out2| {
-                        *c2.0.lock() = Some(if out2 == Outcome::Delivered { v } else { None });
-                        c2.1.notify_all();
-                    }),
-                });
+                *c1.0.lock() = Some(v);
+                c1.1.notify_all();
             }),
-        });
+        );
         let deadline = Instant::now() + timeout;
         let mut g = cell.0.lock();
         while g.is_none() {
@@ -991,14 +968,14 @@ impl Misses {
 
 /// Result of probing one tier for a reassemblable version.
 #[derive(Default)]
-struct TierProbe {
+pub(crate) struct TierProbe {
     /// Newest `(version, materialized payload)` that reassembled and
     /// verified.
-    found: Option<(u64, Vec<u8>)>,
+    pub(crate) found: Option<(u64, Vec<u8>)>,
     /// Newest version rejected by the checksum, if any.
-    mismatch: Option<u64>,
+    pub(crate) mismatch: Option<u64>,
     /// Versions skipped because a referenced chunk was missing.
-    gaps: u64,
+    pub(crate) gaps: u64,
 }
 
 /// How one manifest version reassembled on one node.
@@ -1041,7 +1018,7 @@ fn assemble(storage: &NodeStorage, node: NodeId, rank: Rank, tag: u32, version: 
 }
 
 /// Probe exactly one version on one node.
-fn assemble_exact(
+pub(crate) fn assemble_exact(
     storage: &NodeStorage,
     node: NodeId,
     rank: Rank,
@@ -1061,7 +1038,12 @@ fn assemble_exact(
 /// Walk a node's manifest versions newest → oldest; first one that
 /// reassembles and verifies wins, anything broken is recorded and
 /// skipped (the fall-back-on-gap behavior).
-fn assemble_best(storage: &NodeStorage, node: NodeId, rank: Rank, tag: u32) -> TierProbe {
+pub(crate) fn assemble_best(
+    storage: &NodeStorage,
+    node: NodeId,
+    rank: Rank,
+    tag: u32,
+) -> TierProbe {
     let mut p = TierProbe::default();
     for v in storage.versions_of(node, rank, tag) {
         match assemble(storage, node, rank, tag, v) {
@@ -1126,7 +1108,9 @@ fn copy_one(s: &CopyShared, version: u64, dirty: &[u64], release: &[u64]) {
         finish(true);
         return;
     }
-    let (neighbor_node, dst) = {
+    // The replica holder resolves its own node from the addressed rank,
+    // so only the representative rank matters here.
+    let dst = {
         let nb = s.neighbors.lock();
         let Some(nn) = nb.neighbor_of(s.node) else {
             drop(nb);
@@ -1138,7 +1122,7 @@ fn copy_one(s: &CopyShared, version: u64, dirty: &[u64], release: &[u64]) {
             finish(false);
             return;
         };
-        (nn, dst)
+        dst
     };
     // Gather the dirty chunk payloads; a chunk GC'd since the commit
     // means this version is already superseded — fail the copy cleanly.
@@ -1154,33 +1138,32 @@ fn copy_one(s: &CopyShared, version: u64, dirty: &[u64], release: &[u64]) {
             }
         }
     }
+    // The push carries the dirty chunks + manifest; the replica holder's
+    // service handler writes them into its node store and applies the
+    // same pruning. `bytes` (the payload total) is the latency cost, as
+    // before; the envelope framing is not charged.
     let bytes = mbytes.len() + blobs.iter().map(|(_, d)| d.len()).sum::<usize>();
-    let storage2 = Arc::clone(&s.storage);
+    let msg = service::enc_copy(
+        s.rank,
+        s.cfg.tag,
+        version,
+        s.cfg.keep_versions,
+        &blobs,
+        &mbytes,
+        release,
+    );
     let pending2 = Arc::clone(&s.pending);
     let done2 = Arc::clone(&s.done);
     let failed2 = Arc::clone(&s.failed);
     let wire2 = Arc::clone(&s.copy_bytes);
-    let release2 = release.to_vec();
-    let rank = s.rank;
-    let keep = s.cfg.keep_versions;
-    s.transport.post(Envelope {
-        src: rank,
+    s.transport.send(
+        s.rank,
         dst,
-        queue: u16::MAX - 1, // checkpoint replication stream
+        service::COPY_QUEUE,
         bytes,
-        action: Box::new(move |_, out| {
-            let ok = out == Outcome::Delivered;
-            if ok {
-                for (h, d) in blobs {
-                    storage2.put(neighbor_node, BlobKey { rank, tag: ctag, version: h }, d);
-                }
-                storage2.put(neighbor_node, mkey, mbytes);
-                if version + 1 >= keep {
-                    storage2.prune(neighbor_node, rank, mkey.tag, version + 1 - keep);
-                }
-                for &h in &release2 {
-                    storage2.remove(neighbor_node, BlobKey { rank, tag: ctag, version: h });
-                }
+        msg,
+        Box::new(move |out, reply| {
+            if out == Outcome::Delivered && service::copy_reply_ok(&reply) {
                 wire2.fetch_add(bytes as u64, Ordering::Relaxed);
                 done2.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -1190,5 +1173,5 @@ fn copy_one(s: &CopyShared, version: u64, dirty: &[u64], release: &[u64]) {
             *c -= 1;
             pending2.cv.notify_all();
         }),
-    });
+    );
 }

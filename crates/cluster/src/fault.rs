@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::codec::{CodecError, Dec, Enc};
 use crate::inject::{InjectOp, InjectState, Injection, InjectionPlan, SiteName, SiteRecord};
 use crate::topology::{NodeId, Rank, Topology};
 
@@ -79,7 +80,18 @@ pub struct FaultPlane {
     inject_on: AtomicBool,
     /// Step-indexed injection state (counters, log, armed plans).
     inject: Mutex<InjectState>,
+    /// Process-backend hook: when set to a rank (sentinel `u64::MAX` =
+    /// unset), killing that rank terminates *this OS process* with exit
+    /// code [`KILLED_EXIT_CODE`]. A child process hosting exactly one rank
+    /// sets this so every cooperative kill path — `exit(-1)`-style
+    /// self-kills, step-indexed injections, a received `gaspi_proc_kill` —
+    /// becomes genuine fail-stop death instead of flag poisoning.
+    exit_on_kill: AtomicU64,
 }
+
+/// Exit code of a rank process that died to a kill (as opposed to an
+/// error or a clean finish); the supervisor classifies on it.
+pub const KILLED_EXIT_CODE: i32 = 113;
 
 impl FaultPlane {
     /// A fault plane where every rank and node starts healthy.
@@ -95,7 +107,20 @@ impl FaultPlane {
             epoch: AtomicU64::new(0),
             inject_on: AtomicBool::new(false),
             inject: Mutex::new(InjectState::default()),
+            exit_on_kill: AtomicU64::new(u64::MAX),
         })
+    }
+
+    /// Arm process-exit-on-kill for `rank` (see the field docs). Used by
+    /// the process backend's child entry; never set in-memory.
+    pub fn exit_process_on_kill(&self, rank: Rank) {
+        self.exit_on_kill.store(u64::from(rank), Ordering::Release);
+    }
+
+    fn maybe_exit_process(&self, rank: Rank) {
+        if self.exit_on_kill.load(Ordering::Acquire) == u64::from(rank) {
+            std::process::exit(KILLED_EXIT_CODE);
+        }
     }
 
     /// The topology this plane covers.
@@ -151,6 +176,7 @@ impl FaultPlane {
     /// it, `false` if it was already dead. Idempotent, as `gaspi_proc_kill`
     /// must be.
     pub fn kill_rank(&self, rank: Rank) -> bool {
+        self.maybe_exit_process(rank);
         let first = self.alive[rank as usize].swap(false, Ordering::AcqRel);
         if first {
             self.fire(KillEvent { ranks: vec![rank], node: None });
@@ -161,6 +187,9 @@ impl FaultPlane {
     /// Kill a whole node: all its ranks die and node-local state is
     /// dropped by the hooks. Returns the ranks that died with this call.
     pub fn kill_node(&self, node: NodeId) -> Vec<Rank> {
+        for r in self.topo.ranks_on(node) {
+            self.maybe_exit_process(r);
+        }
         let was_alive = self.node_alive[node.0 as usize].swap(false, Ordering::AcqRel);
         let mut died = Vec::new();
         for r in self.topo.ranks_on(node) {
@@ -322,13 +351,42 @@ impl FaultAction {
             FaultAction::HealLink(a, b) => plane.heal_link(a, b),
         }
     }
+
+    /// Append the wire form (tag byte + operands) to `e`.
+    pub fn encode(&self, e: &mut Enc) {
+        match *self {
+            FaultAction::KillRank(r) => {
+                e.u8(0).u32(r);
+            }
+            FaultAction::KillNode(n) => {
+                e.u8(1).u32(n.0);
+            }
+            FaultAction::BreakLink(a, b) => {
+                e.u8(2).u32(a).u32(b);
+            }
+            FaultAction::HealLink(a, b) => {
+                e.u8(3).u32(a).u32(b);
+            }
+        }
+    }
+
+    /// Inverse of [`FaultAction::encode`].
+    pub fn decode(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => FaultAction::KillRank(d.u32()?),
+            1 => FaultAction::KillNode(NodeId(d.u32()?)),
+            2 => FaultAction::BreakLink(d.u32()?, d.u32()?),
+            3 => FaultAction::HealLink(d.u32()?, d.u32()?),
+            t => return Err(CodecError::BadTag(t)),
+        })
+    }
 }
 
 /// A deterministic failure plan: iteration-triggered kills (the paper's
 /// `exit(-1)` at a fixed iteration, for reproducible redo-work time) and
 /// wall-clock-triggered actions (the paper's random `kill -9` during the
 /// run, for Table I).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     at_iteration: Vec<(Rank, u64)>,
     timed: Vec<(Duration, FaultAction)>,
@@ -376,6 +434,51 @@ impl FaultSchedule {
     /// Iteration-triggered kills, for inspection.
     pub fn iteration_kills(&self) -> &[(Rank, u64)] {
         &self.at_iteration
+    }
+
+    /// Wall-clock-triggered actions, for inspection. The process-backend
+    /// supervisor reads these and enforces `KillRank`/`KillNode` as real
+    /// `SIGKILL`s instead of liveness-flag poisoning.
+    pub fn timed_actions(&self) -> &[(Duration, FaultAction)] {
+        &self.timed
+    }
+
+    /// Serialize the schedule to bytes (environment-variable transport to
+    /// child rank processes; pair with [`crate::codec::to_hex`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.at_iteration.len() as u64);
+        for &(r, i) in &self.at_iteration {
+            e.u32(r).u64(i);
+        }
+        e.u64(self.timed.len() as u64);
+        for (d, a) in &self.timed {
+            e.u64(d.as_nanos() as u64);
+            a.encode(&mut e);
+        }
+        e.u64(self.injections.len() as u64);
+        for inj in &self.injections {
+            inj.encode(&mut e);
+        }
+        e.finish()
+    }
+
+    /// Inverse of [`FaultSchedule::encode`]; rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(buf);
+        let mut s = Self::default();
+        for _ in 0..d.u64()? {
+            s.at_iteration.push((d.u32()?, d.u64()?));
+        }
+        for _ in 0..d.u64()? {
+            let after = Duration::from_nanos(d.u64()?);
+            s.timed.push((after, FaultAction::decode(&mut d)?));
+        }
+        for _ in 0..d.u64()? {
+            s.injections.push(Injection::decode(&mut d)?);
+        }
+        d.expect_end()?;
+        Ok(s)
     }
 
     /// Spawn the timer thread applying the timed actions. The returned
@@ -537,6 +640,29 @@ mod tests {
         let t = s.start_timer(Arc::clone(&p));
         t.cancel();
         assert!(p.is_alive(1));
+    }
+
+    #[test]
+    fn fault_schedule_codec_roundtrip() {
+        let s = FaultSchedule::none()
+            .kill_rank_at_iteration(2, 130)
+            .kill_rank_at_iteration(5, 220)
+            .timed(Duration::from_millis(40), FaultAction::KillRank(3))
+            .timed(Duration::from_millis(80), FaultAction::KillNode(NodeId(1)))
+            .timed(Duration::from_millis(90), FaultAction::BreakLink(0, 2))
+            .timed(Duration::from_millis(95), FaultAction::HealLink(0, 2))
+            .inject(Injection::kill("gaspi.write", 1, 3))
+            .inject(Injection::delay("ckpt.restore", 4, 1, Duration::from_micros(10)));
+        let bytes = s.encode();
+        assert_eq!(FaultSchedule::decode(&bytes).unwrap(), s);
+        // Hex round trip (how the supervisor actually ships it).
+        let hex = crate::codec::to_hex(&bytes);
+        assert_eq!(FaultSchedule::decode(&crate::codec::from_hex(&hex).unwrap()).unwrap(), s);
+        // Empty schedule.
+        let none = FaultSchedule::none();
+        assert_eq!(FaultSchedule::decode(&none.encode()).unwrap(), none);
+        // Truncation is loud.
+        assert!(FaultSchedule::decode(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Rank hosting: *where ranks live* and *how they are killed*.
+//!
+//! The transport seam ([`crate::transport::Transport`]) abstracts the
+//! wire; [`RankHost`] abstracts the other half of the backend split — the
+//! substrate a rank executes on and the mechanism that enforces its death:
+//!
+//! * [`ThreadHost`] — ranks are OS threads in one process; a "kill"
+//!   poisons the rank's liveness flag on the shared [`FaultPlane`] and the
+//!   victim unwinds at its next communication call (cooperative
+//!   fail-stop, as the in-memory simulator has always done).
+//! * `ft_core::process::ProcessHost` — ranks are OS processes; a kill is
+//!   a genuine `SIGKILL` delivered by the supervisor, with no cooperation
+//!   from the victim (the paper's external `kill -9`).
+//!
+//! Wall-clock fault schedules ([`crate::FaultSchedule`]) are applied
+//! through this trait so the same schedule drives either backend.
+
+use std::sync::Arc;
+
+use crate::fault::FaultPlane;
+use crate::topology::{NodeId, Rank, Topology};
+
+/// How ranks are placed and killed. Implementations must be idempotent:
+/// killing an already-dead rank or node is a no-op.
+pub trait RankHost: Send + Sync {
+    /// The placement this host runs.
+    fn topology(&self) -> &Topology;
+
+    /// Enforce the death of one rank.
+    fn kill_rank(&self, rank: Rank);
+
+    /// Enforce the death of a node and every rank on it (node-local state
+    /// dies with it).
+    fn kill_node(&self, node: NodeId);
+}
+
+/// The in-process host: every rank is a thread, and kills poison liveness
+/// flags on the shared fault plane.
+pub struct ThreadHost {
+    fault: Arc<FaultPlane>,
+}
+
+impl ThreadHost {
+    /// Host ranks on threads governed by `fault`.
+    pub fn new(fault: Arc<FaultPlane>) -> Self {
+        Self { fault }
+    }
+}
+
+impl RankHost for ThreadHost {
+    fn topology(&self) -> &Topology {
+        self.fault.topology()
+    }
+
+    fn kill_rank(&self, rank: Rank) {
+        self.fault.kill_rank(rank);
+    }
+
+    fn kill_node(&self, node: NodeId) {
+        self.fault.kill_node(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_host_kills_through_fault_plane() {
+        let fault = FaultPlane::new(Topology::new(4, 2));
+        let host: Arc<dyn RankHost> = Arc::new(ThreadHost::new(Arc::clone(&fault)));
+        assert_eq!(host.topology().num_ranks(), 4);
+        host.kill_rank(1);
+        assert!(!fault.is_alive(1));
+        host.kill_node(NodeId(1));
+        assert!(!fault.is_alive(2));
+        assert!(!fault.is_alive(3));
+        assert!(!fault.node_is_alive(NodeId(1)));
+        // Idempotent.
+        host.kill_rank(1);
+        host.kill_node(NodeId(1));
+    }
+}

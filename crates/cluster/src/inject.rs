@@ -33,6 +33,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use crate::codec::{CodecError, Dec, Enc};
 use crate::topology::Rank;
 
 /// Injection-site names are compile-time constants at the call sites.
@@ -85,6 +86,37 @@ pub struct Injection {
     pub op: InjectOp,
 }
 
+impl InjectOp {
+    /// Append the wire form (tag byte + operands) to `e`.
+    pub fn encode(&self, e: &mut Enc) {
+        match *self {
+            InjectOp::Kill => {
+                e.u8(0);
+            }
+            InjectOp::KillNode => {
+                e.u8(1);
+            }
+            InjectOp::BreakLink { peer } => {
+                e.u8(2).u32(peer);
+            }
+            InjectOp::Delay { dur } => {
+                e.u8(3).u64(dur.as_nanos() as u64);
+            }
+        }
+    }
+
+    /// Inverse of [`InjectOp::encode`].
+    pub fn decode(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => InjectOp::Kill,
+            1 => InjectOp::KillNode,
+            2 => InjectOp::BreakLink { peer: d.u32()? },
+            3 => InjectOp::Delay { dur: Duration::from_nanos(d.u64()?) },
+            t => return Err(CodecError::BadTag(t)),
+        })
+    }
+}
+
 impl Injection {
     /// Kill `rank` at its `occurrence`-th crossing of `site`.
     pub fn kill(site: impl Into<String>, rank: Rank, occurrence: u64) -> Self {
@@ -104,6 +136,18 @@ impl Injection {
     /// Stall `rank` for `dur` at the `occurrence`-th crossing.
     pub fn delay(site: impl Into<String>, rank: Rank, occurrence: u64, dur: Duration) -> Self {
         Self { site: site.into(), rank, occurrence, op: InjectOp::Delay { dur } }
+    }
+
+    /// Append the wire form to `e` (the supervisor ships per-rank plans to
+    /// child processes through an environment variable).
+    pub fn encode(&self, e: &mut Enc) {
+        e.str(&self.site).u32(self.rank).u64(self.occurrence);
+        self.op.encode(e);
+    }
+
+    /// Inverse of [`Injection::encode`].
+    pub fn decode(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(Self { site: d.str()?, rank: d.u32()?, occurrence: d.u64()?, op: InjectOp::decode(d)? })
     }
 }
 
@@ -129,6 +173,28 @@ impl InjectionPlan {
     /// True if nothing is armed.
     pub fn is_empty(&self) -> bool {
         self.injections.is_empty()
+    }
+
+    /// Serialize the whole plan to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.injections.len() as u64);
+        for inj in &self.injections {
+            inj.encode(&mut e);
+        }
+        e.finish()
+    }
+
+    /// Inverse of [`InjectionPlan::encode`]; rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(buf);
+        let n = d.u64()?;
+        let mut injections = Vec::new();
+        for _ in 0..n {
+            injections.push(Injection::decode(&mut d)?);
+        }
+        d.expect_end()?;
+        Ok(Self { injections })
     }
 }
 
@@ -245,6 +311,31 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0], SiteRecord { site: "x".into(), rank: 3, occurrence: 1 });
         assert_eq!(log[1], SiteRecord { site: "x".into(), rank: 3, occurrence: 2 });
+    }
+
+    #[test]
+    fn injection_plan_codec_roundtrip() {
+        let plan = InjectionPlan::new()
+            .with(Injection::kill("driver.checkpoint.commit", 3, 2))
+            .with(Injection::kill_node("gaspi.write", 1, 7))
+            .with(Injection::break_link("gaspi.barrier", 0, 1, 5))
+            .with(Injection::delay("ckpt.restore", 2, 4, Duration::from_micros(250)));
+        let bytes = plan.encode();
+        assert_eq!(InjectionPlan::decode(&bytes).unwrap(), plan);
+        // Empty plan round-trips too.
+        assert_eq!(
+            InjectionPlan::decode(&InjectionPlan::new().encode()).unwrap(),
+            InjectionPlan::new()
+        );
+        // Truncation and trailing garbage are loud.
+        assert!(InjectionPlan::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut noisy = bytes.clone();
+        noisy.push(0);
+        assert!(InjectionPlan::decode(&noisy).is_err());
+        // A bogus op tag is rejected.
+        let mut e = Enc::new();
+        e.u64(1).str("x").u32(0).u64(1).u8(9);
+        assert!(matches!(InjectionPlan::decode(&e.finish()), Err(CodecError::BadTag(9))));
     }
 
     #[test]

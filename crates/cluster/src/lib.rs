@@ -26,18 +26,28 @@
 //! * [`metrics`] — cheap atomic counters for messages/bytes/pings.
 //! * [`time`] — the latency model and paper-scale conversion helpers.
 
+pub mod codec;
 pub mod fault;
+pub mod host;
 pub mod inject;
 pub mod metrics;
 pub mod storage;
+pub mod tcp;
 pub mod time;
 pub mod topology;
 pub mod transport;
 
-pub use fault::{FaultAction, FaultPlane, FaultSchedule, RankKilled, ScheduleTimer};
+pub use codec::{CodecError, Dec, Enc};
+pub use fault::{
+    FaultAction, FaultPlane, FaultSchedule, RankKilled, ScheduleTimer, KILLED_EXIT_CODE,
+};
+pub use host::{RankHost, ThreadHost};
 pub use inject::{site_is_deterministic, InjectOp, Injection, InjectionPlan, SiteName, SiteRecord};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use storage::{BlobKey, NodeStorage};
+pub use tcp::TcpTransport;
 pub use time::LatencyModel;
 pub use topology::{NodeId, Rank, Topology};
-pub use transport::{Envelope, Outcome, Transport, TransportOwner};
+pub use transport::{
+    Completion, Endpoint, Envelope, Outcome, QueueId, SimTransport, Transport, TransportOwner,
+};

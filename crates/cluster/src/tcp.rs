@@ -1,0 +1,607 @@
+//! Real-process backend: length-delimited binary RPC over TCP.
+//!
+//! Where [`crate::transport::SimTransport`] simulates a cluster inside one
+//! process, [`TcpTransport`] *is* the wire of a real one: every rank is an
+//! OS process, every message is a framed RPC over a loopback TCP
+//! connection, and fail-stop death is genuine — a `SIGKILL`ed rank's
+//! sockets reset and its peers observe [`Outcome::Broken`], exactly the
+//! failure signal the paper's timeout-based health checking is built on.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [u32 len] [u8 kind] [u64 call_id] [u32 src] [u32 dst] [u16 queue] [payload…]
+//! ```
+//!
+//! `len` counts everything after itself, little-endian throughout.
+//! `kind` is request (0) or response (1); every request gets exactly one
+//! response carrying the endpoint's reply bytes (GASPI one-sided ops all
+//! have a completion to report, so [`Transport::send`] and
+//! [`Transport::call`] are the same wire exchange here — the distinction
+//! only matters for the simulator's latency accounting).
+//!
+//! ## Connections and threads
+//!
+//! Connections are directional: rank A's sends to rank B travel on A's
+//! outgoing connection to B's listener, established lazily at first use.
+//! Per connection there is one reader thread (responses back to the
+//! caller-side, requests on the server-side); incoming requests are
+//! dispatched to the bound [`Endpoint`] under one process-wide dispatch
+//! lock, which serializes remote accesses the way the simulator's single
+//! scheduler thread does (global atomics stay atomic). TCP gives per-
+//! connection FIFO, which is strictly stronger than the per-`(src, queue,
+//! dst)` order the seam requires.
+//!
+//! ## Failure mapping
+//!
+//! * connect refused / reset / EOF → every pending and future completion
+//!   on that peer runs with [`Outcome::Broken`] (peers never resurrect:
+//!   a rank that died stays dead, per fail-stop).
+//! * locally-known-dead destination (fault plane) → immediate `Broken`,
+//!   matching the simulator's fast path.
+//! * [`Transport::shutdown`] → pending completions run with
+//!   [`Outcome::Cancelled`].
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::fault::FaultPlane;
+use crate::metrics::Metrics;
+use crate::time::LatencyModel;
+use crate::topology::Rank;
+use crate::transport::{Completion, Endpoint, Outcome, QueueId, Transport};
+
+const KIND_REQ: u8 = 0;
+const KIND_RESP: u8 = 1;
+/// kind + call_id + src + dst + queue.
+const HDR: usize = 1 + 8 + 4 + 4 + 2;
+
+struct Frame {
+    kind: u8,
+    call_id: u64,
+    src: Rank,
+    dst: Rank,
+    queue: QueueId,
+    payload: Vec<u8>,
+}
+
+fn write_frame(w: &mut TcpStream, f: &Frame) -> io::Result<()> {
+    let len = (HDR + f.payload.len()) as u32;
+    let mut buf = Vec::with_capacity(4 + HDR + f.payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(f.kind);
+    buf.extend_from_slice(&f.call_id.to_le_bytes());
+    buf.extend_from_slice(&f.src.to_le_bytes());
+    buf.extend_from_slice(&f.dst.to_le_bytes());
+    buf.extend_from_slice(&f.queue.to_le_bytes());
+    buf.extend_from_slice(&f.payload);
+    w.write_all(&buf)
+}
+
+fn read_frame(r: &mut TcpStream) -> io::Result<Frame> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if !(HDR..=1 << 30).contains(&len) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Frame {
+        kind: buf[0],
+        call_id: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
+        src: u32::from_le_bytes(buf[9..13].try_into().unwrap()),
+        dst: u32::from_le_bytes(buf[13..17].try_into().unwrap()),
+        queue: u16::from_le_bytes(buf[17..19].try_into().unwrap()),
+        payload: buf[HDR..].to_vec(),
+    })
+}
+
+/// State of one outgoing (client) connection to a peer.
+#[derive(Default)]
+struct PeerConn {
+    /// Write half; `None` once the connection (or the peer) is dead.
+    stream: Option<TcpStream>,
+    /// In-flight requests awaiting a response.
+    pending: HashMap<u64, Completion>,
+    /// Set once the peer is known dead; all further traffic breaks fast.
+    broken: bool,
+}
+
+struct TcpInner {
+    me: Rank,
+    fault: Arc<FaultPlane>,
+    metrics: Arc<Metrics>,
+    model: LatencyModel,
+    /// Rank → listener address, filled by [`TcpTransport::set_peers`].
+    peers: Mutex<Vec<Option<SocketAddr>>>,
+    conns: Mutex<HashMap<Rank, Arc<Mutex<PeerConn>>>>,
+    endpoints: Mutex<HashMap<Rank, Arc<dyn Endpoint>>>,
+    /// Serializes endpoint dispatch (the TCP analogue of the simulator's
+    /// single scheduler thread) so remote atomics are atomic.
+    dispatch: Mutex<()>,
+    /// Accepted (incoming) streams, kept so shutdown can reset them and
+    /// peers observe EOF instead of hanging on a silent half-open socket.
+    server_conns: Mutex<Vec<TcpStream>>,
+    next_call: AtomicU64,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl TcpInner {
+    fn dispatch(&self, f: &Frame) -> Vec<u8> {
+        let ep = self.endpoints.lock().get(&f.dst).cloned();
+        let _serialize = self.dispatch.lock();
+        match ep {
+            Some(ep) => ep.handle(f.src, f.queue, f.payload.clone()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Kill the outgoing connection to `dst` and fail everything on it.
+    fn break_peer(&self, dst: Rank, out: Outcome) {
+        let conn = self.conns.lock().get(&dst).cloned();
+        if let Some(conn) = conn {
+            let mut c = conn.lock();
+            c.broken = true;
+            if let Some(s) = c.stream.take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            let pending: Vec<Completion> = c.pending.drain().map(|(_, d)| d).collect();
+            drop(c);
+            for done in pending {
+                done(out, Vec::new());
+            }
+        }
+    }
+}
+
+/// The real-process transport: one instance per rank process.
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+}
+
+impl TcpTransport {
+    /// Bind a loopback listener for `me` and start accepting. Peer
+    /// addresses must be supplied via [`TcpTransport::set_peers`] before
+    /// the first send (the supervisor's PORT/MAP handshake guarantees
+    /// this).
+    pub fn listen(
+        me: Rank,
+        num_ranks: u32,
+        fault: Arc<FaultPlane>,
+        model: LatencyModel,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(TcpInner {
+            me,
+            fault,
+            metrics: Arc::new(Metrics::default()),
+            model,
+            peers: Mutex::new(vec![None; num_ranks as usize]),
+            conns: Mutex::new(HashMap::new()),
+            endpoints: Mutex::new(HashMap::new()),
+            dispatch: Mutex::new(()),
+            server_conns: Mutex::new(Vec::new()),
+            next_call: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+        });
+        let inner2 = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name(format!("tcp-accept-{me}"))
+            .spawn(move || accept_loop(listener, inner2))
+            .expect("spawn tcp accept thread");
+        Ok(Self { inner })
+    }
+
+    /// The local listener port (reported to the supervisor).
+    pub fn port(&self) -> u16 {
+        self.inner.local_addr.port()
+    }
+
+    /// Install the rank → port map (from the supervisor's MAP line).
+    pub fn set_peers(&self, ports: &[u16]) {
+        let mut peers = self.inner.peers.lock();
+        assert_eq!(ports.len(), peers.len(), "peer map must cover every rank");
+        for (i, &p) in ports.iter().enumerate() {
+            peers[i] = Some(SocketAddr::from(([127, 0, 0, 1], p)));
+        }
+    }
+
+    /// Outgoing connection to `dst`, established on first use. Returns
+    /// `None` when the peer is (or just proved to be) unreachable.
+    fn conn_to(&self, dst: Rank) -> Option<Arc<Mutex<PeerConn>>> {
+        let conn = Arc::clone(self.inner.conns.lock().entry(dst).or_default());
+        let mut c = conn.lock();
+        if c.broken {
+            return None;
+        }
+        if c.stream.is_none() {
+            let addr = (*self.inner.peers.lock().get(dst as usize)?)?;
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let reader = s.try_clone().ok()?;
+                    c.stream = Some(s);
+                    drop(c);
+                    let inner = Arc::clone(&self.inner);
+                    let conn2 = Arc::clone(&conn);
+                    std::thread::Builder::new()
+                        .name(format!("tcp-client-{}-{}", self.inner.me, dst))
+                        .spawn(move || client_reader(reader, conn2, inner, dst))
+                        .expect("spawn tcp client reader");
+                    return Some(conn);
+                }
+                Err(_) => {
+                    c.broken = true;
+                    return None;
+                }
+            }
+        }
+        drop(c);
+        Some(conn)
+    }
+
+    /// One wire exchange: register the completion, write the request.
+    fn roundtrip(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    ) {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            done(Outcome::Cancelled, Vec::new());
+            return;
+        }
+        // Same injection crossing and counters as the simulator's post().
+        inner.fault.site_passive(src, "transport.post");
+        inner.metrics.msg_posted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.bytes_posted.fetch_add(cost as u64, Ordering::Relaxed);
+        if !inner.fault.is_alive(dst) || !inner.fault.link_ok(src, dst) {
+            done(Outcome::Broken, Vec::new());
+            return;
+        }
+        if dst == inner.me {
+            // Loopback fast path: dispatch inline (still under the
+            // dispatch lock, via TcpInner::dispatch).
+            let f = Frame { kind: KIND_REQ, call_id: 0, src, dst, queue, payload: msg };
+            let reply = inner.dispatch(&f);
+            done(Outcome::Delivered, reply);
+            return;
+        }
+        let Some(conn) = self.conn_to(dst) else {
+            done(Outcome::Broken, Vec::new());
+            return;
+        };
+        let call_id = inner.next_call.fetch_add(1, Ordering::Relaxed);
+        let mut c = conn.lock();
+        if c.broken || c.stream.is_none() {
+            drop(c);
+            done(Outcome::Broken, Vec::new());
+            return;
+        }
+        c.pending.insert(call_id, done);
+        let f = Frame { kind: KIND_REQ, call_id, src, dst, queue, payload: msg };
+        let res = write_frame(c.stream.as_mut().unwrap(), &f);
+        drop(c);
+        if res.is_err() {
+            inner.break_peer(dst, Outcome::Broken);
+        }
+    }
+}
+
+/// Reads responses on an outgoing connection; EOF/reset breaks the peer.
+fn client_reader(
+    mut stream: TcpStream,
+    conn: Arc<Mutex<PeerConn>>,
+    inner: Arc<TcpInner>,
+    dst: Rank,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(f) if f.kind == KIND_RESP => {
+                let done = conn.lock().pending.remove(&f.call_id);
+                if let Some(done) = done {
+                    done(Outcome::Delivered, f.payload);
+                }
+            }
+            Ok(_) => { /* requests never arrive on outgoing connections */ }
+            Err(_) => {
+                let out = if inner.shutdown.load(Ordering::Acquire) {
+                    Outcome::Cancelled
+                } else {
+                    Outcome::Broken
+                };
+                inner.break_peer(dst, out);
+                return;
+            }
+        }
+    }
+}
+
+/// Accepts incoming connections and spawns a server reader per peer.
+fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(c) = stream.try_clone() {
+            inner.server_conns.lock().push(c);
+        }
+        let inner2 = Arc::clone(&inner);
+        let name = format!("tcp-server-{}", inner.me);
+        let _ = std::thread::Builder::new().name(name).spawn(move || server_reader(stream, inner2));
+    }
+}
+
+/// Reads requests on an incoming connection, dispatches them to the bound
+/// endpoint, and writes the response back on the same connection.
+fn server_reader(mut stream: TcpStream, inner: Arc<TcpInner>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    loop {
+        match read_frame(&mut stream) {
+            Ok(f) if f.kind == KIND_REQ => {
+                inner.metrics.msg_delivered.fetch_add(1, Ordering::Relaxed);
+                let reply = inner.dispatch(&f);
+                let resp = Frame {
+                    kind: KIND_RESP,
+                    call_id: f.call_id,
+                    src: f.dst,
+                    dst: f.src,
+                    queue: f.queue,
+                    payload: reply,
+                };
+                if write_frame(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => { /* responses never arrive on incoming connections */ }
+            Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn bind(&self, rank: Rank, endpoint: Arc<dyn Endpoint>) {
+        self.inner.endpoints.lock().insert(rank, endpoint);
+    }
+
+    fn send(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    ) {
+        self.roundtrip(src, dst, queue, cost, msg, done);
+    }
+
+    fn call(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    ) {
+        // Every TCP exchange is already a round trip.
+        self.roundtrip(src, dst, queue, cost, msg, done);
+    }
+
+    fn fault(&self) -> &Arc<FaultPlane> {
+        &self.inner.fault
+    }
+
+    fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    fn model(&self) -> &LatencyModel {
+        &self.inner.model
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it can observe the flag.
+        let _ = TcpStream::connect(self.inner.local_addr);
+        // Cancel everything in flight.
+        let conns: Vec<_> = self.inner.conns.lock().keys().copied().collect();
+        for dst in conns {
+            self.inner.break_peer(dst, Outcome::Cancelled);
+        }
+        // Reset incoming connections so peers observe EOF.
+        for s in self.inner.server_conns.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Echo endpoint mirroring the SimTransport trait tests.
+    struct Echo;
+    impl Endpoint for Echo {
+        fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8> {
+            let mut out = vec![src as u8, queue as u8];
+            out.extend_from_slice(&msg);
+            out
+        }
+    }
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let fault0 = FaultPlane::new(Topology::one_per_node(2));
+        let fault1 = FaultPlane::new(Topology::one_per_node(2));
+        let t0 = TcpTransport::listen(0, 2, fault0, LatencyModel::deterministic_fast()).unwrap();
+        let t1 = TcpTransport::listen(1, 2, fault1, LatencyModel::deterministic_fast()).unwrap();
+        let ports = [t0.port(), t1.port()];
+        t0.set_peers(&ports);
+        t1.set_peers(&ports);
+        t0.bind(0, Arc::new(Echo));
+        t1.bind(1, Arc::new(Echo));
+        (t0, t1)
+    }
+
+    #[test]
+    fn request_response_over_real_sockets() {
+        let (t0, _t1) = pair();
+        let (tx, rx) = mpsc::channel();
+        t0.call(
+            0,
+            1,
+            3,
+            16,
+            vec![0xAB, 0xCD],
+            Box::new(move |out, reply| {
+                let _ = tx.send((out, reply));
+            }),
+        );
+        let (out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 3, 0xAB, 0xCD]);
+        assert_eq!(t0.metrics().msg_posted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn self_send_dispatches_inline() {
+        let (t0, _t1) = pair();
+        let (tx, rx) = mpsc::channel();
+        t0.send(
+            0,
+            0,
+            1,
+            8,
+            vec![7],
+            Box::new(move |out, reply| {
+                let _ = tx.send((out, reply));
+            }),
+        );
+        let (out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn dead_peer_breaks_pending_and_future_sends() {
+        let (t0, t1) = pair();
+        // Warm up the connection.
+        let (tx, rx) = mpsc::channel();
+        let tx0 = tx.clone();
+        t0.send(
+            0,
+            1,
+            0,
+            0,
+            vec![1],
+            Box::new(move |o, _| {
+                let _ = tx0.send(o);
+            }),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Delivered);
+        // Peer "dies": its transport shuts down and resets connections.
+        t1.shutdown();
+        drop(t1);
+        // The next exchange observes Broken (possibly after the reader
+        // notices the reset and breaks the peer for good).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let tx0 = tx.clone();
+            t0.send(
+                0,
+                1,
+                0,
+                0,
+                vec![2],
+                Box::new(move |o, _| {
+                    let _ = tx0.send(o);
+                }),
+            );
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Outcome::Broken => break,
+                _ if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                o => panic!("expected Broken, got {o:?}"),
+            }
+        }
+        // Once broken, it stays broken (fail-stop: no resurrection).
+        let (tx2, rx2) = mpsc::channel();
+        t0.send(
+            0,
+            1,
+            0,
+            0,
+            vec![3],
+            Box::new(move |o, _| {
+                let _ = tx2.send(o);
+            }),
+        );
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Broken);
+    }
+
+    #[test]
+    fn locally_known_dead_rank_breaks_fast() {
+        let (t0, _t1) = pair();
+        t0.fault().kill_rank(1);
+        let (tx, rx) = mpsc::channel();
+        t0.send(
+            0,
+            1,
+            0,
+            0,
+            vec![],
+            Box::new(move |o, _| {
+                let _ = tx.send(o);
+            }),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Broken);
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex_on_one_connection() {
+        let (t0, _t1) = pair();
+        let (tx, rx) = mpsc::channel();
+        const N: usize = 64;
+        for i in 0..N {
+            let tx = tx.clone();
+            t0.call(
+                0,
+                1,
+                (i % 5) as QueueId,
+                8,
+                vec![i as u8],
+                Box::new(move |out, reply| {
+                    let _ = tx.send((i, out, reply));
+                }),
+            );
+        }
+        for _ in 0..N {
+            let (i, out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(out, Outcome::Delivered);
+            assert_eq!(reply, vec![0, (i % 5) as u8, i as u8]);
+        }
+    }
+}

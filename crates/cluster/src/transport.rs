@@ -1,12 +1,32 @@
-//! In-memory network with a timing-wheel scheduler.
+//! The transport seam: a [`Transport`] trait over pluggable backends, plus
+//! the in-memory [`SimTransport`] backend (a timing-wheel scheduler).
+//!
+//! ## The seam
+//!
+//! Everything above this crate (the GASPI runtime, the checkpoint
+//! replicator) talks to an `Arc<dyn Transport>`:
+//!
+//! * [`Transport::bind`] registers the per-rank [`Endpoint`] that services
+//!   incoming messages — the GASPI layer's endpoint decodes RDMA puts,
+//!   reads, pings, atomics, collective tokens from the payload and applies
+//!   them to the rank's segments.
+//! * [`Transport::send`] is fire-and-forget with a completion: the remote
+//!   endpoint runs at delivery, its (small) reply travels back with the
+//!   [`Completion`], and the completion observes [`Outcome::Broken`] when
+//!   the destination is dead or unreachable.
+//! * [`Transport::call`] is a round trip: the reply is itself subject to
+//!   transport latency/failure on the way back (RDMA read semantics).
+//!
+//! Two backends implement the trait: [`SimTransport`] here (one OS
+//! process, simulated latency and failures — deterministic, fast) and
+//! `tcp::TcpTransport` (each rank a real OS process, length-delimited
+//! binary RPC over TCP, real `SIGKILL` death).
+//!
+//! ## SimTransport semantics
 //!
 //! Every message is an [`Envelope`]: source, destination, queue id, a
 //! payload byte count (for the latency model), and an *action* closure that
-//! runs when the message is delivered. The GASPI layer encodes RDMA puts,
-//! gets, notifications, pings, collectives tokens, etc. as actions; this
-//! crate only provides timing, ordering, liveness checks, and metrics.
-//!
-//! ## Semantics
+//! runs when the message is delivered.
 //!
 //! * **Latency.** Delivery happens `latency(bytes)` (± jitter) after the
 //!   post. Latency is modeled by *timestamps*, not by executing slowly:
@@ -59,10 +79,81 @@ pub enum Outcome {
     Cancelled,
 }
 
+/// Completion callback for [`Transport::send`]/[`Transport::call`]. Runs
+/// off the caller's thread (network/scheduler or socket-reader thread)
+/// with the final [`Outcome`] and the remote endpoint's reply bytes
+/// (empty unless `Delivered`).
+///
+/// If the *source* rank dies while the message is in flight, the
+/// completion is dropped without running — the initiator no longer exists
+/// to observe it.
+pub type Completion = Box<dyn FnOnce(Outcome, Vec<u8>) + Send>;
+
+/// Per-rank message handler: the receiving side of the seam. The GASPI
+/// runtime binds one per rank; it decodes the payload (put/read/ping/…)
+/// against that rank's own state and returns the reply bytes.
+///
+/// `handle` runs on a transport-internal thread, serialized per backend
+/// (the sim's single scheduler thread; the TCP backend's dispatch lock),
+/// which is what makes GASPI's global atomics atomic. It must never block
+/// on transport completions and must never unwind.
+pub trait Endpoint: Send + Sync {
+    /// Service one incoming message from `src` on `queue`.
+    fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8>;
+}
+
+/// The pluggable wire. See the module docs for the contract; both the
+/// in-memory simulator and the real-process TCP backend implement this,
+/// and the whole GASPI runtime above is backend-agnostic.
+pub trait Transport: Send + Sync {
+    /// Register the endpoint servicing messages addressed to `rank`.
+    fn bind(&self, rank: Rank, endpoint: Arc<dyn Endpoint>);
+
+    /// One-way message with completion. `cost` is the byte count charged
+    /// to the latency model (payload + header equivalents); the endpoint's
+    /// reply rides back with the completion "for free" (it models a NIC
+    ///-level ack/status, not a second data transfer).
+    fn send(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    );
+
+    /// Round trip: like [`Transport::send`], but the reply is a data
+    /// transfer in its own right — it is charged `reply.len()` on the way
+    /// back and can itself break in flight.
+    fn call(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    );
+
+    /// The fault plane this transport consults for liveness/link state.
+    fn fault(&self) -> &Arc<FaultPlane>;
+
+    /// Transport counters.
+    fn metrics(&self) -> &Arc<Metrics>;
+
+    /// The latency model in effect (the TCP backend reports the model its
+    /// timeouts were derived from; actual latency is the real network's).
+    fn model(&self) -> &LatencyModel;
+
+    /// Request shutdown: queued work cancels, completions unblock.
+    fn shutdown(&self);
+}
+
 /// Action executed at delivery time, on the network thread. It receives a
 /// transport handle so it can post follow-up messages (pong replies,
 /// collective forwarding).
-pub type Action = Box<dyn FnOnce(&Transport, Outcome) + Send>;
+pub type Action = Box<dyn FnOnce(&SimTransport, Outcome) + Send>;
 
 /// A message in flight.
 pub struct Envelope {
@@ -122,24 +213,34 @@ struct Inner {
     seq: AtomicU64,
     shutdown: AtomicBool,
     rng: Mutex<SmallRng>,
+    endpoints: Mutex<HashMap<Rank, Arc<dyn Endpoint>>>,
 }
 
 /// Cheap-to-clone handle to the simulated interconnect. The scheduler
 /// thread is owned by [`TransportOwner`]; handles stay valid (but post
 /// cancelled messages) after shutdown.
 #[derive(Clone)]
-pub struct Transport {
+pub struct SimTransport {
     inner: Arc<Inner>,
 }
 
 /// Owns the scheduler thread; dropping it shuts the network down and joins
 /// the thread.
+///
+/// Teardown ordering contract: `stop()` first requests shutdown, then
+/// joins the scheduler thread. The scheduler's final act is to drain the
+/// timing wheel and run every still-queued action with
+/// [`Outcome::Cancelled`] — *outside* the heap lock, so a cancelled action
+/// may itself post (its follow-up runs inline, also cancelled) without
+/// deadlocking. By the time `stop()` returns, every action that was ever
+/// posted has run exactly once and the thread is gone; owners must
+/// therefore be dropped *before* the state those actions reference.
 pub struct TransportOwner {
-    t: Transport,
+    t: SimTransport,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-impl Transport {
+impl SimTransport {
     /// Start the transport and its scheduler thread.
     pub fn start(model: LatencyModel, fault: Arc<FaultPlane>, seed: u64) -> TransportOwner {
         let inner = Arc::new(Inner {
@@ -151,8 +252,9 @@ impl Transport {
             seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            endpoints: Mutex::new(HashMap::new()),
         });
-        let t = Transport { inner };
+        let t = SimTransport { inner };
         let t2 = t.clone();
         let handle = std::thread::Builder::new()
             .name("sim-network".into())
@@ -174,6 +276,11 @@ impl Transport {
     /// Transport counters.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.inner.metrics
+    }
+
+    /// The endpoint bound to `rank`, if any.
+    fn endpoint(&self, rank: Rank) -> Option<Arc<dyn Endpoint>> {
+        self.inner.endpoints.lock().get(&rank).cloned()
     }
 
     /// Post a message. Returns immediately; the action runs on the network
@@ -290,9 +397,101 @@ impl Transport {
     }
 }
 
+impl Transport for SimTransport {
+    fn bind(&self, rank: Rank, endpoint: Arc<dyn Endpoint>) {
+        self.inner.endpoints.lock().insert(rank, endpoint);
+    }
+
+    fn send(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    ) {
+        self.post(Envelope {
+            src,
+            dst,
+            queue,
+            bytes: cost,
+            action: Box::new(move |t, out| {
+                if out != Outcome::Delivered {
+                    done(out, Vec::new());
+                    return;
+                }
+                let reply = match t.endpoint(dst) {
+                    Some(ep) => ep.handle(src, queue, msg),
+                    None => Vec::new(),
+                };
+                done(Outcome::Delivered, reply);
+            }),
+        });
+    }
+
+    fn call(
+        &self,
+        src: Rank,
+        dst: Rank,
+        queue: QueueId,
+        cost: usize,
+        msg: Vec<u8>,
+        done: Completion,
+    ) {
+        self.post(Envelope {
+            src,
+            dst,
+            queue,
+            bytes: cost,
+            action: Box::new(move |t, out| {
+                if out != Outcome::Delivered {
+                    done(out, Vec::new());
+                    return;
+                }
+                let reply = match t.endpoint(dst) {
+                    Some(ep) => ep.handle(src, queue, msg),
+                    None => Vec::new(),
+                };
+                // The reply is a data transfer of its own: charged its
+                // length, delivered (or broken) on the same stream back.
+                t.post(Envelope {
+                    src: dst,
+                    dst: src,
+                    queue,
+                    bytes: reply.len(),
+                    action: Box::new(move |_t, out2| {
+                        if out2 == Outcome::Delivered {
+                            done(Outcome::Delivered, reply);
+                        } else {
+                            done(out2, Vec::new());
+                        }
+                    }),
+                });
+            }),
+        });
+    }
+
+    fn fault(&self) -> &Arc<FaultPlane> {
+        SimTransport::fault(self)
+    }
+
+    fn metrics(&self) -> &Arc<Metrics> {
+        SimTransport::metrics(self)
+    }
+
+    fn model(&self) -> &LatencyModel {
+        SimTransport::model(self)
+    }
+
+    fn shutdown(&self) {
+        SimTransport::shutdown(self);
+    }
+}
+
 impl TransportOwner {
     /// A shareable handle to the network.
-    pub fn handle(&self) -> Transport {
+    pub fn handle(&self) -> SimTransport {
         self.t.clone()
     }
 
@@ -323,11 +522,11 @@ mod tests {
 
     fn setup(n: u32) -> (TransportOwner, Arc<FaultPlane>) {
         let fault = FaultPlane::new(Topology::one_per_node(n));
-        let t = Transport::start(LatencyModel::deterministic_fast(), Arc::clone(&fault), 42);
+        let t = SimTransport::start(LatencyModel::deterministic_fast(), Arc::clone(&fault), 42);
         (t, fault)
     }
 
-    fn send_and_wait(t: &Transport, src: Rank, dst: Rank, queue: QueueId) -> Outcome {
+    fn send_and_wait(t: &SimTransport, src: Rank, dst: Rank, queue: QueueId) -> Outcome {
         let (tx, rx) = mpsc::channel();
         t.post(Envelope {
             src,
@@ -466,7 +665,7 @@ mod tests {
             jitter: 0.0,
             break_detect: Duration::from_micros(50),
         };
-        let o = Transport::start(model, fault, 1);
+        let o = SimTransport::start(model, fault, 1);
         let start = Instant::now();
         assert_eq!(send_and_wait(&o.handle(), 0, 1, 0), Outcome::Delivered);
         assert!(start.elapsed() >= Duration::from_millis(5));
@@ -483,5 +682,134 @@ mod tests {
         assert!(m.msg_posted.load(Ordering::Relaxed) >= 2);
         assert_eq!(m.msg_delivered.load(Ordering::Relaxed), 1);
         assert_eq!(m.msg_broken.load(Ordering::Relaxed), 1);
+    }
+
+    // ---- Transport-trait surface --------------------------------------
+
+    /// Echo endpoint: replies with `[src as u8, queue as u8]` + payload.
+    struct Echo;
+    impl Endpoint for Echo {
+        fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8> {
+            let mut out = vec![src as u8, queue as u8];
+            out.extend_from_slice(&msg);
+            out
+        }
+    }
+
+    #[test]
+    fn trait_send_runs_endpoint_and_returns_reply() {
+        let (o, _f) = setup(2);
+        let t: Arc<dyn Transport> = Arc::new(o.handle());
+        t.bind(1, Arc::new(Echo));
+        let (tx, rx) = mpsc::channel();
+        t.send(
+            0,
+            1,
+            3,
+            16,
+            vec![0xAA],
+            Box::new(move |out, reply| {
+                let _ = tx.send((out, reply));
+            }),
+        );
+        let (out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 3, 0xAA]);
+    }
+
+    #[test]
+    fn trait_call_round_trips_and_breaks_to_dead_rank() {
+        let (o, f) = setup(2);
+        let t: Arc<dyn Transport> = Arc::new(o.handle());
+        t.bind(1, Arc::new(Echo));
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        t.call(
+            0,
+            1,
+            0,
+            8,
+            vec![1, 2],
+            Box::new(move |out, reply| {
+                let _ = tx2.send((out, reply));
+            }),
+        );
+        let (out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 0, 1, 2]);
+
+        f.kill_rank(1);
+        t.call(
+            0,
+            1,
+            0,
+            8,
+            vec![9],
+            Box::new(move |out, reply| {
+                let _ = tx.send((out, reply));
+            }),
+        );
+        let (out, reply) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out, Outcome::Broken);
+        assert!(reply.is_empty());
+    }
+
+    /// Satellite regression: dropping the owner while the wheel is full of
+    /// far-future deliveries must (a) not deadlock, (b) run every action
+    /// exactly once with `Cancelled`, and (c) survive cancelled actions
+    /// that post follow-ups from inside the drain (the follow-up runs
+    /// inline, also cancelled).
+    #[test]
+    fn teardown_with_inflight_deliveries_runs_every_action_once() {
+        use std::sync::atomic::AtomicUsize;
+        let (o, _f) = setup(4);
+        let t = o.handle();
+        let ran = Arc::new(AtomicUsize::new(0));
+        const N: usize = 64;
+        for i in 0..N {
+            let ran = Arc::clone(&ran);
+            let t2 = t.clone();
+            t.post_after(
+                Envelope {
+                    src: (i % 4) as Rank,
+                    dst: ((i + 1) % 4) as Rank,
+                    queue: (i % 3) as QueueId,
+                    bytes: 8,
+                    action: Box::new(move |_, out| {
+                        assert_eq!(out, Outcome::Cancelled);
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        let ran2 = Arc::clone(&ran);
+                        // A follow-up posted during cancellation must still
+                        // complete (inline, cancelled) instead of leaking.
+                        t2.post(Envelope {
+                            src: 0,
+                            dst: 1,
+                            queue: 0,
+                            bytes: 0,
+                            action: Box::new(move |_, out2| {
+                                assert_eq!(out2, Outcome::Cancelled);
+                                ran2.fetch_add(1, Ordering::SeqCst);
+                            }),
+                        });
+                    }),
+                },
+                Duration::from_secs(3600),
+            );
+        }
+        drop(o); // shutdown + join; must not hang
+        assert_eq!(ran.load(Ordering::SeqCst), 2 * N);
+        // The handle stays usable post-shutdown: posts cancel inline.
+        let ran3 = Arc::clone(&ran);
+        t.post(Envelope {
+            src: 0,
+            dst: 1,
+            queue: 0,
+            bytes: 0,
+            action: Box::new(move |_, out| {
+                assert_eq!(out, Outcome::Cancelled);
+                ran3.fetch_add(1, Ordering::SeqCst);
+            }),
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 2 * N + 1);
     }
 }

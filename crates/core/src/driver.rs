@@ -375,6 +375,9 @@ where
         cfg.layout.total(),
         "world size must match layout (workers + spares)"
     );
+    // World-global checkpoint service: idle spares never construct a
+    // `Checkpointer`, yet their node's replica store must answer fetches.
+    ft_checkpoint::service::install(&world.proc_handle(0));
     let events2 = events.clone();
     let timer = schedule.start_timer(world.fault());
     let make_app = Arc::new(make_app);
@@ -386,6 +389,37 @@ where
     let outcomes = job.join();
     timer.cancel();
     JobReport { outcomes, events }
+}
+
+/// Run the Fig. 3 flow for a *single* rank of `world`, on the current
+/// thread. This is the process backend's child entry: each OS process
+/// hosts exactly one rank, so there is no fan-out and no join — the
+/// caller (the supervisor protocol in [`crate::process`]) aggregates
+/// per-process outcomes instead. Timed fault actions are applied by the
+/// supervisor as real SIGKILLs; only `at_iteration` kill points fire
+/// here.
+pub fn run_ft_rank<A, F>(
+    world: &GaspiWorld,
+    rank: Rank,
+    cfg: FtConfig,
+    schedule: FaultSchedule,
+    events: EventLog,
+    make_app: F,
+) -> RankOutcome<RankReport<A::Summary>>
+where
+    A: FtApp,
+    F: Fn(&FtCtx) -> A + Send + Sync + 'static,
+{
+    assert_eq!(
+        world.config().num_ranks,
+        cfg.layout.total(),
+        "world size must match layout (workers + spares)"
+    );
+    ft_checkpoint::service::install(&world.proc_handle(rank));
+    world.run_local(rank, move |proc| {
+        let ctx = FtCtx::new(proc, cfg, events);
+        run_rank(ctx, &schedule, &make_app)
+    })
 }
 
 fn run_rank<A: FtApp>(

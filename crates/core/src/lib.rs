@@ -34,14 +34,19 @@ pub mod events;
 pub mod health;
 pub mod layout;
 pub mod plan;
+pub mod process;
 pub mod recovery;
 
 pub use detector::DetectorConfig;
 pub use driver::{
-    run_ft_job, run_ft_job_with, FtApp, FtConfig, FtCtx, JobReport, RankReport, Role,
+    run_ft_job, run_ft_job_with, run_ft_rank, FtApp, FtConfig, FtCtx, JobReport, RankReport, Role,
 };
 pub use error::{FtError, FtResult, FtSignal};
 pub use events::{Event, EventKind, EventLog};
 pub use health::HealthWatch;
 pub use layout::{ProcStatus, RankMap, WorldLayout};
 pub use plan::RecoveryPlan;
+pub use process::{
+    child_env, run_child, run_supervisor, ChildEnv, ProcJobReport, ProcOutcome, ProcResult,
+    ProcessHost, SupervisorConfig,
+};

@@ -16,8 +16,9 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
-use ft_cluster::{Envelope, Rank};
+use ft_cluster::{Outcome, Rank};
 
+use crate::endpoint;
 use crate::error::{GaspiError, GaspiResult, Timeout};
 use crate::proc::GaspiProc;
 use crate::ReduceOp;
@@ -115,28 +116,24 @@ impl GaspiProc {
     /// this rank.
     pub(crate) fn send_coll_token(&self, dst: Rank, key: CollKey, data: Vec<u8>, err: &ErrFlag) {
         let me = self.shared_arc();
-        let target = self.world().shared(dst).clone();
         let err = err.clone();
-        let bytes = data.len();
-        self.world().transport.post(Envelope {
-            src: self.rank(),
+        let cost = data.len();
+        let msg = endpoint::enc_coll(&key, &data);
+        self.world().transport.send(
+            self.rank(),
             dst,
-            queue: self.world().cfg.coll_queue(),
-            bytes,
-            action: Box::new(move |_, out| {
+            self.world().cfg.coll_queue(),
+            cost,
+            msg,
+            Box::new(move |out, _reply| {
                 match out {
-                    ft_cluster::Outcome::Delivered => {
-                        target.coll.insert(key, data);
-                        target.signal.bump();
-                    }
-                    ft_cluster::Outcome::Broken => {
-                        err.set(GaspiError::RemoteBroken { rank: dst });
-                    }
-                    ft_cluster::Outcome::Cancelled => err.set(GaspiError::Shutdown),
+                    Outcome::Delivered => {}
+                    Outcome::Broken => err.set(GaspiError::RemoteBroken { rank: dst }),
+                    Outcome::Cancelled => err.set(GaspiError::Shutdown),
                 }
                 me.signal.bump();
             }),
-        });
+        );
     }
 
     fn peek_token(

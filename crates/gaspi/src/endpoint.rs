@@ -1,0 +1,322 @@
+//! The GASPI wire protocol: every remote operation of [`crate::GaspiProc`]
+//! encoded as bytes over the [`ft_cluster::Transport`] seam.
+//!
+//! The initiating side encodes an op with the `enc_*` helpers and posts it
+//! via `Transport::send`/`call`; the target side's [`GaspiEndpoint`]
+//! decodes it against *its own* rank state and returns a small reply.
+//! Because both halves speak only bytes, the same runtime runs unmodified
+//! over the in-memory simulator (handler invoked on the scheduler thread)
+//! and the real-process TCP backend (handler invoked in the target
+//! process) — this module is the single definition of what crosses the
+//! wire.
+//!
+//! Checkpoint service traffic (queues at the top of the `u16` range) is
+//! not decoded here: it is routed raw to the world's installed checkpoint
+//! service handler, keeping the GASPI layer ignorant of checkpoint
+//! payload formats.
+
+use std::sync::Weak;
+
+use ft_cluster::{Dec, Enc, Endpoint, QueueId, Rank};
+
+use crate::bytes;
+use crate::collectives::CollKey;
+use crate::error::{GaspiError, GaspiResult};
+use crate::runtime::WorldInner;
+use crate::segment::{NotificationId, SegId};
+
+/// Lowest queue id reserved for checkpoint service traffic. Messages on
+/// queues `>= CKPT_QUEUE_BASE` bypass GASPI decoding and go to the
+/// world's checkpoint service handler.
+pub const CKPT_QUEUE_BASE: QueueId = u16::MAX - 1;
+
+// Op tags (first byte of every GASPI wire message).
+const OP_PUT: u8 = 1;
+const OP_READ: u8 = 2;
+const OP_PING: u8 = 3;
+const OP_KILL: u8 = 4;
+const OP_PASSIVE: u8 = 5;
+const OP_FAA: u8 = 6;
+const OP_CAS: u8 = 7;
+const OP_COLL: u8 = 8;
+
+// Reply status bytes.
+pub(crate) const ST_OK: u8 = 0;
+pub(crate) const ST_FAIL: u8 = 1;
+/// Atomic op addressed a missing segment (remote looks broken).
+const ST_NO_SEGMENT: u8 = 2;
+/// Atomic op addressed an out-of-bounds offset.
+const ST_BOUNDS: u8 = 3;
+
+// ---------------------------------------------------------------------
+// Encoders (initiator side)
+// ---------------------------------------------------------------------
+
+pub(crate) fn enc_put(
+    rseg: SegId,
+    roff: u64,
+    notif: Option<(NotificationId, u32)>,
+    data: &[u8],
+) -> Vec<u8> {
+    let mut e = Enc::with_capacity(data.len() + 32);
+    e.u8(OP_PUT).u32(u32::from(rseg)).u64(roff);
+    match notif {
+        Some((nid, val)) => e.u8(1).u32(nid).u32(val),
+        None => e.u8(0),
+    };
+    e.bytes(data);
+    e.finish()
+}
+
+pub(crate) fn enc_read(rseg: SegId, roff: u64, len: u64) -> Vec<u8> {
+    let mut e = Enc::with_capacity(24);
+    e.u8(OP_READ).u32(u32::from(rseg)).u64(roff).u64(len);
+    e.finish()
+}
+
+pub(crate) fn enc_ping() -> Vec<u8> {
+    vec![OP_PING]
+}
+
+pub(crate) fn enc_kill() -> Vec<u8> {
+    vec![OP_KILL]
+}
+
+pub(crate) fn enc_passive(data: &[u8]) -> Vec<u8> {
+    let mut e = Enc::with_capacity(data.len() + 16);
+    e.u8(OP_PASSIVE).bytes(data);
+    e.finish()
+}
+
+pub(crate) fn enc_faa(seg: SegId, off: u64, delta: u64) -> Vec<u8> {
+    let mut e = Enc::with_capacity(32);
+    e.u8(OP_FAA).u32(u32::from(seg)).u64(off).u64(delta);
+    e.finish()
+}
+
+pub(crate) fn enc_cas(seg: SegId, off: u64, expect: u64, new: u64) -> Vec<u8> {
+    let mut e = Enc::with_capacity(40);
+    e.u8(OP_CAS).u32(u32::from(seg)).u64(off).u64(expect).u64(new);
+    e.finish()
+}
+
+pub(crate) fn enc_coll(key: &CollKey, data: &[u8]) -> Vec<u8> {
+    let mut e = Enc::with_capacity(data.len() + 40);
+    e.u8(OP_COLL).u64(key.group).u64(key.seq).u32(key.phase).u32(key.from).bytes(data);
+    e.finish()
+}
+
+// ---------------------------------------------------------------------
+// Reply decoders (initiator side)
+// ---------------------------------------------------------------------
+
+/// Whether a one-byte-status reply reports success.
+pub(crate) fn reply_ok(reply: &[u8]) -> bool {
+    reply.first() == Some(&ST_OK)
+}
+
+/// Decode a read reply into the fetched bytes (None = remote failure).
+pub(crate) fn dec_read_reply(reply: &[u8]) -> Option<Vec<u8>> {
+    let mut d = Dec::new(reply);
+    match d.u8() {
+        Ok(ST_OK) => d.bytes().ok(),
+        _ => None,
+    }
+}
+
+/// Decode an atomic reply into the previous value, mapping remote
+/// failures the way the in-memory implementation always has: missing
+/// segment → the remote looks broken; bad offset → a segment error.
+pub(crate) fn dec_atomic_reply(reply: &[u8], dst: Rank) -> GaspiResult<u64> {
+    let mut d = Dec::new(reply);
+    match d.u8() {
+        Ok(ST_OK) => d.u64().map_err(|_| GaspiError::RemoteBroken { rank: dst }),
+        Ok(ST_BOUNDS) => Err(GaspiError::Segment { what: "atomic access out of bounds" }),
+        _ => Err(GaspiError::RemoteBroken { rank: dst }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The endpoint (target side)
+// ---------------------------------------------------------------------
+
+/// Message handler for one rank: decodes GASPI ops against that rank's
+/// shared state. Holds the world weakly so a bound endpoint never keeps a
+/// dead world alive through the transport.
+pub(crate) struct GaspiEndpoint {
+    world: Weak<WorldInner>,
+    rank: Rank,
+}
+
+impl GaspiEndpoint {
+    pub(crate) fn new(world: Weak<WorldInner>, rank: Rank) -> Self {
+        Self { world, rank }
+    }
+}
+
+impl Endpoint for GaspiEndpoint {
+    fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8> {
+        let Some(world) = self.world.upgrade() else {
+            return vec![ST_FAIL];
+        };
+        if queue >= CKPT_QUEUE_BASE {
+            let handler = world.ckpt_handler.lock().clone();
+            return match handler {
+                Some(f) => f(self.rank, src, queue, &msg),
+                None => vec![ST_FAIL],
+            };
+        }
+        dispatch(&world, self.rank, src, &msg).unwrap_or_else(|| vec![ST_FAIL])
+    }
+}
+
+/// Decode and execute one op on `me`'s state; `None` = malformed message.
+fn dispatch(world: &WorldInner, me: Rank, src: Rank, msg: &[u8]) -> Option<Vec<u8>> {
+    let shared = world.shared(me);
+    let mut d = Dec::new(msg);
+    match d.u8().ok()? {
+        OP_PUT => {
+            let rseg = d.u32().ok()? as SegId;
+            let roff = d.u64().ok()? as usize;
+            let notif = match d.u8().ok()? {
+                0 => None,
+                _ => Some((d.u32().ok()?, d.u32().ok()?)),
+            };
+            let data = d.bytes().ok()?;
+            let ok = match shared.segments.get(rseg) {
+                Some(seg) => {
+                    let wrote = data.is_empty() || seg.write_at(roff, &data).is_ok();
+                    let notified = match notif {
+                        Some((nid, val)) if wrote => seg.notify_set(nid, val).is_ok(),
+                        Some(_) => false,
+                        None => true,
+                    };
+                    wrote && notified
+                }
+                None => false,
+            };
+            if ok && notif.is_some() {
+                shared.signal.bump();
+            }
+            Some(vec![if ok { ST_OK } else { ST_FAIL }])
+        }
+        OP_READ => {
+            let rseg = d.u32().ok()? as SegId;
+            let roff = d.u64().ok()? as usize;
+            let len = d.u64().ok()? as usize;
+            match shared.segments.get(rseg).and_then(|s| s.read_at(roff, len).ok()) {
+                Some(data) => {
+                    let mut e = Enc::with_capacity(data.len() + 16);
+                    e.u8(ST_OK).bytes(&data);
+                    Some(e.finish())
+                }
+                None => Some(vec![ST_FAIL]),
+            }
+        }
+        OP_PING => Some(Vec::new()),
+        OP_KILL => {
+            // `gaspi_proc_kill` landing: this rank dies. Under the thread
+            // backend the liveness flag is poisoned; under the process
+            // backend the fault plane's armed exit turns this into a real
+            // `exit()` and the reply below is never sent.
+            world.fault.kill_rank(me);
+            Some(Vec::new())
+        }
+        OP_PASSIVE => {
+            let data = d.bytes().ok()?;
+            shared.passive_inbox.lock().push_back((src, data));
+            shared.signal.bump();
+            Some(vec![ST_OK])
+        }
+        OP_FAA => {
+            let seg = d.u32().ok()? as SegId;
+            let off = d.u64().ok()? as usize;
+            let delta = d.u64().ok()?;
+            Some(atomic_rmw(shared, seg, off, move |old| Some(old.wrapping_add(delta))))
+        }
+        OP_CAS => {
+            let seg = d.u32().ok()? as SegId;
+            let off = d.u64().ok()? as usize;
+            let expect = d.u64().ok()?;
+            let new = d.u64().ok()?;
+            Some(atomic_rmw(shared, seg, off, move |old| (old == expect).then_some(new)))
+        }
+        OP_COLL => {
+            let key = CollKey {
+                group: d.u64().ok()?,
+                seq: d.u64().ok()?,
+                phase: d.u32().ok()?,
+                from: d.u32().ok()?,
+            };
+            let data = d.bytes().ok()?;
+            shared.coll.insert(key, data);
+            shared.signal.bump();
+            Some(vec![ST_OK])
+        }
+        _ => None,
+    }
+}
+
+/// The read-modify-write behind both atomics. Runs inside the endpoint
+/// handler, which every backend serializes (sim scheduler thread / TCP
+/// dispatch lock) — that serialization is what makes it atomic.
+fn atomic_rmw(
+    shared: &crate::runtime::RankShared,
+    seg: SegId,
+    off: usize,
+    update: impl FnOnce(u64) -> Option<u64>,
+) -> Vec<u8> {
+    let Some(s) = shared.segments.get(seg) else {
+        return vec![ST_NO_SEGMENT];
+    };
+    match s.read_at(off, 8) {
+        Err(_) => vec![ST_BOUNDS],
+        Ok(b) => {
+            let old = bytes::get_u64(&b, 0);
+            if let Some(new) = update(old) {
+                s.with_mut(|d| bytes::put_u64(d, off, new));
+            }
+            let mut e = Enc::with_capacity(9);
+            e.u8(ST_OK).u64(old);
+            e.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_codec_roundtrip_shapes() {
+        let m = enc_put(3, 40, Some((7, 9)), &[1, 2, 3]);
+        let mut d = Dec::new(&m);
+        assert_eq!(d.u8().unwrap(), OP_PUT);
+        assert_eq!(d.u32().unwrap(), 3);
+        assert_eq!(d.u64().unwrap(), 40);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 9);
+        assert_eq!(d.bytes().unwrap(), vec![1, 2, 3]);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reply_decoders() {
+        assert!(reply_ok(&[ST_OK]));
+        assert!(!reply_ok(&[ST_FAIL]));
+        assert!(!reply_ok(&[]));
+        let mut e = Enc::new();
+        e.u8(ST_OK).bytes(b"abc");
+        assert_eq!(dec_read_reply(&e.finish()).unwrap(), b"abc");
+        assert!(dec_read_reply(&[ST_FAIL]).is_none());
+        let mut e = Enc::new();
+        e.u8(ST_OK).u64(77);
+        assert_eq!(dec_atomic_reply(&e.finish(), 1).unwrap(), 77);
+        assert!(matches!(
+            dec_atomic_reply(&[ST_NO_SEGMENT], 1),
+            Err(GaspiError::RemoteBroken { rank: 1 })
+        ));
+        assert!(matches!(dec_atomic_reply(&[ST_BOUNDS], 1), Err(GaspiError::Segment { .. })));
+    }
+}

@@ -44,17 +44,19 @@ pub mod runtime;
 pub mod segment;
 
 mod collectives;
+mod endpoint;
 mod group;
 mod queue;
 mod signal;
 
 pub use collectives::ALLREDUCE_MAX_ELEMS;
 pub use config::GaspiConfig;
+pub use endpoint::CKPT_QUEUE_BASE;
 pub use error::{GaspiError, GaspiResult, ProcState, Timeout};
 pub use group::{Group, EXPLICIT_ID_BASE};
 pub use metrics::{GaspiMetrics, GaspiSnapshot};
 pub use proc::GaspiProc;
-pub use runtime::{GaspiWorld, JobHandle, RankOutcome};
+pub use runtime::{CkptHandler, GaspiWorld, JobHandle, RankOutcome};
 pub use segment::{NotificationId, SegId};
 
 /// Reduction operations for [`GaspiProc::allreduce_f64`] /

@@ -6,10 +6,10 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use ft_cluster::{Envelope, NodeId, Outcome, Rank, RankKilled, Topology};
+use ft_cluster::{NodeId, Outcome, Rank, RankKilled, Topology, Transport};
 
-use crate::bytes;
 use crate::config::GaspiConfig;
+use crate::endpoint;
 use crate::error::{GaspiError, GaspiResult, ProcState, Timeout};
 use crate::runtime::{RankShared, WorldInner};
 use crate::segment::{NotificationId, SegId};
@@ -75,8 +75,18 @@ impl GaspiProc {
 
     /// Transport handle for latency-costed non-GASPI traffic (the
     /// checkpoint library's neighbor copies).
-    pub fn cluster_transport(&self) -> ft_cluster::Transport {
-        self.world.transport.clone()
+    pub fn cluster_transport(&self) -> Arc<dyn Transport> {
+        Arc::clone(&self.world.transport)
+    }
+
+    /// Install the world's checkpoint service handler (first install
+    /// wins; see [`crate::CkptHandler`]). Messages arriving on the
+    /// checkpoint service queues are routed here by the GASPI endpoint.
+    pub fn install_ckpt_handler(&self, h: crate::runtime::CkptHandler) {
+        let mut slot = self.world.ckpt_handler.lock();
+        if slot.is_none() {
+            *slot = Some(h);
+        }
     }
 
     /// Number of application communication queues.
@@ -307,7 +317,10 @@ impl GaspiProc {
         Ok(())
     }
 
-    /// Shared implementation of write/notify/write_notify.
+    /// Shared implementation of write/notify/write_notify. The remote
+    /// write (and notification flip) happens in the target's endpoint;
+    /// here we only account the queue slot and interpret the status
+    /// reply.
     fn post_put(
         &self,
         dst: Rank,
@@ -318,40 +331,25 @@ impl GaspiProc {
         queue: u16,
     ) {
         let me = self.shared_arc();
-        let target = Arc::clone(self.world.shared(dst));
         let qidx = queue as usize;
         me.queues[qidx].post();
-        let bytes = data.len() + 4;
-        self.world.transport.post(Envelope {
-            src: self.rank,
+        let cost = data.len() + 4;
+        let msg = endpoint::enc_put(rseg, roff as u64, notif, &data);
+        self.world.transport.send(
+            self.rank,
             dst,
             queue,
-            bytes,
-            action: Box::new(move |_, out| {
-                let ok = out == Outcome::Delivered
-                    && match target.segments.get(rseg) {
-                        Some(seg) => {
-                            let wrote = data.is_empty() || seg.write_at(roff, &data).is_ok();
-                            let notified = match notif {
-                                Some((nid, val)) if wrote => seg.notify_set(nid, val).is_ok(),
-                                Some(_) => false,
-                                None => true,
-                            };
-                            wrote && notified
-                        }
-                        None => false,
-                    };
-                if ok {
+            cost,
+            msg,
+            Box::new(move |out, reply| {
+                if out == Outcome::Delivered && endpoint::reply_ok(&reply) {
                     me.queues[qidx].complete_ok();
-                    if notif.is_some() {
-                        target.signal.bump();
-                    }
                 } else {
                     me.queues[qidx].complete_failed(dst);
                 }
                 me.signal.bump();
             }),
-        });
+        );
     }
 
     /// One-sided get (`gaspi_read`): copy `len` bytes from `(dst, rseg,
@@ -378,53 +376,30 @@ impl GaspiProc {
             return Err(GaspiError::Segment { what: "read landing zone out of bounds" });
         }
         let me = self.shared_arc();
-        let target = Arc::clone(self.world.shared(dst));
         let qidx = queue as usize;
         me.queues[qidx].post();
-        let src_rank = self.rank;
-        self.world.transport.post(Envelope {
-            src: src_rank,
+        let msg = endpoint::enc_read(rseg, roff as u64, len as u64);
+        // A round trip: the reply leg carries the data and is costed (and
+        // breakable) in its own right.
+        self.world.transport.call(
+            self.rank,
             dst,
             queue,
-            bytes: 16,
-            action: Box::new(move |t, out| {
-                if out != Outcome::Delivered {
+            16,
+            msg,
+            Box::new(move |out, reply| {
+                let ok = out == Outcome::Delivered
+                    && endpoint::dec_read_reply(&reply).is_some_and(|data| {
+                        me.segments.get(lseg).is_some_and(|s| s.write_at(loff, &data).is_ok())
+                    });
+                if ok {
+                    me.queues[qidx].complete_ok();
+                } else {
                     me.queues[qidx].complete_failed(dst);
-                    me.signal.bump();
-                    return;
                 }
-                let payload = target.segments.get(rseg).and_then(|s| s.read_at(roff, len).ok());
-                match payload {
-                    None => {
-                        me.queues[qidx].complete_failed(dst);
-                        me.signal.bump();
-                    }
-                    Some(data) => {
-                        // Response leg carries the data back.
-                        let me2 = Arc::clone(&me);
-                        t.post(Envelope {
-                            src: dst,
-                            dst: src_rank,
-                            queue,
-                            bytes: data.len(),
-                            action: Box::new(move |_, out2| {
-                                let ok = out2 == Outcome::Delivered
-                                    && me2
-                                        .segments
-                                        .get(lseg)
-                                        .is_some_and(|s| s.write_at(loff, &data).is_ok());
-                                if ok {
-                                    me2.queues[qidx].complete_ok();
-                                } else {
-                                    me2.queues[qidx].complete_failed(dst);
-                                }
-                                me2.signal.bump();
-                            }),
-                        });
-                    }
-                }
+                me.signal.bump();
             }),
-        });
+        );
         Ok(())
     }
 
@@ -529,47 +504,29 @@ impl GaspiProc {
     pub fn proc_ping(&self, dst: Rank, timeout: Timeout) -> GaspiResult<()> {
         self.check_self();
         self.validate_rank(dst)?;
-        let metrics = self.world.transport.metrics();
+        let metrics = Arc::clone(self.world.transport.metrics());
         metrics.pings.fetch_add(1, Ordering::Relaxed);
         let cell = Arc::new(AtomicU8::new(0));
         let me = self.shared_arc();
         let c1 = Arc::clone(&cell);
-        let src_rank = self.rank;
         let squeue = self.world.cfg.service_queue();
-        self.world.transport.post(Envelope {
-            src: src_rank,
+        // A round trip (ping + pong leg), zero payload both ways.
+        self.world.transport.call(
+            self.rank,
             dst,
-            queue: squeue,
-            bytes: 0,
-            action: Box::new(move |t, out| match out {
-                Outcome::Delivered => {
-                    // Pong leg.
-                    let me2 = Arc::clone(&me);
-                    let c2 = Arc::clone(&c1);
-                    t.post(Envelope {
-                        src: dst,
-                        dst: src_rank,
-                        queue: squeue,
-                        bytes: 0,
-                        action: Box::new(move |_, out2| {
-                            c2.store(
-                                if out2 == Outcome::Delivered { 1 } else { 2 },
-                                Ordering::Release,
-                            );
-                            me2.signal.bump();
-                        }),
-                    });
-                }
-                Outcome::Broken => {
-                    c1.store(2, Ordering::Release);
-                    me.signal.bump();
-                }
-                Outcome::Cancelled => {
-                    c1.store(3, Ordering::Release);
-                    me.signal.bump();
-                }
+            squeue,
+            0,
+            endpoint::enc_ping(),
+            Box::new(move |out, _reply| {
+                let state = match out {
+                    Outcome::Delivered => 1,
+                    Outcome::Broken => 2,
+                    Outcome::Cancelled => 3,
+                };
+                c1.store(state, Ordering::Release);
+                me.signal.bump();
             }),
-        });
+        );
         let res = self.poll(timeout, || match cell.load(Ordering::Acquire) {
             0 => None,
             1 => Some(Ok(())),
@@ -598,25 +555,24 @@ impl GaspiProc {
         let cell = Arc::new(AtomicU8::new(0));
         let me = self.shared_arc();
         let c1 = Arc::clone(&cell);
-        let fault = Arc::clone(&self.world.fault);
-        self.world.transport.post(Envelope {
-            src: self.rank,
+        // The kill itself executes in the *target's* endpoint (which, on
+        // the process backend, exits the victim process for real). A
+        // Broken outcome means the target was already dead or unreachable:
+        // mission accomplished either way.
+        self.world.transport.send(
+            self.rank,
             dst,
-            queue: self.world.cfg.service_queue(),
-            bytes: 0,
-            action: Box::new(move |_, out| {
+            self.world.cfg.service_queue(),
+            0,
+            endpoint::enc_kill(),
+            Box::new(move |out, _reply| {
                 match out {
-                    Outcome::Delivered => {
-                        fault.kill_rank(dst);
-                        c1.store(1, Ordering::Release);
-                    }
-                    // Already dead/unreachable: mission accomplished.
-                    Outcome::Broken => c1.store(1, Ordering::Release),
+                    Outcome::Delivered | Outcome::Broken => c1.store(1, Ordering::Release),
                     Outcome::Cancelled => c1.store(3, Ordering::Release),
                 }
                 me.signal.bump();
             }),
-        });
+        );
         self.poll(timeout, || match cell.load(Ordering::Acquire) {
             0 => None,
             1 => Some(Ok(())),
@@ -636,28 +592,25 @@ impl GaspiProc {
         self.validate_rank(dst)?;
         let cell = Arc::new(AtomicU8::new(0));
         let me = self.shared_arc();
-        let target = Arc::clone(self.world.shared(dst));
         let c1 = Arc::clone(&cell);
-        let src_rank = self.rank;
-        let bytes = data.len();
-        self.world.transport.post(Envelope {
-            src: src_rank,
+        let cost = data.len();
+        let msg = endpoint::enc_passive(&data);
+        self.world.transport.send(
+            self.rank,
             dst,
-            queue: self.world.cfg.passive_queue(),
-            bytes,
-            action: Box::new(move |_, out| {
-                match out {
-                    Outcome::Delivered => {
-                        target.passive_inbox.lock().push_back((src_rank, data));
-                        target.signal.bump();
-                        c1.store(1, Ordering::Release);
-                    }
-                    Outcome::Broken => c1.store(2, Ordering::Release),
-                    Outcome::Cancelled => c1.store(3, Ordering::Release),
-                }
+            self.world.cfg.passive_queue(),
+            cost,
+            msg,
+            Box::new(move |out, reply| {
+                let state = match out {
+                    Outcome::Delivered if endpoint::reply_ok(&reply) => 1,
+                    Outcome::Delivered | Outcome::Broken => 2,
+                    Outcome::Cancelled => 3,
+                };
+                c1.store(state, Ordering::Release);
                 me.signal.bump();
             }),
-        });
+        );
         let res = self.poll(timeout, || match cell.load(Ordering::Acquire) {
             0 => None,
             1 => Some(Ok(())),
@@ -692,7 +645,7 @@ impl GaspiProc {
         delta: u64,
         timeout: Timeout,
     ) -> GaspiResult<u64> {
-        self.atomic_rmw(dst, seg, off, timeout, move |old| Some(old.wrapping_add(delta)))
+        self.atomic_op(dst, timeout, endpoint::enc_faa(seg, off as u64, delta))
     }
 
     /// Atomic compare-and-swap on a `u64` at `(dst, seg, off)`
@@ -707,71 +660,35 @@ impl GaspiProc {
         new: u64,
         timeout: Timeout,
     ) -> GaspiResult<u64> {
-        self.atomic_rmw(dst, seg, off, timeout, move |old| (old == expect).then_some(new))
+        self.atomic_op(dst, timeout, endpoint::enc_cas(seg, off as u64, expect, new))
     }
 
-    fn atomic_rmw(
-        &self,
-        dst: Rank,
-        seg: SegId,
-        off: usize,
-        timeout: Timeout,
-        update: impl FnOnce(u64) -> Option<u64> + Send + 'static,
-    ) -> GaspiResult<u64> {
+    /// Ship an encoded atomic op to `dst` and await the previous value.
+    /// The read-modify-write itself runs in the target's endpoint
+    /// handler, which every backend serializes — globally atomic.
+    fn atomic_op(&self, dst: Rank, timeout: Timeout, msg: Vec<u8>) -> GaspiResult<u64> {
         self.check_self();
         self.validate_rank(dst)?;
         type Cell = Mutex<Option<GaspiResult<u64>>>;
         let cell: Arc<Cell> = Arc::new(Mutex::new(None));
         let me = self.shared_arc();
-        let target = Arc::clone(self.world.shared(dst));
         let c1 = Arc::clone(&cell);
-        let src_rank = self.rank;
         let squeue = self.world.cfg.service_queue();
-        self.world.transport.post(Envelope {
-            src: src_rank,
+        self.world.transport.call(
+            self.rank,
             dst,
-            queue: squeue,
-            bytes: 16,
-            action: Box::new(move |t, out| {
-                if out != Outcome::Delivered {
-                    *c1.lock() = Some(Err(match out {
-                        Outcome::Broken => GaspiError::RemoteBroken { rank: dst },
-                        _ => GaspiError::Shutdown,
-                    }));
-                    me.signal.bump();
-                    return;
-                }
-                // The read-modify-write runs here, on the single network
-                // thread — globally serialized, hence atomic.
-                let result: GaspiResult<u64> = match target.segments.get(seg) {
-                    None => Err(GaspiError::RemoteBroken { rank: dst }),
-                    Some(s) => s.read_at(off, 8).map(|b| {
-                        let old = bytes::get_u64(&b, 0);
-                        if let Some(new) = update(old) {
-                            s.with_mut(|d| bytes::put_u64(d, off, new));
-                        }
-                        old
-                    }),
-                };
-                // Response leg (costed round trip).
-                let me2 = Arc::clone(&me);
-                let c2 = Arc::clone(&c1);
-                t.post(Envelope {
-                    src: dst,
-                    dst: src_rank,
-                    queue: squeue,
-                    bytes: 8,
-                    action: Box::new(move |_, out2| {
-                        *c2.lock() = Some(match out2 {
-                            Outcome::Delivered => result,
-                            Outcome::Broken => Err(GaspiError::RemoteBroken { rank: dst }),
-                            Outcome::Cancelled => Err(GaspiError::Shutdown),
-                        });
-                        me2.signal.bump();
-                    }),
+            squeue,
+            16,
+            msg,
+            Box::new(move |out, reply| {
+                *c1.lock() = Some(match out {
+                    Outcome::Delivered => endpoint::dec_atomic_reply(&reply, dst),
+                    Outcome::Broken => Err(GaspiError::RemoteBroken { rank: dst }),
+                    Outcome::Cancelled => Err(GaspiError::Shutdown),
                 });
+                me.signal.bump();
             }),
-        });
+        );
         let res = self.poll(timeout, || cell.lock().take());
         if let Err(GaspiError::RemoteBroken { rank }) = &res {
             self.mark_corrupt(*rank);

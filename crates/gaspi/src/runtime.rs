@@ -7,10 +7,14 @@ use std::sync::{Arc, Once, Weak};
 
 use parking_lot::Mutex;
 
-use ft_cluster::{FaultPlane, NodeStorage, Rank, RankKilled, Topology, Transport, TransportOwner};
+use ft_cluster::{
+    FaultPlane, NodeStorage, QueueId, Rank, RankKilled, SimTransport, Topology, Transport,
+    TransportOwner,
+};
 
 use crate::collectives::CollBoard;
 use crate::config::GaspiConfig;
+use crate::endpoint::GaspiEndpoint;
 use crate::error::{GaspiError, GaspiResult};
 use crate::group::GroupRegistry;
 use crate::metrics::GaspiMetrics;
@@ -18,6 +22,12 @@ use crate::proc::GaspiProc;
 use crate::queue::Queue;
 use crate::segment::SegmentTable;
 use crate::signal::Signal;
+
+/// Service handler for checkpoint traffic (queues at the top of the
+/// `u16` range): `(to, from, queue, msg) -> reply`. Installed by the
+/// checkpoint library; the GASPI layer routes matching messages here
+/// without decoding them.
+pub type CkptHandler = Arc<dyn Fn(Rank, Rank, QueueId, &[u8]) -> Vec<u8> + Send + Sync>;
 
 /// Shared, remotely accessible state of one rank. Lives in the world (not
 /// the rank thread) so one-sided operations proceed without the target's
@@ -54,10 +64,14 @@ pub(crate) struct WorldInner {
     pub cfg: GaspiConfig,
     pub topo: Topology,
     pub fault: Arc<FaultPlane>,
-    pub transport: Transport,
+    pub transport: Arc<dyn Transport>,
     pub ranks: Vec<Arc<RankShared>>,
     pub storage: Arc<NodeStorage>,
     pub metrics: Arc<GaspiMetrics>,
+    /// Slot for the checkpoint library's service handler (see
+    /// [`CkptHandler`]). One per world: the handler receives the target
+    /// rank and dispatches on it.
+    pub ckpt_handler: Mutex<Option<CkptHandler>>,
 }
 
 impl WorldInner {
@@ -66,21 +80,53 @@ impl WorldInner {
     }
 }
 
-/// A simulated GASPI job: a fault plane, a network, and per-rank shared
-/// state, ready to [`launch`](GaspiWorld::launch) rank threads.
+/// A GASPI job: a fault plane, a network, and per-rank shared state,
+/// ready to [`launch`](GaspiWorld::launch) rank threads (in-memory
+/// backend) or to drive one local rank over a real transport (process
+/// backend, [`GaspiWorld::with_transport`]).
 pub struct GaspiWorld {
+    // Declared before `inner`: Rust drops fields in declaration order, so
+    // an owned transport is shut down and its scheduler thread joined
+    // *before* the world state its in-flight actions reference goes away.
+    _transport_owner: Option<TransportOwner>,
     inner: Arc<WorldInner>,
-    _transport_owner: TransportOwner,
 }
 
 impl GaspiWorld {
-    /// Build a world from `cfg`. The transport scheduler thread starts
-    /// immediately; rank threads start at [`GaspiWorld::launch`].
+    /// Build an in-memory world from `cfg`. The transport scheduler
+    /// thread starts immediately; rank threads start at
+    /// [`GaspiWorld::launch`].
     pub fn new(cfg: GaspiConfig) -> Self {
-        install_rank_killed_hook();
         let topo = cfg.topology();
         let fault = FaultPlane::new(topo.clone());
-        let owner = Transport::start(cfg.model.clone(), Arc::clone(&fault), cfg.seed);
+        let owner = SimTransport::start(cfg.model.clone(), Arc::clone(&fault), cfg.seed);
+        let transport: Arc<dyn Transport> = Arc::new(owner.handle());
+        Self::assemble(cfg, fault, transport, Some(owner), None)
+    }
+
+    /// Build a world around an externally owned transport, binding an
+    /// endpoint only for `local_rank` — the process backend's per-child
+    /// world, where every other rank lives in a different OS process and
+    /// is reached over the wire. The caller keeps ownership of the
+    /// transport's lifecycle (shutdown).
+    pub fn with_transport(
+        cfg: GaspiConfig,
+        fault: Arc<FaultPlane>,
+        transport: Arc<dyn Transport>,
+        local_rank: Rank,
+    ) -> Self {
+        Self::assemble(cfg, fault, transport, None, Some(local_rank))
+    }
+
+    fn assemble(
+        cfg: GaspiConfig,
+        fault: Arc<FaultPlane>,
+        transport: Arc<dyn Transport>,
+        owner: Option<TransportOwner>,
+        only_rank: Option<Rank>,
+    ) -> Self {
+        install_rank_killed_hook();
+        let topo = cfg.topology();
         let storage = NodeStorage::new(topo.clone());
         storage.attach(&fault);
         let ranks = (0..cfg.num_ranks).map(|_| Arc::new(RankShared::new(&cfg))).collect();
@@ -88,11 +134,21 @@ impl GaspiWorld {
             cfg,
             topo,
             fault: Arc::clone(&fault),
-            transport: owner.handle(),
+            transport: Arc::clone(&transport),
             ranks,
             storage,
             metrics: Arc::new(GaspiMetrics::default()),
+            ckpt_handler: Mutex::new(None),
         });
+        // Wire the receiving side of the seam: one endpoint per locally
+        // hosted rank, holding the world weakly.
+        let bind_ranks: Vec<Rank> = match only_rank {
+            Some(r) => vec![r],
+            None => (0..inner.cfg.num_ranks).collect(),
+        };
+        for r in bind_ranks {
+            transport.bind(r, Arc::new(GaspiEndpoint::new(Arc::downgrade(&inner), r)));
+        }
         // A dead rank's address space vanishes: wipe its segments and wake
         // every blocked waiter so they observe the new world.
         let weak: Weak<WorldInner> = Arc::downgrade(&inner);
@@ -106,7 +162,17 @@ impl GaspiWorld {
                 }
             }
         });
-        Self { inner, _transport_owner: owner }
+        Self { _transport_owner: owner, inner }
+    }
+
+    /// Install the checkpoint service handler if none is installed yet
+    /// (first install wins — every rank's checkpoint library offers an
+    /// equivalent handler, so this is idempotent).
+    pub fn install_ckpt_handler(&self, h: CkptHandler) {
+        let mut slot = self.inner.ckpt_handler.lock();
+        if slot.is_none() {
+            *slot = Some(h);
+        }
     }
 
     /// The world's fault plane (inject failures here).
@@ -121,8 +187,8 @@ impl GaspiWorld {
 
     /// A transport handle (used by the checkpoint library for costed
     /// copies).
-    pub fn transport(&self) -> Transport {
-        self.inner.transport.clone()
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        Arc::clone(&self.inner.transport)
     }
 
     /// GASPI-layer operation counters, shared by all ranks of this world
@@ -147,6 +213,19 @@ impl GaspiWorld {
     /// [`GaspiWorld::launch`].
     pub fn proc_handle(&self, rank: Rank) -> GaspiProc {
         GaspiProc::new(Arc::clone(&self.inner), rank)
+    }
+
+    /// Run `f` for a single rank on the *current* thread, with the same
+    /// fail-stop panic handling as [`GaspiWorld::launch`]. The process
+    /// backend uses this: each OS process hosts exactly one rank, so
+    /// there is nothing to fan out.
+    pub fn run_local<T>(
+        &self,
+        rank: Rank,
+        f: impl FnOnce(GaspiProc) -> GaspiResult<T>,
+    ) -> RankOutcome<T> {
+        let proc = GaspiProc::new(Arc::clone(&self.inner), rank);
+        run_rank(rank, proc, f)
     }
 
     /// Spawn one OS thread per rank, each running `f(proc)`. Returns a
