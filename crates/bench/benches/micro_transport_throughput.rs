@@ -1,0 +1,257 @@
+//! Micro-benchmark: raw transport throughput and delivery latency of the
+//! in-memory network core, across rank counts and shard counts.
+//!
+//! This is the perf trajectory for the sharded timing wheel: for each
+//! rank count the same message load is driven through a single-shard
+//! transport (the pre-shard architecture: one heap, one lock, one
+//! scheduler thread) and through the default sharded configuration.
+//! Several sender threads post `Transport::send` round trips (empty
+//! payload, a trivial endpoint, zero modeled latency) round-robin over
+//! all destination ranks; every completion records its post-to-completion
+//! wall latency. Reported per row: sustained msgs/sec and the p50/p99
+//! delivery latency.
+//!
+//! With zero modeled latency the measurement is pure scheduler cost —
+//! heap churn, lock contention, endpoint dispatch — which is exactly the
+//! path that saturated first at 4096 ranks before sharding.
+//!
+//! Run: `cargo bench -p ft-bench --bench micro_transport_throughput`
+//! Environment: `FT_TT_SMOKE=1` shrinks the run (64/512 ranks, fewer
+//! messages) for CI; `FT_TT_MSGS` overrides the total message count per
+//! row; `FT_NET_SHARDS` (read by the transport) overrides the sharded
+//! configuration under test.
+//!
+//! JSON: `target/telemetry/transport_throughput.json`, schema
+//! `gaspi-ft/transport-throughput/v1`.
+//!
+//! The ≥2x sharded-vs-baseline acceptance assertion only arms on a full
+//! (non-smoke) run with ≥4 available cores and a sharded configuration
+//! that actually differs from the baseline — on a single-core runner both
+//! configurations collapse to one scheduler thread and the comparison
+//! measures nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ft_bench::table::Table;
+use ft_cluster::fault::FaultPlane;
+use ft_cluster::time::LatencyModel;
+use ft_cluster::topology::{Rank, Topology};
+use ft_cluster::transport::{default_shards, Endpoint, QueueId, SimTransport, Transport};
+use ft_telemetry::Json;
+
+/// Trivial endpoint: the cheapest possible service so the measurement is
+/// transport cost, not handler cost.
+struct Sink;
+impl Endpoint for Sink {
+    fn handle(&self, _src: Rank, _queue: QueueId, _msg: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// Zero modeled latency: messages are due the moment they are posted.
+fn zero_latency() -> LatencyModel {
+    LatencyModel {
+        base: Duration::ZERO,
+        per_byte_ns: 0.0,
+        jitter: 0.0,
+        break_detect: Duration::from_micros(50),
+    }
+}
+
+struct Row {
+    ranks: u32,
+    shards: usize,
+    msgs: u64,
+    wall: Duration,
+    msgs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Drive `total` sends through a transport with `shards` shards over
+/// `ranks` ranks and measure sustained throughput + latency percentiles.
+fn run_config(ranks: u32, shards: usize, total: u64, senders: usize) -> Row {
+    let fault = FaultPlane::new(Topology::one_per_node(ranks));
+    let owner = SimTransport::start_sharded(zero_latency(), fault, 99, shards);
+    let t = owner.handle();
+    let sink = Arc::new(Sink);
+    for r in 0..ranks {
+        t.bind(r, Arc::clone(&sink) as Arc<dyn Endpoint>);
+    }
+
+    let per_sender = total / senders as u64;
+    let total = per_sender * senders as u64;
+    let lats: Arc<Vec<AtomicU64>> = Arc::new((0..total).map(|_| AtomicU64::new(0)).collect());
+    let done = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for si in 0..senders {
+            let t = t.clone();
+            let lats = Arc::clone(&lats);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let src = si as Rank % ranks;
+                for j in 0..per_sender {
+                    // Round-robin over all other ranks so every shard and
+                    // every stream table sees traffic.
+                    let mut dst = (j % u64::from(ranks)) as Rank;
+                    if dst == src {
+                        dst = (dst + 1) % ranks;
+                    }
+                    let idx = si as u64 * per_sender + j;
+                    let lats = Arc::clone(&lats);
+                    let done = Arc::clone(&done);
+                    let posted = Instant::now();
+                    t.send(
+                        src,
+                        dst,
+                        (j % 4) as QueueId,
+                        0,
+                        Vec::new(),
+                        Box::new(move |_, _| {
+                            let ns = posted.elapsed().as_nanos() as u64;
+                            lats[idx as usize].store(ns.max(1), Ordering::Relaxed);
+                            done.fetch_add(1, Ordering::Release);
+                        }),
+                    );
+                }
+            });
+        }
+    });
+    // All posted; wait for the wheel to drain.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while done.load(Ordering::Acquire) < total {
+        assert!(Instant::now() < deadline, "transport stalled draining {total} msgs");
+        std::thread::yield_now();
+    }
+    let wall = t0.elapsed();
+    drop(owner);
+
+    let mut ns: Vec<u64> = lats.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    ns.sort_unstable();
+    let pct = |p: f64| ns[((ns.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    Row {
+        ranks,
+        shards,
+        msgs: total,
+        wall,
+        msgs_per_sec: total as f64 / wall.as_secs_f64(),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("FT_TT_SMOKE").is_some_and(|v| v != "0");
+    let rank_counts: &[u32] = if smoke { &[64, 512] } else { &[64, 512, 4096] };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let default_total: u64 = if smoke { 40_000 } else { 200_000 };
+    let total: u64 =
+        std::env::var("FT_TT_MSGS").ok().and_then(|s| s.parse().ok()).unwrap_or(default_total);
+    let senders = cores.clamp(2, 8);
+    let sharded = default_shards();
+    println!(
+        "transport throughput: {total} msgs/row, {senders} senders, {cores} cores, \
+         sharded config = {sharded} shard(s){}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &ranks in rank_counts {
+        rows.push(run_config(ranks, 1, total, senders));
+        if sharded != 1 {
+            rows.push(run_config(ranks, sharded, total, senders));
+        }
+    }
+
+    let mut table = Table::new(&["ranks", "shards", "msgs", "wall", "msgs/sec", "p50", "p99"]);
+    for r in &rows {
+        table.row(vec![
+            r.ranks.to_string(),
+            r.shards.to_string(),
+            r.msgs.to_string(),
+            format!("{:.1?}", r.wall),
+            format!("{:.0}", r.msgs_per_sec),
+            format!("{:.1} us", r.p50_us),
+            format!("{:.1} us", r.p99_us),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Sharded-vs-baseline speedup per rank count (1.0 when only the
+    // baseline ran).
+    let speedup_at = |ranks: u32| -> f64 {
+        let base = rows.iter().find(|r| r.ranks == ranks && r.shards == 1);
+        let shrd = rows.iter().find(|r| r.ranks == ranks && r.shards != 1);
+        match (base, shrd) {
+            (Some(b), Some(s)) => s.msgs_per_sec / b.msgs_per_sec,
+            _ => 1.0,
+        }
+    };
+    for &ranks in rank_counts {
+        println!("speedup at {ranks} ranks: {:.2}x", speedup_at(ranks));
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Str("gaspi-ft/transport-throughput/v1".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("cores", Json::num_u64(cores as u64)),
+        ("senders", Json::num_u64(senders as u64)),
+        ("sharded_config", Json::num_u64(sharded as u64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("ranks", Json::num_u64(u64::from(r.ranks))),
+                            ("shards", Json::num_u64(r.shards as u64)),
+                            ("msgs", Json::num_u64(r.msgs)),
+                            ("wall_ms", Json::Num(r.wall.as_secs_f64() * 1e3)),
+                            ("msgs_per_sec", Json::Num(r.msgs_per_sec)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("p99_us", Json::Num(r.p99_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup_sharded_vs_baseline",
+            Json::Arr(
+                rank_counts
+                    .iter()
+                    .map(|&n| {
+                        Json::obj([
+                            ("ranks", Json::num_u64(u64::from(n))),
+                            ("speedup", Json::Num(speedup_at(n))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    ft_bench::report::write_report("transport_throughput.json", &doc);
+
+    // Sanity on every run: the wheel kept up and latencies are finite.
+    for r in &rows {
+        assert!(r.msgs_per_sec > 1000.0, "implausibly slow: {:.0} msgs/s", r.msgs_per_sec);
+        assert!(r.p99_us > 0.0);
+    }
+    // Acceptance: ≥2x at the largest rank count — only meaningful when
+    // the sharded config is real parallelism (see module docs).
+    if !smoke && cores >= 4 && sharded > 1 {
+        let s = speedup_at(*rank_counts.last().unwrap());
+        assert!(
+            s >= 2.0,
+            "sharded transport must be >= 2x baseline at {} ranks, got {s:.2}x",
+            rank_counts.last().unwrap()
+        );
+        println!("OK: {s:.2}x >= 2x at {} ranks", rank_counts.last().unwrap());
+    } else {
+        println!("speedup assertion skipped (smoke={smoke}, cores={cores}, sharded={sharded})");
+    }
+}

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use ft_cluster::{FaultSchedule, Rank};
-use ft_core::detector::glo_health_chk;
+use ft_core::detector::{glo_health_chk, glo_health_chk_batched};
 use ft_core::{EventKind, FtConfig, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld, Timeout};
 
@@ -22,15 +22,27 @@ pub struct FdScalePoint {
 }
 
 /// Measure the FD's full ping-scan time over `nodes` healthy ranks,
-/// `runs` times (paper: "Avg. ping scan time").
+/// `runs` times (paper: "Avg. ping scan time"), Listing 1's sequential
+/// per-ping loop.
 pub fn measure_scan(nodes: u32, runs: usize, seed: u64) -> Vec<Duration> {
+    measure_scan_with(nodes, runs, seed, false)
+}
+
+/// [`measure_scan`] with a choice of scan strategy: `batched = true` uses
+/// the epoch-batched fan-out scan (`glo_health_chk_batched`, one
+/// transport pass per scan), `false` the sequential Listing 1 loop.
+pub fn measure_scan_with(nodes: u32, runs: usize, seed: u64, batched: bool) -> Vec<Duration> {
     let world = GaspiWorld::new(GaspiConfig::new(nodes + 1).with_seed(seed));
     let fd = world.proc_handle(nodes);
     let targets: Vec<Rank> = (0..nodes).collect();
     (0..runs)
         .map(|_| {
             let t0 = Instant::now();
-            let failed = glo_health_chk(&fd, &targets, Timeout::Ms(2000), 1);
+            let failed = if batched {
+                glo_health_chk_batched(&fd, &targets, Timeout::Ms(2000))
+            } else {
+                glo_health_chk(&fd, &targets, Timeout::Ms(2000), 1)
+            };
             assert!(failed.is_empty(), "scan over healthy ranks found {failed:?}");
             t0.elapsed()
         })

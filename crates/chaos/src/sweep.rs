@@ -128,6 +128,19 @@ fn classify(cfg: &SweepConfig, report: &JobReport<f64>) -> Result<RunClass, Stri
             cfg.workers
         ));
     }
+    if std::env::var_os("FT_SWEEP_DEBUG").is_some() {
+        eprintln!(
+            "[sweep-debug] degraded: {}/{} summaries, killed {:?}, errors {:?}",
+            summaries.len(),
+            cfg.workers,
+            report.killed(),
+            report
+                .completed()
+                .into_iter()
+                .filter_map(|r| r.error.as_ref().map(|e| (r.rank, format!("{e:?}"))))
+                .collect::<Vec<_>>()
+        );
+    }
     Ok(RunClass::Degraded)
 }
 

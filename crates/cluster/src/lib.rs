@@ -13,18 +13,24 @@
 //!   modeled by poisoning a rank's liveness flag; the communication layer
 //!   panics with [`fault::RankKilled`] at the rank's next call, which the
 //!   runtime catches at the rank-thread boundary.
-//! * [`transport`] — an in-memory network with a timing-wheel scheduler:
+//! * [`transport`] — an in-memory network with a *sharded* timing-wheel
+//!   scheduler (one heap + lock + scheduler thread per node-group shard):
 //!   messages are posted with a byte count, acquire a latency from the
-//!   [`time::LatencyModel`], and are delivered (their action closure runs)
-//!   when due. Messages between the same (source, queue, target) triple are
-//!   delivered in FIFO order, like a GASPI queue. Delivery to a dead rank
-//!   or across a broken link completes with [`transport::Outcome::Broken`]
-//!   after a configurable break-detection delay — this is what makes
-//!   `gaspi_proc_ping` return an error for failed processes.
+//!   [`time::LatencyModel`] (jitter drawn from counter-based per-stream
+//!   RNG streams, so same-seed runs are bit-identical regardless of thread
+//!   interleaving or shard count), and are delivered (their action closure
+//!   runs) when due. Messages between the same (source, queue, target)
+//!   triple are delivered in FIFO order, like a GASPI queue. Delivery to a
+//!   dead rank or across a broken link completes with
+//!   [`transport::Outcome::Broken`] after a configurable break-detection
+//!   delay — this is what makes `gaspi_proc_ping` return an error for
+//!   failed processes.
 //! * [`storage`] — node-local in-memory storage that is destroyed when its
 //!   node is killed; the neighbor-level checkpoint library builds on it.
 //! * [`metrics`] — cheap atomic counters for messages/bytes/pings.
 //! * [`time`] — the latency model and paper-scale conversion helpers.
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod fault;
@@ -49,5 +55,6 @@ pub use tcp::TcpTransport;
 pub use time::LatencyModel;
 pub use topology::{NodeId, Rank, Topology};
 pub use transport::{
-    Completion, Endpoint, Envelope, Outcome, QueueId, SimTransport, Transport, TransportOwner,
+    default_shards, stream_jitter_u, Completion, Endpoint, Envelope, FanoutCompletion, Outcome,
+    QueueId, SimTransport, Transport, TransportOwner,
 };

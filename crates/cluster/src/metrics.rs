@@ -22,18 +22,30 @@ pub struct Metrics {
     /// Ping round trips that returned an error (maintained by the GASPI
     /// layer).
     pub ping_errors: AtomicU64,
+    /// Fan-out batches posted through [`crate::Transport::call_fanout`]
+    /// (each batch covers many destinations in one shard-lock pass).
+    pub batch_posts: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`], convenient for deltas in benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
+    /// See [`Metrics::msg_posted`].
     pub msg_posted: u64,
+    /// See [`Metrics::bytes_posted`].
     pub bytes_posted: u64,
+    /// See [`Metrics::msg_delivered`].
     pub msg_delivered: u64,
+    /// See [`Metrics::msg_broken`].
     pub msg_broken: u64,
+    /// See [`Metrics::msg_dropped_dead_src`].
     pub msg_dropped_dead_src: u64,
+    /// See [`Metrics::pings`].
     pub pings: u64,
+    /// See [`Metrics::ping_errors`].
     pub ping_errors: u64,
+    /// See [`Metrics::batch_posts`].
+    pub batch_posts: u64,
 }
 
 impl Metrics {
@@ -56,6 +68,7 @@ impl Metrics {
             msg_dropped_dead_src: self.msg_dropped_dead_src.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
             ping_errors: self.ping_errors.load(Ordering::Relaxed),
+            batch_posts: self.batch_posts.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +101,7 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.msg_dropped_dead_src),
             pings: self.pings.saturating_sub(earlier.pings),
             ping_errors: self.ping_errors.saturating_sub(earlier.ping_errors),
+            batch_posts: self.batch_posts.saturating_sub(earlier.batch_posts),
         }
     }
 }

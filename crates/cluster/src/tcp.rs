@@ -138,7 +138,7 @@ impl TcpInner {
         let ep = self.endpoints.lock().get(&f.dst).cloned();
         let _serialize = self.dispatch.lock();
         match ep {
-            Some(ep) => ep.handle(f.src, f.queue, f.payload.clone()),
+            Some(ep) => ep.handle(f.src, f.queue, &f.payload),
             None => Vec::new(),
         }
     }
@@ -445,9 +445,9 @@ mod tests {
     /// Echo endpoint mirroring the SimTransport trait tests.
     struct Echo;
     impl Endpoint for Echo {
-        fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8> {
+        fn handle(&self, src: Rank, queue: QueueId, msg: &[u8]) -> Vec<u8> {
             let mut out = vec![src as u8, queue as u8];
-            out.extend_from_slice(&msg);
+            out.extend_from_slice(msg);
             out
         }
     }

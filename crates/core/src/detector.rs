@@ -39,6 +39,13 @@ pub struct DetectorConfig {
     pub ack_queue: u16,
     /// Timeout for flushing acknowledgment writes.
     pub ack_timeout: Timeout,
+    /// Post each scan as one epoch-batched fan-out
+    /// ([`glo_health_chk_batched`]) instead of a ping per target. On the
+    /// in-memory backend a batch traverses the transport's shard locks
+    /// once per scan, which is what keeps scan time linear in targets out
+    /// to 4096 ranks. `false` restores Listing 1's per-ping loop
+    /// ([`glo_health_chk`]); both report the same failed set.
+    pub batch: bool,
 }
 
 impl Default for DetectorConfig {
@@ -49,6 +56,7 @@ impl Default for DetectorConfig {
             threads: 1,
             ack_queue: 0,
             ack_timeout: Timeout::Ms(2000),
+            batch: true,
         }
     }
 }
@@ -130,6 +138,34 @@ pub fn glo_health_chk(
     };
     failed.sort_unstable();
     failed
+}
+
+/// The epoch-batched form of [`glo_health_chk`]: all targets are pinged
+/// through one `Transport::call_fanout` batch (one shard-lock pass, one
+/// shared payload) and a single poll collects every answer. Returns the
+/// same failed set as the sequential scan — a rank is failed if its ping
+/// broke or went unanswered — in ascending rank order.
+///
+/// The batch shares one `ping_timeout` window across *all* targets,
+/// which under CPU load can time out healthy stragglers the sequential
+/// loop (one full window per ping) would have waited for. Suspecting a
+/// healthy rank is contract-legal — recovery enforces suspects with
+/// `proc_kill` — but it burns a spare and makes replays of the same
+/// seeded run diverge. So every suspect from the batch is *verified*
+/// with an individual re-ping (its own full window) before being
+/// reported; genuinely dead ranks confirm in ≈`break_detect` time, so
+/// the flat detection-latency shape is untouched, and an all-healthy
+/// scan stays a single batch.
+pub fn glo_health_chk_batched(
+    proc: &GaspiProc,
+    targets: &[Rank],
+    ping_timeout: Timeout,
+) -> Vec<Rank> {
+    let suspects = match proc.proc_ping_many(targets, ping_timeout) {
+        Ok(s) => s,
+        Err(_) => targets.to_vec(),
+    };
+    suspects.into_iter().filter(|&r| proc.proc_ping(r, ping_timeout).is_err()).collect()
 }
 
 /// Mutable detection state. It is reconstructible from the last broadcast
@@ -249,7 +285,11 @@ pub fn run_detector_from(
         let targets: Vec<Rank> =
             (0..layout.total()).filter(|&r| r != me && !avoid.contains(&r)).collect();
         let t0 = Instant::now();
-        let newly = glo_health_chk(proc, &targets, cfg.ping_timeout, cfg.threads);
+        let newly = if cfg.batch {
+            glo_health_chk_batched(proc, &targets, cfg.ping_timeout)
+        } else {
+            glo_health_chk(proc, &targets, cfg.ping_timeout, cfg.threads)
+        };
         let dur = t0.elapsed();
         out.scans += 1;
         events.record(
@@ -379,6 +419,33 @@ mod tests {
         let par = glo_health_chk(&p, &targets, Timeout::Ms(500), 4);
         assert_eq!(seq, par);
         assert_eq!(seq, vec![1, 7, 8]);
+    }
+
+    #[test]
+    fn batched_health_chk_matches_sequential() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(10));
+        world.fault().kill_rank(1);
+        world.fault().kill_rank(7);
+        world.fault().kill_rank(8);
+        let p = world.proc_handle(9);
+        let targets: Vec<Rank> = (0..9).collect();
+        let seq = glo_health_chk(&p, &targets, Timeout::Ms(500), 1);
+        let bat = glo_health_chk_batched(&p, &targets, Timeout::Ms(500));
+        assert_eq!(seq, bat);
+        assert_eq!(bat, vec![1, 7, 8]);
+        // One transport batch per scan, not one post per target.
+        assert_eq!(
+            world.transport().metrics().batch_posts.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn batched_health_chk_all_healthy_is_empty() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(8));
+        let p = world.proc_handle(7);
+        let targets: Vec<Rank> = (0..7).collect();
+        assert!(glo_health_chk_batched(&p, &targets, Timeout::Ms(500)).is_empty());
     }
 
     #[test]

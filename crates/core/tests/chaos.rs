@@ -181,6 +181,66 @@ storm_matrix! {
     chaos_storm_seed_11 => 11,
 }
 
+/// Storm at the sharded transport's scale: a 512-rank world (506 workers,
+/// 5 idle spares + the FD) with three timed worker kills. Every rank is a
+/// live thread and every step is a fault-tolerant allreduce across all
+/// 506 workers, so this exercises shard contention, the stream tables,
+/// and recovery re-wiring at two orders of magnitude above the seed
+/// tests. Iteration count is kept small — the point is width, not depth.
+#[test]
+fn chaos_storm_512_ranks() {
+    let workers = 506u32;
+    let layout = WorldLayout::new(workers, 6);
+    let total = layout.total();
+    assert_eq!(total, 512);
+
+    let mut z = 512u64;
+    let mut schedule = FaultSchedule::none();
+    let mut victims = Vec::new();
+    for _ in 0..3 {
+        let victim = (splitmix(&mut z) % u64::from(workers)) as u32;
+        if victims.contains(&victim) {
+            continue;
+        }
+        victims.push(victim);
+        let at = Duration::from_millis(20 + splitmix(&mut z) % 200);
+        schedule = schedule.timed(at, FaultAction::KillRank(victim));
+    }
+
+    let world = GaspiWorld::new(GaspiConfig::deterministic(total).with_seed(512));
+    let mut cfg = FtConfig::new(layout);
+    cfg.checkpoint_every = 5;
+    cfg.max_iters = 10;
+    cfg.policy.abandon = Duration::from_secs(60);
+    let report = run_ft_job(&world, cfg, schedule, Acc::new);
+
+    let summaries = report.worker_summaries();
+    let iters = 10u64;
+    let expected =
+        f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64;
+    if summaries.len() == workers as usize {
+        for (app, acc) in &summaries {
+            assert_eq!(
+                **acc, expected,
+                "512-rank storm: app rank {app} produced a WRONG result (victims {victims:?})"
+            );
+        }
+    } else {
+        let errored = report.completed().into_iter().filter(|r| r.error.is_some()).count();
+        let killed = report.killed().len();
+        assert!(
+            errored + killed > 0,
+            "512-rank storm: incomplete without any recorded failure (victims {victims:?})"
+        );
+        for (app, acc) in &summaries {
+            assert_eq!(
+                **acc, expected,
+                "512-rank storm: partial completion with corrupt result at app rank {app}"
+            );
+        }
+    }
+}
+
 /// CI sweep hook: `FT_CHAOS_SEEDS="100..120"` or `FT_CHAOS_SEEDS="17,42,99"`
 /// runs extra storms beyond the fixed bank. A no-op when unset, so local
 /// `cargo test` stays fast.

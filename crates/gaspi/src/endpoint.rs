@@ -155,18 +155,18 @@ impl GaspiEndpoint {
 }
 
 impl Endpoint for GaspiEndpoint {
-    fn handle(&self, src: Rank, queue: QueueId, msg: Vec<u8>) -> Vec<u8> {
+    fn handle(&self, src: Rank, queue: QueueId, msg: &[u8]) -> Vec<u8> {
         let Some(world) = self.world.upgrade() else {
             return vec![ST_FAIL];
         };
         if queue >= CKPT_QUEUE_BASE {
             let handler = world.ckpt_handler.lock().clone();
             return match handler {
-                Some(f) => f(self.rank, src, queue, &msg),
+                Some(f) => f(self.rank, src, queue, msg),
                 None => vec![ST_FAIL],
             };
         }
-        dispatch(&world, self.rank, src, &msg).unwrap_or_else(|| vec![ST_FAIL])
+        dispatch(&world, self.rank, src, msg).unwrap_or_else(|| vec![ST_FAIL])
     }
 }
 

@@ -540,6 +540,91 @@ impl GaspiProc {
         res
     }
 
+    /// Ping a whole set of ranks in one epoch batch and return those that
+    /// failed, in ascending rank order (the batched form of
+    /// [`GaspiProc::proc_ping`]; the fault detector's epoch scan).
+    ///
+    /// All pings are posted through one [`Transport::call_fanout`] — a
+    /// single pass over the transport's shard locks and one shared payload
+    /// allocation for the entire scan, instead of a post per target. A
+    /// rank counts as failed if its ping came back broken *or* had not
+    /// answered by `timeout`. Note that `timeout` bounds the *whole
+    /// batch*, not each ping — under load a healthy straggler can miss
+    /// the shared window, so callers that must not over-suspect should
+    /// re-verify the returned set per rank (see
+    /// `ft_core::detector::glo_health_chk_batched`). Ranks whose ping
+    /// came back broken are marked CORRUPT (matching
+    /// [`GaspiProc::proc_ping`], which does not mark on a mere timeout);
+    /// duplicate destinations are pinged once. Metrics count one ping
+    /// (and at most one error) per target.
+    pub fn proc_ping_many(&self, dsts: &[Rank], timeout: Timeout) -> GaspiResult<Vec<Rank>> {
+        self.check_self();
+        for &d in dsts {
+            self.validate_rank(d)?;
+        }
+        let mut uniq: Vec<Rank> = dsts.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.is_empty() {
+            return Ok(Vec::new());
+        }
+        let metrics = Arc::clone(self.world.transport.metrics());
+        metrics.pings.fetch_add(uniq.len() as u64, Ordering::Relaxed);
+        // One state cell per target: 0 pending, 1 ok, 2 broken, 3 shutdown.
+        let states: Arc<Vec<AtomicU8>> = Arc::new(uniq.iter().map(|_| AtomicU8::new(0)).collect());
+        let index: std::collections::HashMap<Rank, usize> =
+            uniq.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let me = self.shared_arc();
+        let st = Arc::clone(&states);
+        let payload: Arc<[u8]> = Arc::from(endpoint::enc_ping().into_boxed_slice());
+        self.world.transport.call_fanout(
+            self.rank,
+            &uniq,
+            self.world.cfg.service_queue(),
+            0,
+            payload,
+            Arc::new(move |rank, out, _reply| {
+                let state = match out {
+                    Outcome::Delivered => 1,
+                    Outcome::Broken => 2,
+                    Outcome::Cancelled => 3,
+                };
+                if let Some(&i) = index.get(&rank) {
+                    st[i].store(state, Ordering::Release);
+                }
+                me.signal.bump();
+            }),
+        );
+        let res = self.poll(timeout, || {
+            if states.iter().any(|s| s.load(Ordering::Acquire) == 0) {
+                None
+            } else {
+                Some(Ok(()))
+            }
+        });
+        match res {
+            Ok(()) | Err(GaspiError::Timeout) => {}
+            Err(e) => return Err(e),
+        }
+        let mut failed = Vec::new();
+        for (i, &d) in uniq.iter().enumerate() {
+            // Pending-at-timeout (0) and shutdown (3) both mean "no answer".
+            let state = states[i].load(Ordering::Acquire);
+            if state != 1 {
+                failed.push(d);
+                metrics.ping_errors.fetch_add(1, Ordering::Relaxed);
+                // Only a *broken* round trip proves the remote corrupt; a
+                // ping still pending at the shared deadline may be a
+                // healthy straggler (proc_ping likewise leaves the state
+                // vector alone on a timeout).
+                if state == 2 {
+                    self.mark_corrupt(d);
+                }
+            }
+        }
+        Ok(failed)
+    }
+
     /// Enforce the death of a rank (`gaspi_proc_kill`, the second
     /// extension): used in recovery to make sure suspected processes —
     /// including false positives that are actually alive — cannot keep

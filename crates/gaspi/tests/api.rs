@@ -172,6 +172,23 @@ fn ping_healthy_then_dead_then_state_vec() {
 }
 
 #[test]
+fn ping_many_reports_exactly_the_dead_and_marks_corrupt() {
+    let world = GaspiWorld::new(GaspiConfig::deterministic(6));
+    world.fault().kill_rank(2);
+    world.fault().kill_rank(4);
+    let p = world.proc_handle(5);
+    // Duplicates are pinged once; the failed set is sorted and deduped.
+    let failed = p.proc_ping_many(&[0, 1, 2, 3, 4, 2], Timeout::Ms(1000)).unwrap();
+    assert_eq!(failed, vec![2, 4]);
+    let states = p.state_vec_get();
+    assert_eq!(states[2], ProcState::Corrupt);
+    assert_eq!(states[4], ProcState::Corrupt);
+    assert_eq!(states[0], ProcState::Healthy);
+    // Empty target set short-circuits.
+    assert!(p.proc_ping_many(&[], Timeout::Ms(100)).unwrap().is_empty());
+}
+
+#[test]
 fn proc_kill_enforces_death_of_live_rank() {
     // The false-positive scenario (§IV-A-a): a healthy process is killed
     // anyway so it cannot keep participating.
