@@ -35,11 +35,12 @@ pub mod sweep;
 
 pub use app::SweepApp;
 pub use process::{
-    classify_process, maybe_run_child, process_smoke_sweep, run_process, select_triples,
-    sweep_gaspi_config, SmokeOutcome,
+    classify_process, maybe_run_child, process_partition_sweep, process_smoke_sweep, run_process,
+    select_triples, sweep_gaspi_config, ExcludeReason, PartitionOutcome, SmokeOutcome, SmokeSweep,
+    TripleSelection,
 };
 pub use report::{PairOutcome, SweepReport, TripleOutcome, SCHEMA};
 pub use sweep::{
-    exhaustive_sweep, pair_scenarios, pair_sweep, replay_triple, run_with, JobRun, PairScenario,
-    RunClass, SweepConfig,
+    exhaustive_sweep, pair_scenarios, pair_sweep, replay_triple, run_with, run_with_schedule,
+    triple_is_early, verdict_of, JobRun, PairScenario, RunClass, SweepConfig, Verdict,
 };

@@ -100,27 +100,70 @@ pub fn classify_process(cfg: &SweepConfig, report: &ProcJobReport) -> Result<Run
     Ok(RunClass::Degraded)
 }
 
+/// Why an enumerated triple was excluded from process replay. Exclusion
+/// is decided here, at enumeration time, and carried into the
+/// process-sweep report as a machine-checked reason code — never a
+/// silent skip at replay time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcludeReason {
+    /// Another occurrence of the same `(site, rank)` kill point is
+    /// already selected; replaying a second occurrence of the same point
+    /// adds no coverage in smoke budget.
+    DuplicateKillPoint,
+    /// The site's occurrence index is interleaving-dependent
+    /// (`site_is_deterministic` = false), so a process replay could not
+    /// be compared against the in-memory reference.
+    NondeterministicSite,
+}
+
+impl ExcludeReason {
+    /// Stable reason code, as emitted in the JSON report.
+    pub fn code(self) -> &'static str {
+        match self {
+            ExcludeReason::DuplicateKillPoint => "duplicate-kill-point",
+            ExcludeReason::NondeterministicSite => "nondeterministic-site",
+        }
+    }
+}
+
+/// Result of triple selection: the replay set plus every exclusion with
+/// its reason, plus the count of eligible triples beyond the `max`
+/// budget.
+#[derive(Debug, Default)]
+pub struct TripleSelection {
+    /// Triples to replay, in log order.
+    pub picked: Vec<SiteRecord>,
+    /// Excluded triples with their reason codes.
+    pub excluded: Vec<(SiteRecord, ExcludeReason)>,
+    /// Eligible triples dropped only because the budget ran out.
+    pub over_budget: usize,
+}
+
 /// Pick at most `max` replay triples from an in-memory site log:
 /// deterministic sites only, spread for `(site, rank)` coverage (first
-/// occurrence of each kill point, breadth before depth).
-pub fn select_triples(log: &[SiteRecord], max: usize) -> Vec<SiteRecord> {
+/// occurrence of each kill point, breadth before depth). Everything not
+/// picked is accounted for — by reason code or as over-budget.
+pub fn select_triples(log: &[SiteRecord], max: usize) -> TripleSelection {
     let mut seen: Vec<(&str, Rank)> = Vec::new();
-    let mut picked = Vec::new();
+    let mut sel = TripleSelection::default();
     for rec in log {
-        if picked.len() >= max {
-            break;
-        }
         if !site_is_deterministic(&rec.site) {
+            sel.excluded.push((rec.clone(), ExcludeReason::NondeterministicSite));
             continue;
         }
         let key = (rec.site.as_str(), rec.rank);
         if seen.contains(&key) {
+            sel.excluded.push((rec.clone(), ExcludeReason::DuplicateKillPoint));
+            continue;
+        }
+        if sel.picked.len() >= max {
+            sel.over_budget += 1;
             continue;
         }
         seen.push(key);
-        picked.push(rec.clone());
+        sel.picked.push(rec.clone());
     }
-    picked
+    sel
 }
 
 /// One smoke-sweep replay: the kill point, the in-memory backend's
@@ -143,6 +186,18 @@ impl SmokeOutcome {
     }
 }
 
+/// Everything a smoke sweep produced: the replays plus the selection's
+/// exclusion accounting (emitted in the report so the dedup is
+/// machine-checkable).
+pub struct SmokeSweep {
+    /// One entry per replayed kill triple.
+    pub outcomes: Vec<SmokeOutcome>,
+    /// Triples excluded from replay, with reason codes.
+    pub excluded: Vec<(SiteRecord, ExcludeReason)>,
+    /// Eligible triples beyond the replay budget.
+    pub over_budget: usize,
+}
+
 /// Enumerate kill points in memory, then replay `max_triples` of them
 /// both in memory (the reference classification) and as real-process
 /// jobs.
@@ -151,13 +206,14 @@ pub fn process_smoke_sweep(
     max_triples: usize,
     child_args: &[&str],
     per_job_deadline: Duration,
-) -> io::Result<Vec<SmokeOutcome>> {
+) -> io::Result<SmokeSweep> {
     let recording = run_with(cfg, &[], true);
     if let Err(v) = recording.class {
         return Err(io::Error::other(format!("in-memory enumeration run violated: {v}")));
     }
-    let mut out = Vec::new();
-    for triple in select_triples(&recording.log, max_triples) {
+    let sel = select_triples(&recording.log, max_triples);
+    let mut outcomes = Vec::new();
+    for triple in sel.picked {
         let in_memory = crate::sweep::replay_triple(cfg, &triple);
         let schedule = FaultSchedule::none().inject(ft_cluster::Injection::kill(
             triple.site.clone(),
@@ -166,7 +222,70 @@ pub fn process_smoke_sweep(
         ));
         let report = run_process(cfg, schedule, child_args, per_job_deadline)?;
         let process = classify_process(cfg, &report);
-        out.push(SmokeOutcome { triple, in_memory, process });
+        outcomes.push(SmokeOutcome { triple, in_memory, process });
+    }
+    Ok(SmokeSweep { outcomes, excluded: sel.excluded, over_budget: sel.over_budget })
+}
+
+/// One partition-conformance replay: a step-indexed `BreakLink`
+/// injection armed at a deterministic kill point, replayed on both
+/// backends. On the process backend the break fires only on the crossing
+/// rank's local fault plane (an *asymmetric* partition the TCP transport
+/// enforces end to end); the in-memory backend shares one plane, so its
+/// classification is a reference, not an oracle — conformance requires
+/// that neither side violates the contract.
+pub struct PartitionOutcome {
+    /// The crossing the break was armed at.
+    pub triple: SiteRecord,
+    /// The severed peer.
+    pub peer: Rank,
+    /// In-memory classification of the same injection.
+    pub in_memory: Result<RunClass, String>,
+    /// Process-backend classification.
+    pub process: Result<RunClass, String>,
+    /// Timed link actions the supervisor failed to hand to the children
+    /// — must be zero (the regression guard on
+    /// `ProcJobReport::skipped_actions`).
+    pub skipped_link_actions: usize,
+}
+
+/// Enumerate crossings in memory, then replay up to `max_triples` of
+/// them as *network partitions*: each selected worker-rank crossing arms
+/// `BreakLink(rank, next worker)` instead of a kill. Exercises the
+/// paper's link-fault path over real TCP: send-side sever, receive-side
+/// refusal, worker suspect reports, `proc_kill` enforcement, rebuild,
+/// restore.
+pub fn process_partition_sweep(
+    cfg: &SweepConfig,
+    max_triples: usize,
+    child_args: &[&str],
+    per_job_deadline: Duration,
+) -> io::Result<Vec<PartitionOutcome>> {
+    let recording = run_with(cfg, &[], true);
+    if let Err(v) = recording.class {
+        return Err(io::Error::other(format!("in-memory enumeration run violated: {v}")));
+    }
+    let sel = select_triples(&recording.log, usize::MAX);
+    let mut out = Vec::new();
+    for triple in sel.picked.into_iter().filter(|t| t.rank < cfg.workers).take(max_triples) {
+        let peer = (triple.rank + 1) % cfg.workers;
+        let inj = ft_cluster::Injection::break_link(
+            triple.site.clone(),
+            triple.rank,
+            triple.occurrence,
+            peer,
+        );
+        let in_memory = run_with(cfg, std::slice::from_ref(&inj), false).class;
+        let schedule = FaultSchedule::none().inject(inj);
+        let report = run_process(cfg, schedule, child_args, per_job_deadline)?;
+        let process = classify_process(cfg, &report);
+        out.push(PartitionOutcome {
+            triple,
+            peer,
+            in_memory,
+            process,
+            skipped_link_actions: report.skipped_actions.len(),
+        });
     }
     Ok(out)
 }
@@ -176,7 +295,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn triple_selection_dedups_and_filters() {
+    fn triple_selection_dedups_and_filters_with_reason_codes() {
         let rec = |site: &str, rank: Rank, occ: u64| SiteRecord {
             site: site.to_string(),
             rank,
@@ -184,15 +303,24 @@ mod tests {
         };
         let log = vec![
             rec("gaspi.allreduce", 0, 1),
-            rec("gaspi.allreduce", 0, 2), // same kill point: skipped
-            rec("transport.post", 1, 1),  // non-deterministic: skipped
+            rec("gaspi.allreduce", 0, 2), // same kill point: excluded as duplicate
+            rec("transport.post", 1, 1),  // interleaving-dependent: excluded
             rec("gaspi.allreduce", 1, 1),
-            rec("recover.begin", 0, 1),
+            rec("recover.begin", 0, 1), // eligible but beyond the budget
         ];
-        let picked = select_triples(&log, 2);
-        assert_eq!(picked.len(), 2);
-        assert_eq!(picked[0].site, "gaspi.allreduce");
-        assert_eq!(picked[0].rank, 0);
-        assert_eq!(picked[1].rank, 1);
+        let sel = select_triples(&log, 2);
+        assert_eq!(sel.picked.len(), 2);
+        assert_eq!(sel.picked[0].site, "gaspi.allreduce");
+        assert_eq!(sel.picked[0].rank, 0);
+        assert_eq!(sel.picked[1].rank, 1);
+        // Every non-picked triple is accounted for, with a stable code.
+        assert_eq!(sel.over_budget, 1);
+        assert_eq!(sel.excluded.len(), 2);
+        assert_eq!(sel.excluded[0].0.occurrence, 2);
+        assert_eq!(sel.excluded[0].1, ExcludeReason::DuplicateKillPoint);
+        assert_eq!(sel.excluded[0].1.code(), "duplicate-kill-point");
+        assert_eq!(sel.excluded[1].0.site, "transport.post");
+        assert_eq!(sel.excluded[1].1, ExcludeReason::NondeterministicSite);
+        assert_eq!(sel.excluded[1].1.code(), "nondeterministic-site");
     }
 }

@@ -28,6 +28,9 @@ pub struct TripleOutcome {
     pub outcome: Result<RunClass, String>,
     /// Whether this site's occurrence index replays deterministically.
     pub deterministic: bool,
+    /// Whether the kill fires before the victim's first checkpoint
+    /// commit (see `crate::sweep::Verdict::EarlyKill`).
+    pub early: bool,
 }
 
 /// One pair-sweep scenario result.
@@ -177,6 +180,7 @@ fn injection_json(inj: &Injection) -> Json {
         InjectOp::Kill => "kill".to_string(),
         InjectOp::KillNode => "kill_node".to_string(),
         InjectOp::BreakLink { peer } => format!("break_link:{peer}"),
+        InjectOp::HealLink { peer } => format!("heal_link:{peer}"),
         InjectOp::Delay { dur } => format!("delay:{}us", dur.as_micros()),
     };
     Json::obj([

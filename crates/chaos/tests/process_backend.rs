@@ -37,11 +37,12 @@ fn run_mode(mode: &str, envs: &[(&str, &str)]) {
 }
 
 /// Smoke conformance: replay a small triple subset as real-process jobs
-/// and require zero violations. Three triples keeps this in test budget
-/// while still crossing spawn + injected-kill + degraded classification.
+/// and require zero violations. Three kill triples plus one partition
+/// triple keeps this in test budget while still crossing spawn +
+/// injected-kill + link-fault + degraded classification.
 #[test]
 fn process_smoke_conformance() {
-    run_mode("smoke", &[("FT_PROC_SWEEP_TRIPLES", "3")]);
+    run_mode("smoke", &[("FT_PROC_SWEEP_TRIPLES", "3"), ("FT_PROC_SWEEP_PARTITIONS", "1")]);
 }
 
 /// The paper's `kill -9` experiment end to end: SIGKILL a worker process
@@ -49,4 +50,28 @@ fn process_smoke_conformance() {
 #[test]
 fn process_fdkill_end_to_end() {
     run_mode("fdkill", &[]);
+}
+
+/// A timed FD↔worker partition mid-solve: link ops must reach the
+/// children (never `skipped_actions`), the detector must observe the
+/// partitioned worker, and the final values must equal the in-memory
+/// backend's for the same schedule.
+#[test]
+fn process_partition_end_to_end() {
+    run_mode("partition", &[]);
+}
+
+/// The paper's link-fault path with an *asymmetric* partition: one
+/// worker loses sight of a peer the FD still reaches; the worker's
+/// suspect report must drive detection, rebuild, restore, exact values.
+#[test]
+fn process_asymmetric_partition() {
+    run_mode("asym", &[]);
+}
+
+/// A transient partition healed before the detector's grace expires must
+/// cause no spurious recovery and complete exactly.
+#[test]
+fn process_heal_before_timeout() {
+    run_mode("heal", &[]);
 }

@@ -11,7 +11,8 @@
 use std::time::Duration;
 
 use ft_chaos::{
-    exhaustive_sweep, pair_sweep, replay_triple, run_with, RunClass, SweepConfig, SCHEMA,
+    exhaustive_sweep, pair_sweep, replay_triple, run_with, triple_is_early, verdict_of, RunClass,
+    SweepConfig, Verdict, SCHEMA,
 };
 use ft_telemetry::Json;
 
@@ -42,18 +43,36 @@ fn deterministic_triples_replay_to_the_same_outcome() {
     let det: Vec<_> =
         recording.log.iter().filter(|t| ft_cluster::site_is_deterministic(&t.site)).collect();
     assert!(det.len() >= 10, "too few deterministic triples: {}", det.len());
-    // Sample across the log (every k-th), two replays each.
+    // Sample across the log (every k-th), two replays each. Replays
+    // compare as *verdicts*: a kill before the victim's first checkpoint
+    // commit races recovery against initial group formation, where both
+    // exact completion and clean degradation satisfy the contract — the
+    // verdict folds that scheduler-dependent freedom into one named
+    // class (the criterion itself is deterministic, decided from the
+    // recording log), so this test is stable under load and
+    // `--test-threads` without any debug-env escape hatch.
     let stride = (det.len() / 5).max(1);
+    let mut early_seen = false;
     for t in det.iter().step_by(stride).take(5) {
-        let a = replay_triple(&cfg, t);
-        let b = replay_triple(&cfg, t);
+        let early = triple_is_early(&recording.log, t);
+        early_seen |= early;
+        let a = replay_triple(&cfg, t).map(|c| verdict_of(early, c));
+        let b = replay_triple(&cfg, t).map(|c| verdict_of(early, c));
         assert_eq!(
             a, b,
-            "triple ({}, occ {}, rank {}) replayed to different outcomes",
+            "triple ({}, occ {}, rank {}) replayed to different verdicts",
             t.site, t.occurrence, t.rank
         );
         assert!(a.is_ok(), "triple ({}, occ {}, rank {}): {a:?}", t.site, t.occurrence, t.rank);
+        if !early {
+            // Post-checkpoint kills have no timing freedom to fold: the
+            // verdict must be a plain class, never EarlyKill.
+            assert_ne!(a, Ok(Verdict::EarlyKill));
+        }
     }
+    // The stride starts at the log's first crossings, which precede any
+    // checkpoint — the early-kill fold must actually engage.
+    assert!(early_seen, "sample never exercised the early-kill verdict");
 }
 
 #[test]

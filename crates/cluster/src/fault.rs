@@ -64,6 +64,13 @@ pub struct KillEvent {
 
 type KillHook = Box<dyn Fn(&KillEvent) + Send + Sync>;
 
+/// Hook fired once per *directed* link transition: `(src, dst, broken)`.
+/// A bidirectional [`FaultPlane::break_link`] fires it twice (once per
+/// direction); `broken == false` means the direction was healed. The TCP
+/// backend registers one to sever live sockets when a break involves the
+/// local rank.
+type LinkHook = Box<dyn Fn(Rank, Rank, bool) + Send + Sync>;
+
 /// Shared liveness/link-state of the simulated cluster.
 pub struct FaultPlane {
     topo: Topology,
@@ -72,6 +79,7 @@ pub struct FaultPlane {
     /// Directed broken links `(src, dst)`.
     broken_links: RwLock<HashSet<(Rank, Rank)>>,
     hooks: Mutex<Vec<KillHook>>,
+    link_hooks: Mutex<Vec<LinkHook>>,
     /// Bumped on every kill/link event; cheap freshness check for cached
     /// liveness views.
     epoch: AtomicU64,
@@ -104,6 +112,7 @@ impl FaultPlane {
             node_alive,
             broken_links: RwLock::new(HashSet::new()),
             hooks: Mutex::new(Vec::new()),
+            link_hooks: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
             inject_on: AtomicBool::new(false),
             inject: Mutex::new(InjectState::default()),
@@ -172,6 +181,24 @@ impl FaultPlane {
         }
     }
 
+    /// Register a hook to run on every directed link transition (break or
+    /// heal). Hooks run on the breaking thread, outside the link table's
+    /// lock — the table is already updated when they fire, so a hook that
+    /// re-reads [`FaultPlane::link_ok`] sees the new state.
+    pub fn on_link(&self, hook: impl Fn(Rank, Rank, bool) + Send + Sync + 'static) {
+        self.link_hooks.lock().push(Box::new(hook));
+    }
+
+    fn fire_link(&self, pairs: &[(Rank, Rank)], broken: bool) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let hooks = self.link_hooks.lock();
+        for &(s, d) in pairs {
+            for h in hooks.iter() {
+                h(s, d, broken);
+            }
+        }
+    }
+
     /// Kill a single rank (fail-stop). Returns `true` if this call killed
     /// it, `false` if it was already dead. Idempotent, as `gaspi_proc_kill`
     /// must be.
@@ -207,7 +234,7 @@ impl FaultPlane {
     /// broken; the reverse direction is unaffected).
     pub fn break_link_directed(&self, src: Rank, dst: Rank) {
         self.broken_links.write().insert((src, dst));
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.fire_link(&[(src, dst)], true);
     }
 
     /// Break both directions between `a` and `b`.
@@ -217,7 +244,7 @@ impl FaultPlane {
             l.insert((a, b));
             l.insert((b, a));
         }
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.fire_link(&[(a, b), (b, a)], true);
     }
 
     /// Restore both directions between `a` and `b`.
@@ -227,7 +254,7 @@ impl FaultPlane {
             l.remove(&(a, b));
             l.remove(&(b, a));
         }
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.fire_link(&[(a, b), (b, a)], false);
     }
 
     /// Whether messages can flow `src → dst` right now (both endpoints
@@ -287,6 +314,7 @@ impl FaultPlane {
                 }
             }
             InjectOp::BreakLink { peer } => self.break_link(rank, peer),
+            InjectOp::HealLink { peer } => self.heal_link(rank, peer),
             InjectOp::Delay { dur } => std::thread::sleep(dur),
         }
     }
@@ -652,6 +680,8 @@ mod tests {
             .timed(Duration::from_millis(90), FaultAction::BreakLink(0, 2))
             .timed(Duration::from_millis(95), FaultAction::HealLink(0, 2))
             .inject(Injection::kill("gaspi.write", 1, 3))
+            .inject(Injection::break_link("gaspi.allreduce", 2, 4, 5))
+            .inject(Injection::heal_link("gaspi.allreduce", 2, 6, 5))
             .inject(Injection::delay("ckpt.restore", 4, 1, Duration::from_micros(10)));
         let bytes = s.encode();
         assert_eq!(FaultSchedule::decode(&bytes).unwrap(), s);
@@ -734,6 +764,58 @@ mod tests {
         assert!(r.unwrap_err().downcast_ref::<RankKilled>().is_some());
         assert!(!p.kill_rank(2), "already dead: wall-clock kill is a no-op");
         assert_eq!(events.lock().len(), 1);
+    }
+
+    /// A supervisor-shaped schedule mixing timed link ops with
+    /// step-indexed link ops must survive the hex trip the process
+    /// backend actually ships (env var → child), byte for byte.
+    #[test]
+    fn link_ops_survive_the_supervisor_hex_trip() {
+        let s = FaultSchedule::none()
+            .timed(Duration::from_millis(40), FaultAction::BreakLink(5, 1))
+            .timed(Duration::from_millis(120), FaultAction::HealLink(5, 1))
+            .inject(Injection::break_link("gaspi.allreduce", 1, 2, 3))
+            .inject(Injection::heal_link("gaspi.allreduce", 1, 4, 3));
+        let hex = crate::codec::to_hex(&s.encode());
+        let back = FaultSchedule::decode(&crate::codec::from_hex(&hex).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.timed_actions().len(), 2);
+        assert!(matches!(back.timed_actions()[0].1, FaultAction::BreakLink(5, 1)));
+        assert!(matches!(back.timed_actions()[1].1, FaultAction::HealLink(5, 1)));
+        assert_eq!(back.injections().len(), 2);
+        assert_eq!(back.injections()[0].op, InjectOp::BreakLink { peer: 3 });
+        assert_eq!(back.injections()[1].op, InjectOp::HealLink { peer: 3 });
+    }
+
+    #[test]
+    fn link_hooks_fire_per_direction_on_break_and_heal() {
+        let p = plane(4);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        p.on_link(move |src, dst, broken| s2.lock().push((src, dst, broken)));
+        p.break_link(0, 2);
+        p.heal_link(0, 2);
+        p.break_link_directed(3, 1);
+        let evs = seen.lock();
+        assert_eq!(
+            *evs,
+            vec![(0, 2, true), (2, 0, true), (0, 2, false), (2, 0, false), (3, 1, true),]
+        );
+    }
+
+    #[test]
+    fn heal_link_injection_restores_flow() {
+        let p = plane(4);
+        p.arm_injections(
+            InjectionPlan::new()
+                .with(Injection::break_link("net.op", 0, 1, 2))
+                .with(Injection::heal_link("net.op", 0, 2, 2)),
+        );
+        p.site(0, "net.op");
+        assert!(!p.link_ok(0, 2));
+        p.site(0, "net.op");
+        assert!(p.link_ok(0, 2));
+        assert!(p.is_alive(0), "link ops never kill");
     }
 
     #[test]

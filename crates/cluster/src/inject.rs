@@ -64,6 +64,13 @@ pub enum InjectOp {
         /// The other end of the link.
         peer: Rank,
     },
+    /// Heal the bidirectional link between the crossing rank and `peer`
+    /// (the inverse of [`InjectOp::BreakLink`], for partition-then-heal
+    /// scenarios indexed to protocol steps).
+    HealLink {
+        /// The other end of the link.
+        peer: Rank,
+    },
     /// Stall the crossing thread for `dur` (models a slow step, e.g. a
     /// GC pause or network hiccup, without killing anything).
     Delay {
@@ -102,6 +109,9 @@ impl InjectOp {
             InjectOp::Delay { dur } => {
                 e.u8(3).u64(dur.as_nanos() as u64);
             }
+            InjectOp::HealLink { peer } => {
+                e.u8(4).u32(peer);
+            }
         }
     }
 
@@ -112,6 +122,7 @@ impl InjectOp {
             1 => InjectOp::KillNode,
             2 => InjectOp::BreakLink { peer: d.u32()? },
             3 => InjectOp::Delay { dur: Duration::from_nanos(d.u64()?) },
+            4 => InjectOp::HealLink { peer: d.u32()? },
             t => return Err(CodecError::BadTag(t)),
         })
     }
@@ -131,6 +142,11 @@ impl Injection {
     /// Break the `rank`↔`peer` link at the `occurrence`-th crossing.
     pub fn break_link(site: impl Into<String>, rank: Rank, occurrence: u64, peer: Rank) -> Self {
         Self { site: site.into(), rank, occurrence, op: InjectOp::BreakLink { peer } }
+    }
+
+    /// Heal the `rank`↔`peer` link at the `occurrence`-th crossing.
+    pub fn heal_link(site: impl Into<String>, rank: Rank, occurrence: u64, peer: Rank) -> Self {
+        Self { site: site.into(), rank, occurrence, op: InjectOp::HealLink { peer } }
     }
 
     /// Stall `rank` for `dur` at the `occurrence`-th crossing.
@@ -319,6 +335,7 @@ mod tests {
             .with(Injection::kill("driver.checkpoint.commit", 3, 2))
             .with(Injection::kill_node("gaspi.write", 1, 7))
             .with(Injection::break_link("gaspi.barrier", 0, 1, 5))
+            .with(Injection::heal_link("gaspi.barrier", 0, 3, 5))
             .with(Injection::delay("ckpt.restore", 2, 4, Duration::from_micros(250)));
         let bytes = plan.encode();
         assert_eq!(InjectionPlan::decode(&bytes).unwrap(), plan);

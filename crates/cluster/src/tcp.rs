@@ -41,6 +41,27 @@
 //!   matching the simulator's fast path.
 //! * [`Transport::shutdown`] → pending completions run with
 //!   [`Outcome::Cancelled`].
+//!
+//! ## Link faults
+//!
+//! Unlike rank death, a broken link is *healable*, so link faults never
+//! set a peer's permanent `broken` flag. Enforcement is per-direction and
+//! consulted on every frame:
+//!
+//! * **Send side** — [`Transport::send`]/[`Transport::call`] check
+//!   [`FaultPlane::link_ok`] before touching the socket; a broken link
+//!   completes immediately with [`Outcome::Broken`], and a registered
+//!   [`FaultPlane::on_link`] hook severs the live outgoing connection the
+//!   moment the break lands, draining in-flight completions as `Broken`.
+//! * **Receive side** — the server checks `link_ok(src, dst)` per
+//!   request and answers a refused frame with a `KIND_RESP_BROKEN`
+//!   response instead of dispatching it, so an *asymmetric* partition
+//!   (only one side's fault plane knows) still breaks the sender's calls
+//!   without killing the connection.
+//! * **Heal** — `HealLink` clears the table; the next send lazily
+//!   reconnects. Severed connections carry a generation counter so a
+//!   stale reader observing the sever's EOF cannot misclassify it as
+//!   peer death after the link has healed.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -58,6 +79,11 @@ use crate::transport::{Completion, Endpoint, Outcome, QueueId, Transport};
 
 const KIND_REQ: u8 = 0;
 const KIND_RESP: u8 = 1;
+/// Response kind for a request refused by the receive-side link check:
+/// the receiver's fault plane says the `src → dst` link is down, so the
+/// call completes as [`Outcome::Broken`] without dispatching. The
+/// connection itself stays up — the link may heal.
+const KIND_RESP_BROKEN: u8 = 2;
 /// kind + call_id + src + dst + queue.
 const HDR: usize = 1 + 8 + 4 + 4 + 2;
 
@@ -111,6 +137,10 @@ struct PeerConn {
     pending: HashMap<u64, Completion>,
     /// Set once the peer is known dead; all further traffic breaks fast.
     broken: bool,
+    /// Bumped every time the current stream is torn down. A reader thread
+    /// holds the generation it was spawned for and goes quiet if the
+    /// connection was already replaced or severed out from under it.
+    generation: u64,
 }
 
 struct TcpInner {
@@ -143,21 +173,32 @@ impl TcpInner {
         }
     }
 
-    /// Kill the outgoing connection to `dst` and fail everything on it.
-    fn break_peer(&self, dst: Rank, out: Outcome) {
+    /// Tear down the outgoing connection to `dst` and fail everything on
+    /// it. `permanent` marks the peer dead (fail-stop: no resurrection);
+    /// a link-fault sever leaves `broken` clear so a later heal can
+    /// lazily reconnect.
+    fn sever_peer(&self, dst: Rank, out: Outcome, permanent: bool) {
         let conn = self.conns.lock().get(&dst).cloned();
         if let Some(conn) = conn {
             let mut c = conn.lock();
-            c.broken = true;
+            if permanent {
+                c.broken = true;
+            }
             if let Some(s) = c.stream.take() {
                 let _ = s.shutdown(Shutdown::Both);
             }
+            c.generation += 1;
             let pending: Vec<Completion> = c.pending.drain().map(|(_, d)| d).collect();
             drop(c);
             for done in pending {
                 done(out, Vec::new());
             }
         }
+    }
+
+    /// Kill the outgoing connection to `dst` and fail everything on it.
+    fn break_peer(&self, dst: Rank, out: Outcome) {
+        self.sever_peer(dst, out, true);
     }
 }
 
@@ -198,6 +239,16 @@ impl TcpTransport {
             .name(format!("tcp-accept-{me}"))
             .spawn(move || accept_loop(listener, inner2))
             .expect("spawn tcp accept thread");
+        // Enforce link breaks on live sockets: when the outgoing direction
+        // from this rank breaks, sever the connection so in-flight sends
+        // drain as Broken instead of waiting on responses the peer will
+        // refuse anyway. Heals need no action — the next send reconnects.
+        let inner3 = Arc::clone(&inner);
+        inner.fault.on_link(move |src, dst, broken| {
+            if broken && src == inner3.me && dst != inner3.me {
+                inner3.sever_peer(dst, Outcome::Broken, false);
+            }
+        });
         Ok(Self { inner })
     }
 
@@ -230,12 +281,13 @@ impl TcpTransport {
                     let _ = s.set_nodelay(true);
                     let reader = s.try_clone().ok()?;
                     c.stream = Some(s);
+                    let generation = c.generation;
                     drop(c);
                     let inner = Arc::clone(&self.inner);
                     let conn2 = Arc::clone(&conn);
                     std::thread::Builder::new()
                         .name(format!("tcp-client-{}-{}", self.inner.me, dst))
-                        .spawn(move || client_reader(reader, conn2, inner, dst))
+                        .spawn(move || client_reader(reader, conn2, inner, dst, generation))
                         .expect("spawn tcp client reader");
                     return Some(conn);
                 }
@@ -301,12 +353,17 @@ impl TcpTransport {
     }
 }
 
-/// Reads responses on an outgoing connection; EOF/reset breaks the peer.
+/// Reads responses on an outgoing connection. EOF/reset breaks the peer
+/// permanently — unless this rank's fault plane says the link to `dst` is
+/// down, in which case the sever is healable, or the connection's
+/// generation has already moved on (a racing sever tore this stream down;
+/// its verdict stands).
 fn client_reader(
     mut stream: TcpStream,
     conn: Arc<Mutex<PeerConn>>,
     inner: Arc<TcpInner>,
     dst: Rank,
+    generation: u64,
 ) {
     loop {
         match read_frame(&mut stream) {
@@ -316,14 +373,26 @@ fn client_reader(
                     done(Outcome::Delivered, f.payload);
                 }
             }
+            Ok(f) if f.kind == KIND_RESP_BROKEN => {
+                // The receiver refused the frame: its fault plane has the
+                // src → dst link down. Break the call, keep the socket.
+                let done = conn.lock().pending.remove(&f.call_id);
+                if let Some(done) = done {
+                    done(Outcome::Broken, Vec::new());
+                }
+            }
             Ok(_) => { /* requests never arrive on outgoing connections */ }
             Err(_) => {
-                let out = if inner.shutdown.load(Ordering::Acquire) {
-                    Outcome::Cancelled
+                if conn.lock().generation != generation {
+                    return; // already severed by someone with fresher knowledge
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    inner.break_peer(dst, Outcome::Cancelled);
+                } else if inner.fault.is_alive(dst) && !inner.fault.link_ok(inner.me, dst) {
+                    inner.sever_peer(dst, Outcome::Broken, false);
                 } else {
-                    Outcome::Broken
-                };
-                inner.break_peer(dst, out);
+                    inner.break_peer(dst, Outcome::Broken);
+                }
                 return;
             }
         }
@@ -357,6 +426,24 @@ fn server_reader(mut stream: TcpStream, inner: Arc<TcpInner>) {
     loop {
         match read_frame(&mut stream) {
             Ok(f) if f.kind == KIND_REQ => {
+                // Receive-side link check: refuse the frame (don't
+                // dispatch) when *this* rank's fault plane has the
+                // src → dst link down. This is what makes asymmetric
+                // partitions real — the sender's plane may not know.
+                if !inner.fault.link_ok(f.src, f.dst) {
+                    let resp = Frame {
+                        kind: KIND_RESP_BROKEN,
+                        call_id: f.call_id,
+                        src: f.dst,
+                        dst: f.src,
+                        queue: f.queue,
+                        payload: Vec::new(),
+                    };
+                    if write_frame(&mut writer, &resp).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 inner.metrics.msg_delivered.fetch_add(1, Ordering::Relaxed);
                 let reply = inner.dispatch(&f);
                 let resp = Frame {
@@ -578,6 +665,84 @@ mod tests {
             }),
         );
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Broken);
+    }
+
+    fn send_once(t: &TcpTransport, src: Rank, dst: Rank, byte: u8) -> (Outcome, Vec<u8>) {
+        let (tx, rx) = mpsc::channel();
+        t.send(
+            src,
+            dst,
+            0,
+            0,
+            vec![byte],
+            Box::new(move |o, r| {
+                let _ = tx.send((o, r));
+            }),
+        );
+        rx.recv_timeout(Duration::from_secs(5)).unwrap()
+    }
+
+    /// Breaking a link mid-traffic severs the live connection (sends
+    /// drain as `Broken`), and healing restores delivery on a fresh
+    /// connection — no permanent peer death.
+    #[test]
+    fn break_link_severs_and_heal_restores() {
+        let (t0, _t1) = pair();
+        assert_eq!(send_once(&t0, 0, 1, 1).0, Outcome::Delivered);
+        t0.fault().break_link(0, 1);
+        assert_eq!(send_once(&t0, 0, 1, 2).0, Outcome::Broken);
+        t0.fault().heal_link(0, 1);
+        let (out, reply) = send_once(&t0, 0, 1, 3);
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 0, 3]);
+    }
+
+    /// An asymmetric partition: only the *receiver's* fault plane knows
+    /// the link is down. The sender's frames reach the wire but are
+    /// refused per-frame with `KIND_RESP_BROKEN`, so its calls break
+    /// without the connection dying — and flow resumes after the heal.
+    #[test]
+    fn receive_side_refusal_enforces_asymmetric_partition() {
+        let (t0, t1) = pair();
+        assert_eq!(send_once(&t0, 0, 1, 1).0, Outcome::Delivered);
+        // Break on rank 1's plane only; rank 0 still thinks all is well.
+        t1.fault().break_link(0, 1);
+        assert!(t0.fault().link_ok(0, 1), "sender's plane is oblivious");
+        assert_eq!(send_once(&t0, 0, 1, 2).0, Outcome::Broken);
+        t1.fault().heal_link(0, 1);
+        let (out, reply) = send_once(&t0, 0, 1, 3);
+        assert_eq!(out, Outcome::Delivered);
+        assert_eq!(reply, vec![0, 0, 3]);
+    }
+
+    /// A link break drains in-flight calls as `Broken`: the request is on
+    /// the wire awaiting its response when the sever lands.
+    #[test]
+    fn break_link_drains_inflight_as_broken() {
+        let (t0, _t1) = pair();
+        assert_eq!(send_once(&t0, 0, 1, 1).0, Outcome::Delivered);
+        // Stall rank 1's dispatch so a call is parked in `pending`.
+        let _block = t1_dispatch_stall(&_t1);
+        let (tx, rx) = mpsc::channel();
+        t0.call(
+            0,
+            1,
+            0,
+            0,
+            vec![9],
+            Box::new(move |o, _| {
+                let _ = tx.send(o);
+            }),
+        );
+        // Give the frame time to hit the wire, then break.
+        std::thread::sleep(Duration::from_millis(50));
+        t0.fault().break_link(0, 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Outcome::Broken);
+    }
+
+    /// Hold rank 1's dispatch lock so incoming requests park.
+    fn t1_dispatch_stall(t1: &TcpTransport) -> parking_lot::MutexGuard<'_, ()> {
+        t1.inner.dispatch.lock()
     }
 
     #[test]

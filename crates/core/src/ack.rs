@@ -31,6 +31,16 @@ pub const EPOCH_NOTIF: u32 = 0;
 pub const DONE_NOTIF: u32 = 1;
 /// Notification slot carrying the orderly-shutdown signal to idles.
 pub const SHUTDOWN_NOTIF: u32 = 2;
+/// First slot of the worker→FD suspect-report channel: slot
+/// `SUSPECT_NOTIF_BASE + r` on the FD's control segment flags rank `r` as
+/// suspected by some worker. This is the paper's link-fault path — a
+/// worker whose one-sided op came back broken may sit on a severed link
+/// the FD's own pings do not cross, so detection cannot rely on the FD's
+/// vantage point alone. The FD drains these slots every scan and treats
+/// reported ranks as failed without re-pinging them (its own ping *would*
+/// succeed across an intact FD link; recovery then enforces the suspect's
+/// death via `gaspi_proc_kill`, the §IV-A-a false-positive handling).
+pub const SUSPECT_NOTIF_BASE: u32 = 3;
 
 /// Bytes of a control segment for a given layout (plan payload is
 /// `28 + 8·total` worst case; headroom doubled).
@@ -104,6 +114,36 @@ pub fn read_plan(proc: &GaspiProc) -> GaspiResult<Option<RecoveryPlan>> {
         }
         RecoveryPlan::decode(&b[4..4 + len])
     })
+}
+
+/// Worker side: report `suspect` to the FD's control segment. Best
+/// effort: a failure to deliver (the FD may itself be unreachable) is not
+/// an error of *this* rank — the caller keeps holding position per the
+/// ordinary acknowledgment-wait discipline.
+pub fn report_suspect(
+    proc: &GaspiProc,
+    fd_rank: Rank,
+    suspect: Rank,
+    queue: u16,
+    timeout: Timeout,
+) -> GaspiResult<()> {
+    proc.notify(fd_rank, CTRL_SEG, SUSPECT_NOTIF_BASE + suspect, 1, queue)?;
+    match proc.wait(queue, timeout) {
+        Ok(()) | Err(ft_gaspi::GaspiError::QueueFailure { .. }) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// FD side: drain (read + reset) the suspect-report slots for all
+/// `total` ranks, returning the reported ranks in ascending order.
+pub fn drain_suspects(proc: &GaspiProc, total: u32) -> GaspiResult<Vec<Rank>> {
+    let mut reported = Vec::new();
+    for r in 0..total {
+        if proc.notify_reset(CTRL_SEG, SUSPECT_NOTIF_BASE + r)? != 0 {
+            reported.push(r);
+        }
+    }
+    Ok(reported)
 }
 
 /// Worker side: tell the FD the application has finished.

@@ -46,6 +46,13 @@ pub struct DetectorConfig {
     /// to 4096 ranks. `false` restores Listing 1's per-ping loop
     /// ([`glo_health_chk`]); both report the same failed set.
     pub batch: bool,
+    /// Hysteresis before a batched scan's suspects are re-ping-verified.
+    /// A link fault that breaks and heals within this window never
+    /// surfaces as a detection — the verifying re-ping crosses the healed
+    /// link — so transient partitions shorter than the grace cause no
+    /// spurious recovery. `ZERO` (the default) verifies immediately, the
+    /// pre-link-fault behavior.
+    pub suspect_grace: Duration,
 }
 
 impl Default for DetectorConfig {
@@ -57,6 +64,7 @@ impl Default for DetectorConfig {
             ack_queue: 0,
             ack_timeout: Timeout::Ms(2000),
             batch: true,
+            suspect_grace: Duration::ZERO,
         }
     }
 }
@@ -161,10 +169,26 @@ pub fn glo_health_chk_batched(
     targets: &[Rank],
     ping_timeout: Timeout,
 ) -> Vec<Rank> {
+    glo_health_chk_graced(proc, targets, ping_timeout, Duration::ZERO)
+}
+
+/// [`glo_health_chk_batched`] with a hysteresis window: suspects from the
+/// batch sit out `grace` before the verifying re-ping, so a link fault
+/// that heals within the window (see [`DetectorConfig::suspect_grace`])
+/// never surfaces as a detection. An all-healthy batch pays nothing.
+pub fn glo_health_chk_graced(
+    proc: &GaspiProc,
+    targets: &[Rank],
+    ping_timeout: Timeout,
+    grace: Duration,
+) -> Vec<Rank> {
     let suspects = match proc.proc_ping_many(targets, ping_timeout) {
         Ok(s) => s,
         Err(_) => targets.to_vec(),
     };
+    if !suspects.is_empty() && !grace.is_zero() {
+        std::thread::sleep(grace);
+    }
     suspects.into_iter().filter(|&r| proc.proc_ping(r, ping_timeout).is_err()).collect()
 }
 
@@ -285,11 +309,22 @@ pub fn run_detector_from(
         let targets: Vec<Rank> =
             (0..layout.total()).filter(|&r| r != me && !avoid.contains(&r)).collect();
         let t0 = Instant::now();
-        let newly = if cfg.batch {
-            glo_health_chk_batched(proc, &targets, cfg.ping_timeout)
+        let mut newly = if cfg.batch {
+            glo_health_chk_graced(proc, &targets, cfg.ping_timeout, cfg.suspect_grace)
         } else {
             glo_health_chk(proc, &targets, cfg.ping_timeout, cfg.threads)
         };
+        // Merge worker-reported suspects (the link-fault path): a severed
+        // worker↔worker link breaks the workers' one-sided ops while the
+        // FD's own pings — crossing intact FD links — keep succeeding, so
+        // reports are trusted without a re-ping. Recovery then enforces
+        // the suspect's death via `proc_kill` (§IV-A-a).
+        for r in ack::drain_suspects(proc, layout.total()).unwrap_or_default() {
+            if targets.contains(&r) && !newly.contains(&r) {
+                newly.push(r);
+            }
+        }
+        newly.sort_unstable();
         let dur = t0.elapsed();
         out.scans += 1;
         events.record(
@@ -446,6 +481,25 @@ mod tests {
         let p = world.proc_handle(7);
         let targets: Vec<Rank> = (0..7).collect();
         assert!(glo_health_chk_batched(&p, &targets, Timeout::Ms(500)).is_empty());
+    }
+
+    #[test]
+    fn graced_chk_forgives_a_link_that_heals_in_the_window() {
+        let world = GaspiWorld::new(GaspiConfig::deterministic(4));
+        let p = world.proc_handle(3);
+        world.fault().break_link(3, 1);
+        let fault = world.fault();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            fault.heal_link(3, 1);
+        });
+        let failed =
+            glo_health_chk_graced(&p, &[0, 1, 2], Timeout::Ms(20), Duration::from_millis(150));
+        h.join().unwrap();
+        assert!(failed.is_empty(), "link healed within the grace must not be a detection");
+        // The same fault without the grace is reported immediately.
+        world.fault().break_link(3, 1);
+        assert_eq!(glo_health_chk_batched(&p, &[0, 1, 2], Timeout::Ms(20)), vec![1]);
     }
 
     #[test]

@@ -109,6 +109,9 @@ impl FtCtx {
     fn new(proc: GaspiProc, cfg: FtConfig, events: EventLog) -> Self {
         let watch = HealthWatch::new(proc.clone(), cfg.policy.clone());
         let layout = cfg.layout;
+        // Aim broken-partner reports at the layout's detector; plan
+        // receipt re-aims (or disables) it as the detector moves.
+        watch.set_fd_rank(layout.fd_rank());
         let map = RankMap::identity(layout.num_workers);
         Self {
             proc,
@@ -127,6 +130,7 @@ impl FtCtx {
     }
 
     fn install(&self, group: Group, plan: RecoveryPlan) {
+        self.sync_fd_rank(&plan);
         let mut st = self.state.borrow_mut();
         st.map = plan.rank_map(&self.layout);
         st.group = Some(group);
@@ -136,9 +140,20 @@ impl FtCtx {
     /// Adopt a plan that does not affect the worker group (FD takeover,
     /// idle death): bookkeeping only, group untouched.
     fn install_plan_only(&self, plan: RecoveryPlan) {
+        self.sync_fd_rank(&plan);
         let mut st = self.state.borrow_mut();
         st.map = plan.rank_map(&self.layout);
         st.plan = plan;
+    }
+
+    /// Keep the watch's suspect-report target tracking the detector as
+    /// plans move (takeover) or retire (promotion) it.
+    fn sync_fd_rank(&self, plan: &RecoveryPlan) {
+        if let Some(fd) = plan.fd_rank {
+            self.watch.set_fd_rank(fd);
+        } else if !plan.fd_alive {
+            self.watch.clear_fd_rank();
+        }
     }
 
     fn set_app_rank(&self, app: u32) {
@@ -395,9 +410,10 @@ where
 /// thread. This is the process backend's child entry: each OS process
 /// hosts exactly one rank, so there is no fan-out and no join — the
 /// caller (the supervisor protocol in [`crate::process`]) aggregates
-/// per-process outcomes instead. Timed fault actions are applied by the
-/// supervisor as real SIGKILLs; only `at_iteration` kill points fire
-/// here.
+/// per-process outcomes instead. Timed kill actions are applied by the
+/// supervisor as real SIGKILLs; timed *link* actions run in-process on a
+/// timer the child starts itself (see `crate::process::run_child`), and
+/// `at_iteration` injections fire here.
 pub fn run_ft_rank<A, F>(
     world: &GaspiWorld,
     rank: Rank,

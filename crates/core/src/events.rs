@@ -99,6 +99,15 @@ pub enum EventKind {
         /// The dead primary.
         dead_fd: Rank,
     },
+    /// A link-fault transition involving this rank was enforced on its
+    /// fault plane (on the process backend this severs/refuses real TCP
+    /// traffic; in memory it gates simulated delivery).
+    LinkFault {
+        /// The other endpoint of the affected link.
+        peer: Rank,
+        /// True for a break, false for a heal.
+        broken: bool,
+    },
     /// More failures than spares: the job cannot heal (restriction 1).
     CapacityExhausted,
     /// Worker finished the application (at `iter`).

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ft_cluster::Rank;
 use ft_gaspi::{GaspiError, GaspiProc, Group, NotificationId, ReduceOp, SegId, Timeout};
 
 use crate::ack::{self, CTRL_SEG, EPOCH_NOTIF, SHUTDOWN_NOTIF};
@@ -31,25 +32,86 @@ pub struct CommPolicy {
     /// acknowledgment. Guards against the paper's restriction 2 (no FD
     /// left to acknowledge) turning into an infinite hang.
     pub abandon: Duration,
+    /// Queue used for worker→FD suspect reports (the link-fault path).
+    /// Must differ from any queue carrying the traffic being retried:
+    /// `report_suspect` waits on this queue, and waiting on the queue of
+    /// the broken operation would consume its completions. Defaults to
+    /// the highest default app queue.
+    pub suspect_queue: u16,
 }
 
 impl Default for CommPolicy {
     fn default() -> Self {
-        Self { attempt: Timeout::Ms(20), abandon: Duration::from_secs(10) }
+        Self { attempt: Timeout::Ms(20), abandon: Duration::from_secs(10), suspect_queue: 7 }
     }
 }
+
+/// Sentinel for "no FD rank configured" in [`HealthWatch::fd_rank`].
+const FD_UNSET: u64 = u64::MAX;
 
 /// The per-rank failure-acknowledgment watch.
 pub struct HealthWatch {
     proc: GaspiProc,
     seen_epoch: Arc<AtomicU64>,
     policy: CommPolicy,
+    /// Current detector rank, or [`FD_UNSET`]. Workers report broken
+    /// partners here (the paper's link-fault path: the FD's own pings may
+    /// not cross a severed worker↔worker link).
+    fd_rank: AtomicU64,
+    /// Ranks already reported — each suspect is flagged to the FD once.
+    reported: parking_lot::Mutex<std::collections::HashSet<Rank>>,
 }
 
 impl HealthWatch {
     /// Watch for acknowledgments on `proc`'s control segment.
     pub fn new(proc: GaspiProc, policy: CommPolicy) -> Self {
-        Self { proc, seen_epoch: Arc::new(AtomicU64::new(0)), policy }
+        Self {
+            proc,
+            seen_epoch: Arc::new(AtomicU64::new(0)),
+            policy,
+            fd_rank: AtomicU64::new(FD_UNSET),
+            reported: parking_lot::Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// Enable worker→FD suspect reporting, aimed at `fd`. The driver sets
+    /// this at startup and again whenever a recovery plan or takeover
+    /// moves the detector; without it the watch never reports (the
+    /// pre-link-fault behavior).
+    pub fn set_fd_rank(&self, fd: Rank) {
+        self.fd_rank.store(u64::from(fd), Ordering::Release);
+    }
+
+    /// Disable suspect reporting (no detector left — e.g. the FD promoted
+    /// itself to worker under restriction 2).
+    pub fn clear_fd_rank(&self) {
+        self.fd_rank.store(FD_UNSET, Ordering::Release);
+    }
+
+    /// Best-effort once-only suspect reports to the FD. Skips silently
+    /// when no FD is configured, when *we* are the FD, or when the
+    /// suspect *is* the FD (the FD-liveness watchdog owns that case).
+    fn report_broken(&self, ranks: &[Rank]) {
+        let fd = self.fd_rank.load(Ordering::Acquire);
+        if fd == FD_UNSET || fd == u64::from(self.proc.rank()) {
+            return;
+        }
+        let fd = fd as Rank;
+        let mut reported = self.reported.lock();
+        for &r in ranks {
+            if r == fd || r == self.proc.rank() || !reported.insert(r) {
+                continue;
+            }
+            // Delivery failure is tolerable: the FD may be unreachable
+            // too, and the ordinary scan-and-acknowledge path still runs.
+            let _ = ack::report_suspect(
+                &self.proc,
+                fd,
+                r,
+                self.policy.suspect_queue,
+                self.policy.attempt,
+            );
+        }
     }
 
     /// The underlying process handle.
@@ -103,12 +165,13 @@ impl HealthWatch {
 
     /// Generic retry loop shared by the `*_ft` wrappers.
     ///
-    /// Timeouts re-attempt. A *broken* completion (dead partner) is final
-    /// for this operation — the data did not arrive — so the loop stops
-    /// attempting and holds position, polling only the watch, until the
-    /// FD's acknowledgment (or the abandon deadline) arrives. This is the
-    /// paper's "keep on returning with GASPI_TIMEOUT unless a failure
-    /// acknowledgment is received".
+    /// Timeouts re-attempt. A *broken* completion (dead partner or severed
+    /// link) is final for this operation — the data did not arrive — so
+    /// the loop reports the broken partners to the FD (see
+    /// [`Self::report_broken`]), then stops attempting and holds position,
+    /// polling only the watch, until the FD's acknowledgment (or the
+    /// abandon deadline) arrives. This is the paper's "keep on returning
+    /// with GASPI_TIMEOUT unless a failure acknowledgment is received".
     fn retry<T>(&self, mut attempt: impl FnMut() -> Result<T, GaspiError>) -> FtResult<T> {
         let deadline = Instant::now() + self.policy.abandon;
         let mut broken = false;
@@ -120,7 +183,12 @@ impl HealthWatch {
                 match attempt() {
                     Ok(v) => return Ok(v),
                     Err(GaspiError::Timeout) => {}
-                    Err(GaspiError::QueueFailure { .. }) | Err(GaspiError::RemoteBroken { .. }) => {
+                    Err(GaspiError::QueueFailure { ranks, .. }) => {
+                        self.report_broken(&ranks);
+                        broken = true
+                    }
+                    Err(GaspiError::RemoteBroken { rank }) => {
+                        self.report_broken(&[rank]);
                         broken = true
                     }
                     Err(e) => return Err(FtError::Gaspi(e)),
@@ -238,7 +306,11 @@ mod tests {
         w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
         let watch = HealthWatch::new(
             w0,
-            CommPolicy { attempt: Timeout::Ms(5), abandon: Duration::from_secs(30) },
+            CommPolicy {
+                attempt: Timeout::Ms(5),
+                abandon: Duration::from_secs(30),
+                ..CommPolicy::default()
+            },
         );
         let fd2 = fd.clone();
         let layout2 = layout;
@@ -262,6 +334,37 @@ mod tests {
     }
 
     #[test]
+    fn broken_partner_is_reported_to_the_fd_once() {
+        let layout = WorldLayout::new(3, 1);
+        let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+        let fd = world.proc_handle(layout.fd_rank());
+        let w0 = world.proc_handle(0);
+        create_ctrl_segment(&fd, &layout).unwrap();
+        create_ctrl_segment(&w0, &layout).unwrap();
+        w0.segment_create(5, 64).unwrap();
+        // Sever the w0→w1 link only: the FD's own pings to rank 1 still
+        // succeed, so only the worker's report can surface the fault.
+        world.fault().break_link_directed(0, 1);
+        w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
+        let watch = HealthWatch::new(
+            w0.clone(),
+            CommPolicy {
+                attempt: Timeout::Ms(5),
+                abandon: Duration::from_millis(80),
+                ..CommPolicy::default()
+            },
+        );
+        watch.set_fd_rank(layout.fd_rank());
+        assert!(matches!(watch.wait_ft(0), Err(FtError::Gaspi(GaspiError::Timeout))));
+        let suspects = ack::drain_suspects(&fd, layout.total()).unwrap();
+        assert_eq!(suspects, vec![1], "w0 must flag its unreachable partner");
+        // Second trip over the same broken partner must not re-report.
+        w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
+        assert!(matches!(watch.wait_ft(0), Err(FtError::Gaspi(GaspiError::Timeout))));
+        assert!(ack::drain_suspects(&fd, layout.total()).unwrap().is_empty());
+    }
+
+    #[test]
     fn retry_abandons_without_fd() {
         let layout = WorldLayout::new(2, 1);
         let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
@@ -272,7 +375,11 @@ mod tests {
         w0.write(5, 0, 1, 5, 0, 8, 0).unwrap();
         let watch = HealthWatch::new(
             w0,
-            CommPolicy { attempt: Timeout::Ms(5), abandon: Duration::from_millis(100) },
+            CommPolicy {
+                attempt: Timeout::Ms(5),
+                abandon: Duration::from_millis(100),
+                ..CommPolicy::default()
+            },
         );
         let t0 = Instant::now();
         assert!(matches!(watch.wait_ft(0), Err(FtError::Gaspi(GaspiError::Timeout))));

@@ -44,9 +44,18 @@
 //! path becomes a process exit. Wall-clock `KillRank`/`KillNode` actions
 //! are **not** applied in children — the supervisor owns wall-clock time
 //! and delivers them as `SIGKILL`s, with no cooperation from the victim.
-//! `BreakLink`/`HealLink` have no process-backend enforcement (a real
-//! wire cannot be broken from user space) and are skipped with a note in
-//! the report.
+//! Wall-clock `BreakLink`/`HealLink` actions are enforced *in-process*:
+//! every child applies them to its local fault plane on the same clock
+//! (started at MAP time), and the TCP transport turns the table entry
+//! into real refusal — live sockets are severed, in-flight sends drain
+//! as `Broken`, and the receive side refuses frames per-connection — so
+//! a partition is symmetric across the wire without any supervisor
+//! cooperation. Step-indexed `BreakLink`/`HealLink` injections fire only
+//! on the crossing rank's own plane, which is exactly what makes
+//! *asymmetric* partitions (one side believes the link is down, the
+//! other does not) expressible. Enforced link ops are listed in
+//! [`ProcJobReport::link_faults`]; `skipped_actions` stays empty and is
+//! asserted on as a regression guard.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write as _};
@@ -80,8 +89,9 @@ pub struct ChildEnv {
     pub rank: Rank,
     /// Total ranks in the job.
     pub num_ranks: u32,
-    /// The full fault schedule (wall-clock actions are informational here;
-    /// the supervisor enforces them).
+    /// The full fault schedule. Wall-clock kills are the supervisor's to
+    /// enforce (as `SIGKILL`s); wall-clock link ops are applied by the
+    /// child itself to its local fault plane.
     pub schedule: FaultSchedule,
 }
 
@@ -149,7 +159,33 @@ where
     tcp.set_peers(&ports);
     let events = EventLog::new();
     let fd_rank = cfg.layout.fd_rank();
+    // Surface every link transition touching this rank in the event
+    // stream (both timed ops below and step-indexed injections).
+    {
+        let ev = events.clone();
+        let me = env.rank;
+        world.fault().on_link(move |src, dst, broken| {
+            if src == me {
+                ev.record(me, crate::events::EventKind::LinkFault { peer: dst, broken });
+            }
+        });
+    }
+    // Enforce wall-clock link ops in-process: each child applies them to
+    // its own fault plane on the supervisor's clock (started at MAP
+    // time), and the TCP transport severs/refuses accordingly. Kills stay
+    // with the supervisor — a victim cannot be trusted to sign its own
+    // death warrant, but a partition needs exactly this local knowledge.
+    let link_timer = {
+        let mut links = FaultSchedule::none();
+        for (after, a) in env.schedule.timed_actions() {
+            if matches!(a, FaultAction::BreakLink(..) | FaultAction::HealLink(..)) {
+                links = links.timed(*after, a.clone());
+            }
+        }
+        (!links.timed_actions().is_empty()).then(|| links.start_timer(world.fault()))
+    };
     let outcome = run_ft_rank(&world, env.rank, cfg, env.schedule, events.clone(), make_app);
+    drop(link_timer); // cancel link ops the job outlived
 
     // Linger until the detector's shutdown broadcast (bounded): a process
     // that exits resets its sockets, and under real fail-stop a completed
@@ -329,8 +365,15 @@ pub struct ProcJobReport {
     /// rendering of each [`crate::events::EventKind`], prefixed by the
     /// recording rank.
     pub event_lines: Vec<String>,
-    /// Wall-clock actions the process backend could not enforce
-    /// (`BreakLink`/`HealLink`).
+    /// Wall-clock link ops enforced in-process by the children (each
+    /// endpoint applies them to its local fault plane; the TCP transport
+    /// severs/refuses accordingly). Additive to the per-rank `outcomes`,
+    /// so report consumers can tell a partition run from a kill-only run.
+    pub link_faults: Vec<FaultAction>,
+    /// Wall-clock actions the process backend could not enforce. Every
+    /// action class is enforced today — kills by the supervisor, link ops
+    /// by the children — so this must stay empty; the conformance sweep
+    /// asserts on it as a regression guard.
     pub skipped_actions: Vec<FaultAction>,
 }
 
@@ -465,7 +508,7 @@ pub fn run_supervisor(cfg: SupervisorConfig) -> io::Result<ProcJobReport> {
     // now enforced by this thread, as real signals.
     let timer_host = Arc::clone(&host);
     let timed: Vec<(Duration, FaultAction)> = cfg.schedule.timed_actions().to_vec();
-    let skipped: Vec<FaultAction> = timed
+    let link_faults: Vec<FaultAction> = timed
         .iter()
         .filter(|(_, a)| matches!(a, FaultAction::BreakLink(..) | FaultAction::HealLink(..)))
         .map(|(_, a)| a.clone())
@@ -495,6 +538,8 @@ pub fn run_supervisor(cfg: SupervisorConfig) -> io::Result<ProcJobReport> {
                 match action {
                     FaultAction::KillRank(r) => timer_host.kill_rank(r),
                     FaultAction::KillNode(n) => timer_host.kill_node(n),
+                    // Enforced in-process: every child applies link ops to
+                    // its own fault plane on the same clock (see run_child).
                     FaultAction::BreakLink(..) | FaultAction::HealLink(..) => {}
                 }
             }
@@ -559,7 +604,7 @@ pub fn run_supervisor(cfg: SupervisorConfig) -> io::Result<ProcJobReport> {
         .enumerate()
         .map(|(rank, status)| classify(status, results.remove(&(rank as Rank))))
         .collect();
-    Ok(ProcJobReport { outcomes, event_lines, skipped_actions: skipped })
+    Ok(ProcJobReport { outcomes, event_lines, link_faults, skipped_actions: Vec::new() })
 }
 
 fn classify(status: Option<std::process::ExitStatus>, result: Option<String>) -> ProcOutcome {

@@ -117,7 +117,11 @@ mod tests {
                 let events = EventLog::new();
                 let watch = HealthWatch::new(
                     p,
-                    CommPolicy { attempt: Timeout::Ms(100), abandon: Duration::from_secs(10) },
+                    CommPolicy {
+                        attempt: Timeout::Ms(100),
+                        abandon: Duration::from_secs(10),
+                        ..CommPolicy::default()
+                    },
                 );
                 let g = execute_recovery(&watch, &layout2, &plan, None, Timeout::Ms(2000), &events)
                     .expect("recovery");
