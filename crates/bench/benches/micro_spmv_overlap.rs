@@ -13,10 +13,21 @@
 //! merged `spmv_overlap` counter family (posts, exchanges, overlap vs.
 //! stall time, overlap efficiency), which also goes into the JSON report.
 //!
+//! On top of the job modes, a **kernel sweep** times every raw spMVM
+//! variant — {CSR, SELL-C-σ} × {seq, threaded, blocked, simd,
+//! simd+threaded} — on the same graphene-sparsity matrix in one process,
+//! reporting sustained GFLOP/s per variant (2·nnz flops per product).
+//! The JSON schema is `gaspi-ft/spmv-overlap/v2`: v1 plus the `kernels`
+//! section (entries carry `variant` + `gflops`), per-mode `gflops`, the
+//! machine's `cores` (CI only enforces SIMD ≥ scalar on ≥ 4 cores), and
+//! the build's default `kernel_policy`.
+//!
 //! Run: `cargo bench -p ft-bench --bench micro_spmv_overlap`
 //! Environment: `SPMV_OVERLAP_ITERS` (default 200), `SPMV_OVERLAP_WORKERS`
-//! (default 3) scale the job.
+//! (default 3) scale the job; `FT_SPMV_SMOKE=1` shrinks both the job and
+//! the sweep for CI smoke runs.
 
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,7 +37,10 @@ use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtError, FtResult, RecoveryPla
 use ft_gaspi::{GaspiConfig, GaspiWorld, SegId, Timeout};
 use ft_matgen::graphene::Graphene;
 use ft_matgen::RowGen;
-use ft_sparse::{det_allreduce_sum, CommPlan, DistMatrix, HaloStats, RowPartition, SpmvComm};
+use ft_sparse::{
+    det_allreduce_sum, CommPlan, Csr, DistMatrix, HaloStats, KernelPolicy, KernelStats,
+    RowPartition, SellCSigma, SpmvComm,
+};
 use ft_telemetry::{Json, TelemetrySnapshot};
 
 const SEG_HALO: SegId = 1;
@@ -203,16 +217,85 @@ fn run_mode(
     ModeResult { mode, wall_per_iter_ns: wall, halo, checksum }
 }
 
+struct KernelResult {
+    variant: &'static str,
+    stats: KernelStats,
+}
+
+/// Time every raw kernel variant on the full (undistributed) graphene
+/// matrix: sustained GFLOP/s at the paper's sparsity, one process, no
+/// communication. The variants that thread use `threads` workers.
+fn kernel_sweep(gen: &Graphene, iters: u64, threads: usize) -> (Vec<KernelResult>, usize) {
+    let n = gen.dim();
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|i| gen.row_vec(i).into_iter().map(|e| (e.col as u32, e.val)).collect())
+        .collect();
+    let a = Csr::from_rows(&rows, n as usize);
+    let s = SellCSigma::from_csr(&a, 32, 128);
+    let flops_per = 2 * a.nnz() as u64;
+    let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.43).sin()).collect();
+    type Kernel<'m> = (&'static str, Box<dyn Fn(&[f64], &mut [f64]) + 'm>);
+    let variants: Vec<Kernel> = vec![
+        ("csr_seq", Box::new(|x, y| a.spmv(x, y))),
+        ("csr_threaded", Box::new(|x, y| a.spmv_threaded(x, y, threads))),
+        ("csr_blocked", Box::new(|x, y| a.spmv_blocked(x, y))),
+        ("csr_simd", Box::new(|x, y| a.spmv_simd(x, y))),
+        ("csr_simd_threaded", Box::new(|x, y| a.spmv_simd_threaded(x, y, threads))),
+        ("sell_seq", Box::new(|x, y| s.spmv(x, y))),
+        ("sell_threaded", Box::new(|x, y| s.spmv_threaded(x, y, threads))),
+        ("sell_simd", Box::new(|x, y| s.spmv_simd(x, y))),
+        ("sell_simd_threaded", Box::new(|x, y| s.spmv_simd_threaded(x, y, threads))),
+    ];
+    let mut out = Vec::new();
+    let mut y = vec![0.0; n as usize];
+    for (variant, kernel) in &variants {
+        // Warm caches (and fault in the SELL chunk maps) before timing.
+        for _ in 0..3 {
+            kernel(black_box(&x), black_box(&mut y));
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            kernel(black_box(&x), black_box(&mut y));
+        }
+        let kernel_ns = t0.elapsed().as_nanos() as u64;
+        out.push(KernelResult {
+            variant,
+            stats: KernelStats { spmvs: iters, kernel_ns, flops: flops_per * iters },
+        });
+    }
+    (out, a.nnz())
+}
+
 fn main() {
-    let iters: u64 =
-        std::env::var("SPMV_OVERLAP_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let smoke = std::env::var("FT_SPMV_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let iters: u64 = std::env::var("SPMV_OVERLAP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 40 } else { 200 });
     let workers: u32 =
         std::env::var("SPMV_OVERLAP_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let sweep_iters: u64 = if smoke { 60 } else { 400 };
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let gen = Arc::new(Graphene::new(64, 48).with_nnn(-0.1));
     println!(
         "spMVM overlap: graphene 64x48 ({} rows) on {workers} workers, {iters} iterations per mode\n",
         gen.dim()
     );
+
+    // Kernel sweep first: raw per-variant GFLOP/s, no communication.
+    eprintln!("running: kernel sweep ({sweep_iters} products per variant) ...");
+    let (kernels, global_nnz) = kernel_sweep(&gen, sweep_iters, 2.min(cores));
+    let mut kt = Table::new(&["variant", "ns/spmv", "GFLOP/s"]);
+    let mut kernel_totals = KernelStats::default();
+    for k in &kernels {
+        kernel_totals.merge(&k.stats);
+        kt.row(vec![
+            k.variant.to_string(),
+            (k.stats.kernel_ns / k.stats.spmvs.max(1)).to_string(),
+            format!("{:.3}", k.stats.gflops()),
+        ]);
+    }
+    println!("{}", kt.render());
 
     let mut t = Table::new(&[
         "mode",
@@ -242,12 +325,18 @@ fn main() {
         ]);
         if mode == Mode::OverlapThreaded {
             // Write the unified counter report from the last world, with
-            // the merged halo stats as the spmv_overlap family.
-            let counters = TelemetrySnapshot::of_world(&world).with_spmv_overlap(r.halo);
+            // the merged halo stats as the spmv_overlap family and the
+            // sweep totals as the spmv_kernel family.
+            let counters = TelemetrySnapshot::of_world(&world)
+                .with_spmv_overlap(r.halo)
+                .with_spmv_kernel(kernel_totals);
+            let mode_flops = 2 * global_nnz as u64; // one distributed product
             let doc = Json::obj([
-                ("schema", Json::Str("gaspi-ft/spmv-overlap/v1".into())),
+                ("schema", Json::Str("gaspi-ft/spmv-overlap/v2".into())),
                 ("workers", Json::num_u64(u64::from(workers))),
                 ("iters", Json::num_u64(iters)),
+                ("cores", Json::num_u64(cores as u64)),
+                ("kernel_policy", Json::Str(format!("{:?}", KernelPolicy::auto()))),
                 (
                     "modes",
                     Json::Obj(
@@ -255,12 +344,35 @@ fn main() {
                             .iter()
                             .chain([&r])
                             .map(|m: &ModeResult| {
+                                let gflops =
+                                    mode_flops as f64 / (m.wall_per_iter_ns as f64).max(1.0);
                                 (
                                     m.mode.name().to_string(),
                                     Json::obj([
                                         ("wall_per_iter_ns", Json::num_u64(m.wall_per_iter_ns)),
                                         ("overlap_ns", Json::num_u64(m.halo.overlap_ns)),
                                         ("wait_stall_ns", Json::num_u64(m.halo.wait_stall_ns)),
+                                        ("gflops", Json::Num(gflops)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "kernels",
+                    Json::Obj(
+                        kernels
+                            .iter()
+                            .map(|k| {
+                                (
+                                    k.variant.to_string(),
+                                    Json::obj([
+                                        ("variant", Json::Str(k.variant.into())),
+                                        ("gflops", Json::Num(k.stats.gflops())),
+                                        ("spmvs", Json::num_u64(k.stats.spmvs)),
+                                        ("kernel_ns", Json::num_u64(k.stats.kernel_ns)),
+                                        ("flops", Json::num_u64(k.stats.flops)),
                                     ]),
                                 )
                             })
@@ -303,5 +415,18 @@ fn main() {
             "WARNING: overlapped ({} ns) > synchronous ({} ns) this run",
             overlap.wall_per_iter_ns, sync.wall_per_iter_ns
         );
+    }
+    let gflops_of = |variant: &str| {
+        kernels.iter().find(|k| k.variant == variant).map_or(0.0, |k| k.stats.gflops())
+    };
+    for (simd, scalar) in [("csr_simd", "csr_seq"), ("sell_simd", "sell_seq")] {
+        let (gs, gq) = (gflops_of(simd), gflops_of(scalar));
+        if gs >= gq {
+            println!("OK: {simd} ({gs:.3} GFLOP/s) ≥ {scalar} ({gq:.3} GFLOP/s)");
+        } else {
+            // Informational here; CI enforces this only on ≥ 4-core
+            // runners, where the comparison is stable.
+            println!("WARNING: {simd} ({gs:.3} GFLOP/s) < {scalar} ({gq:.3} GFLOP/s) this run");
+        }
     }
 }

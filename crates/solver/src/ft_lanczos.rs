@@ -58,8 +58,14 @@ pub struct FtLanczosConfig {
     /// Timeout for checkpoint fetches during restore.
     pub fetch_timeout: Duration,
     /// Use SELL-C-σ kernels (GHOST's format) for the local spMVM parts:
-    /// `Some((C, σ))`. Results are bitwise identical to the CSR kernels.
+    /// `Some((C, σ))`. Results are bitwise identical to the CSR kernels
+    /// under the scalar kernel policy (the SIMD CSR kernel reorders
+    /// row reductions; see `ft_sparse::simd`).
     pub sell: Option<(usize, usize)>,
+    /// Kernel dispatch policy: `None` follows the build's default
+    /// ([`ft_sparse::KernelPolicy::auto`]); tests pin `Scalar` to assert
+    /// bitwise cross-format properties regardless of cargo features.
+    pub kernel: Option<ft_sparse::KernelPolicy>,
 }
 
 impl FtLanczosConfig {
@@ -73,6 +79,7 @@ impl FtLanczosConfig {
             pfs: None,
             fetch_timeout: Duration::from_secs(5),
             sell: None,
+            kernel: None,
         }
     }
 }
@@ -144,6 +151,9 @@ impl FtLanczos {
         let mut dm = DistMatrix::assemble(self.cfg.gen.as_ref(), part, me, plan);
         if let Some((c, sigma)) = self.cfg.sell {
             dm = dm.with_sell(c, sigma);
+        }
+        if let Some(kernel) = self.cfg.kernel {
+            dm = dm.with_kernel(kernel);
         }
         let comm = SpmvComm::new(&ctx.proc, &dm.plan, SEG_HALO, SEG_STAGE, HALO_QUEUE)?;
         self.dm = Some(dm);

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 //! # ft-sparse — distributed spMVM with fault-aware one-sided halo exchange
 //!
 //! The paper's application substrate (§V): a sparse matrix–vector
@@ -30,10 +31,12 @@ pub mod halo;
 pub mod partition;
 pub mod plan;
 pub mod sell;
+pub mod simd;
 
 pub use csr::Csr;
-pub use dist::{det_allreduce_sum, DistMatrix};
+pub use dist::{det_allreduce_sum, DistMatrix, KernelPolicy, KernelStats};
 pub use halo::{HaloStats, PendingExchange, SpmvComm};
 pub use partition::RowPartition;
 pub use plan::CommPlan;
 pub use sell::SellCSigma;
+pub use simd::{row_cond, simd_ulp_bound, ulp_diff, ulp_eq};

@@ -26,6 +26,7 @@
 //!   row-blocked parallelism without locks or unsafe code.
 
 use crate::csr::Csr;
+use crate::simd::{F64x4, LANES};
 
 /// Lane accumulators up to this chunk height live on the stack; the spMVM
 /// entry points only touch the heap for (unusual) larger C.
@@ -183,6 +184,81 @@ impl SellCSigma {
         }
     }
 
+    /// The vectorized row-block worker — this is what the SELL-C-σ
+    /// layout was built for. The inner lane loop of [`SellCSigma::spmv_block`]
+    /// runs [`LANES`] chunk rows at a time: at column `j`, lanes
+    /// `[g, g+4)` load four values and four gathered `x` entries and
+    /// accumulate element-wise; the partial group at the live boundary
+    /// falls back to scalar lanes.
+    ///
+    /// Because each SIMD lane *is* one row's accumulator, every row's
+    /// additions happen in exactly the sequential kernel's order — this
+    /// variant is **bitwise identical** to [`SellCSigma::spmv`] (unlike
+    /// the CSR SIMD kernel, which splits within-row reductions and is
+    /// only ULP-bounded). Padded lanes are skipped via `lane_len`
+    /// exactly as in the scalar kernel, so padding stays inert.
+    fn spmv_block_simd(
+        &self,
+        x: &[f64],
+        y_block: &mut [f64],
+        y_origin: usize,
+        chunks: std::ops::Range<usize>,
+        accumulate: bool,
+        acc: &mut [f64],
+    ) {
+        debug_assert!(x.len() >= self.ncols);
+        debug_assert_eq!(acc.len(), self.c);
+        for chunk in chunks {
+            let width = self.chunk_len[chunk];
+            let base = self.chunk_ptr[chunk];
+            let lens = &self.lane_len[chunk * self.c..(chunk + 1) * self.c];
+            acc[..].fill(0.0);
+            let mut live = self.c;
+            for j in 0..width {
+                while live > 0 && (lens[live - 1] as usize) <= j {
+                    live -= 1;
+                }
+                let off = base + j * self.c;
+                let mut lane = 0usize;
+                while lane + LANES <= live {
+                    let idx = off + lane;
+                    let v = F64x4::from_array([
+                        self.vals[idx],
+                        self.vals[idx + 1],
+                        self.vals[idx + 2],
+                        self.vals[idx + 3],
+                    ]);
+                    let xs = F64x4::from_array([
+                        x[self.cols[idx] as usize],
+                        x[self.cols[idx + 1] as usize],
+                        x[self.cols[idx + 2] as usize],
+                        x[self.cols[idx + 3] as usize],
+                    ]);
+                    let mut a =
+                        F64x4::from_array([acc[lane], acc[lane + 1], acc[lane + 2], acc[lane + 3]]);
+                    a.mul_acc(v, xs);
+                    acc[lane..lane + LANES].copy_from_slice(&a.to_array());
+                    lane += LANES;
+                }
+                for (lane, a) in acc.iter_mut().enumerate().take(live).skip(lane) {
+                    let idx = off + lane;
+                    *a += self.vals[idx] * x[self.cols[idx] as usize];
+                }
+            }
+            for (lane, &a) in acc.iter().enumerate() {
+                let k = chunk * self.c + lane;
+                if k < self.nrows {
+                    let yi = self.perm[k] as usize - y_origin;
+                    if accumulate {
+                        y_block[yi] += a;
+                    } else {
+                        y_block[yi] = a;
+                    }
+                }
+            }
+        }
+    }
+
     /// Run `f` with a lane-accumulator slice of length C, on the stack
     /// when C is small.
     fn with_acc<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
@@ -207,30 +283,74 @@ impl SellCSigma {
         self.with_acc(|acc| self.spmv_block(x, y, 0, 0..self.chunk_len.len(), true, acc));
     }
 
+    /// `y = A·x` with the across-row SIMD kernel; **bitwise identical**
+    /// to [`SellCSigma::spmv`] (see `spmv_block_simd` for why the
+    /// vectorization does not reorder any row's sum).
+    pub fn spmv_simd(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.nrows);
+        self.with_acc(|acc| self.spmv_block_simd(x, y, 0, 0..self.chunk_len.len(), false, acc));
+    }
+
+    /// `y += A·x`, SIMD; bitwise identical to [`SellCSigma::spmv_add`].
+    pub fn spmv_add_simd(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.nrows);
+        self.with_acc(|acc| self.spmv_block_simd(x, y, 0, 0..self.chunk_len.len(), true, acc));
+    }
+
     /// `y = A·x` with up to `threads` scoped worker threads, bitwise
     /// identical to [`SellCSigma::spmv`] (every row's additions run in the
     /// same order on exactly one thread).
     pub fn spmv_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
-        self.spmv_threaded_impl(x, y, threads, false);
+        self.spmv_threaded_impl(x, y, threads, false, false);
     }
 
     /// `y += A·x`, threaded; bitwise identical to
     /// [`SellCSigma::spmv_add`].
     pub fn spmv_add_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
-        self.spmv_threaded_impl(x, y, threads, true);
+        self.spmv_threaded_impl(x, y, threads, true, false);
+    }
+
+    /// `y = A·x`, threaded over the SIMD chunk kernel; bitwise identical
+    /// to [`SellCSigma::spmv`] (threading and vectorization both
+    /// preserve per-row addition order here).
+    pub fn spmv_simd_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        self.spmv_threaded_impl(x, y, threads, false, true);
+    }
+
+    /// `y += A·x`, threaded SIMD; bitwise identical to
+    /// [`SellCSigma::spmv_add`].
+    pub fn spmv_add_simd_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        self.spmv_threaded_impl(x, y, threads, true, true);
     }
 
     /// Row-blocked threading over whole σ-windows: the permutation is
     /// window-local, so each block of windows owns a contiguous `y`
-    /// range, split with `split_at_mut` — no locks, no unsafe.
-    fn spmv_threaded_impl(&self, x: &[f64], y: &mut [f64], threads: usize, accumulate: bool) {
+    /// range, split with `split_at_mut` — no locks, no unsafe. `simd`
+    /// picks the per-block chunk kernel.
+    fn spmv_threaded_impl(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        threads: usize,
+        accumulate: bool,
+        simd: bool,
+    ) {
         debug_assert_eq!(y.len(), self.nrows);
         let nchunks = self.chunk_len.len();
         let chunks_per_window = self.sigma / self.c;
         let nwindows = nchunks.div_ceil(chunks_per_window);
         let threads = threads.clamp(1, nwindows.max(1));
+        let run = |y_block: &mut [f64], origin: usize, chunks: std::ops::Range<usize>| {
+            self.with_acc(|acc| {
+                if simd {
+                    self.spmv_block_simd(x, y_block, origin, chunks, accumulate, acc);
+                } else {
+                    self.spmv_block(x, y_block, origin, chunks, accumulate, acc);
+                }
+            })
+        };
         if threads <= 1 {
-            return self.with_acc(|acc| self.spmv_block(x, y, 0, 0..nchunks, accumulate, acc));
+            return run(y, 0, 0..nchunks);
         }
         std::thread::scope(|s| {
             let mut rest: &mut [f64] = y;
@@ -243,9 +363,7 @@ impl SellCSigma {
                 rest = tail;
                 let chunks = chunk_start..chunk_end;
                 let origin = row_start;
-                s.spawn(move || {
-                    self.with_acc(|acc| self.spmv_block(x, block, origin, chunks, accumulate, acc))
-                });
+                s.spawn(move || run(block, origin, chunks));
                 chunk_start = chunk_end;
                 row_start = row_end;
             }

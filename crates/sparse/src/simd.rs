@@ -1,0 +1,236 @@
+//! The SIMD lane abstraction and the ULP-bounded comparison layer.
+//!
+//! # Lane semantics (the correctness contract)
+//!
+//! Every vectorized kernel in this crate is written against `F64x4`
+//! (crate-private):
+//! four independent f64 lanes with *element-wise* IEEE-754 multiply and
+//! add (never fused). Two backends implement it:
+//!
+//! * **portable SIMD** (`--features portable-simd`, nightly only):
+//!   a thin wrapper over `std::simd::f64x4`;
+//! * **scalar-unrolled fallback** (default, stable): `[f64; 4]` with
+//!   element-wise loops, shaped so LLVM can auto-vectorize and the four
+//!   accumulator chains break the sequential dependence even when it
+//!   does not.
+//!
+//! Both backends perform *identical* IEEE arithmetic (same operations,
+//! same order, no FMA contraction), so a kernel's result is **bitwise
+//! identical across backends**. What can differ is the kernel's result
+//! versus the *sequential* kernel's, and only where the kernel reorders
+//! a reduction:
+//!
+//! * `SellCSigma::spmv_simd` vectorizes **across rows** (one chunk lane
+//!   per SIMD lane) — every row's additions happen in the sequential
+//!   order, so it is **bitwise identical** to `SellCSigma::spmv`.
+//! * `Csr::spmv_simd` splits each row's reduction over [`LANES`]
+//!   accumulators and reduces them in the fixed tree
+//!   `(l0 + l1) + (l2 + l3)` — a genuine reordering, so agreement with
+//!   `Csr::spmv` is **ULP-bounded**, not bitwise (see below).
+//!
+//! # The stated ULP bound
+//!
+//! For a row with `n` stored entries, both the sequential and the
+//! lane-split summation of the terms `tⱼ = aᵢⱼ·xⱼ` have forward error at
+//! most `(n−1)·u·Σ|tⱼ|` with `u = 2⁻⁵³` (the standard recursive-sum
+//! bound; the lane-split order is just another summation tree over the
+//! same terms). Their difference is therefore at most
+//! `2·(n−1)·u·Σ|tⱼ| = 2·(n−1)·cond·u·|y|` where
+//! `cond = Σ|tⱼ| / |y|` is the condition of the row sum. One ULP of `y`
+//! is at least `u·|y|`, so the results differ by at most
+//! `2·(n−1)·cond` ULPs. [`simd_ulp_bound`] returns `4·n·cond + 8`, a
+//! safe ceiling of that bound (the slack covers the final `y += acc`
+//! add and the `ulp(y) ∈ [u|y|, 2u|y|)` binade ambiguity).
+//!
+//! The bound — like any relative-error statement — is meaningful only
+//! while intermediate sums stay finite: once a partial sum overflows or
+//! a row mixes `±∞`, the two orders may legitimately produce different
+//! non-finite results. What *is* guaranteed unconditionally is
+//! containment: no variant ever reads a padded SELL slot or an entry
+//! outside the row, so a NaN/Inf poisons exactly the rows whose stored
+//! entries reference it (asserted by the float-edge tests).
+
+/// SIMD width used by every vectorized kernel (f64 lanes).
+pub const LANES: usize = 4;
+
+/// Four f64 lanes with element-wise (never fused) IEEE arithmetic. See
+/// the module docs for the backend-agreement contract.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct F64x4(Repr);
+
+#[cfg(feature = "portable-simd")]
+type Repr = std::simd::f64x4;
+#[cfg(not(feature = "portable-simd"))]
+type Repr = [f64; LANES];
+
+impl F64x4 {
+    /// All lanes zero.
+    #[inline(always)]
+    pub(crate) fn zero() -> Self {
+        Self::from_array([0.0; LANES])
+    }
+
+    #[inline(always)]
+    pub(crate) fn from_array(a: [f64; LANES]) -> Self {
+        #[cfg(feature = "portable-simd")]
+        {
+            Self(std::simd::f64x4::from_array(a))
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        {
+            Self(a)
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn to_array(self) -> [f64; LANES] {
+        #[cfg(feature = "portable-simd")]
+        {
+            self.0.to_array()
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        {
+            self.0
+        }
+    }
+
+    /// `self[l] += v[l] * x[l]` per lane — a separate multiply and add
+    /// (no FMA), so both backends round identically.
+    #[inline(always)]
+    pub(crate) fn mul_acc(&mut self, v: Self, x: Self) {
+        #[cfg(feature = "portable-simd")]
+        {
+            self.0 = v.0 * x.0 + self.0;
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        {
+            for l in 0..LANES {
+                self.0[l] += v.0[l] * x.0[l];
+            }
+        }
+    }
+
+    /// The fixed lane-reduction tree `(l0 + l1) + (l2 + l3)`.
+    #[inline(always)]
+    pub(crate) fn reduce_tree(self) -> f64 {
+        let a = self.to_array();
+        (a[0] + a[1]) + (a[2] + a[3])
+    }
+}
+
+/// Map an f64 to a monotone integer key: `a < b` (as floats, with
+/// `-0.0 < +0.0` collapsed) iff `key(a) < key(b)`. Infinities sit one
+/// step past the largest finite values; NaN is handled by the callers.
+fn ulp_key(x: f64) -> i128 {
+    let b = x.to_bits() as i64;
+    if b >= 0 {
+        i128::from(b)
+    } else {
+        -i128::from(b & i64::MAX)
+    }
+}
+
+/// Distance between `a` and `b` in units of representable f64 steps
+/// ("ULPs" in the units-in-the-last-place sense across binades).
+///
+/// * `a == b` (including `+0.0` vs `-0.0`) → 0;
+/// * both NaN → 0 (the values "agree" — used by the conformance suite
+///   to accept NaN-for-NaN);
+/// * exactly one NaN → `u64::MAX`;
+/// * otherwise the number of representable values between them
+///   (saturating), with infinities adjacent to the extreme finites.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => return 0,
+        (true, false) | (false, true) => return u64::MAX,
+        (false, false) => {}
+    }
+    let d = (ulp_key(a) - ulp_key(b)).unsigned_abs();
+    u64::try_from(d).unwrap_or(u64::MAX)
+}
+
+/// Shared comparison helper of the kernel-conformance suite: `a` and `b`
+/// agree to within `max_ulps` representable steps (see [`ulp_diff`] for
+/// the NaN/zero conventions).
+pub fn ulp_eq(a: f64, b: f64, max_ulps: u64) -> bool {
+    ulp_diff(a, b) <= max_ulps
+}
+
+/// The stated conformance bound for the lane-split CSR SIMD kernel
+/// versus the sequential one: `4·n·cond + 8` ULPs for a row with
+/// `row_nnz` stored entries and row-sum condition `cond` (see the module
+/// docs for the derivation; `cond ≤ 1` and non-finite `cond` are
+/// clamped). [`row_cond`] computes `cond` from the term magnitudes.
+pub fn simd_ulp_bound(row_nnz: usize, cond: f64) -> u64 {
+    if !cond.is_finite() {
+        return u64::MAX;
+    }
+    let b = 4.0 * row_nnz.max(1) as f64 * cond.max(1.0) + 8.0;
+    if b >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        b as u64
+    }
+}
+
+/// Condition of a row sum: `Σ|tⱼ| / |y|` — 1.0 when nothing cancels,
+/// growing as cancellation eats significant digits. `abs_sum` is the sum
+/// of term magnitudes, `result` the rounded row sum. An all-zero row
+/// conditions to 1.0; an exactly-cancelled nonzero row to `+∞` (the
+/// bound then passes vacuously, which is the honest answer: no finite
+/// ULP statement survives total cancellation).
+pub fn row_cond(abs_sum: f64, result: f64) -> f64 {
+    if abs_sum == 0.0 {
+        return 1.0;
+    }
+    abs_sum / result.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_diff_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(f64::NAN, f64::NAN), 0);
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        // Across zero: -min_positive .. +min_positive is two steps.
+        assert_eq!(ulp_diff(f64::from_bits(1), -f64::from_bits(1)), 2);
+        // Infinity is adjacent to MAX.
+        assert_eq!(ulp_diff(f64::MAX, f64::INFINITY), 1);
+        assert!(ulp_eq(1.0, 1.0 + f64::EPSILON, 8));
+        assert!(!ulp_eq(1.0, 2.0, 8));
+    }
+
+    #[test]
+    fn bound_scales_with_nnz_and_cond() {
+        assert_eq!(simd_ulp_bound(1, 1.0), 12);
+        assert!(simd_ulp_bound(100, 1.0) > simd_ulp_bound(10, 1.0));
+        assert!(simd_ulp_bound(10, 50.0) > simd_ulp_bound(10, 1.0));
+        assert_eq!(simd_ulp_bound(10, f64::INFINITY), u64::MAX);
+        assert_eq!(simd_ulp_bound(0, 0.5), 12);
+    }
+
+    #[test]
+    fn cond_of_cancellation() {
+        assert_eq!(row_cond(0.0, 0.0), 1.0);
+        assert_eq!(row_cond(2.0, 2.0), 1.0);
+        assert_eq!(row_cond(2.0, 0.5), 4.0);
+        assert!(row_cond(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn lanes_do_elementwise_ieee() {
+        let mut acc = F64x4::zero();
+        acc.mul_acc(F64x4::from_array([1.0, 2.0, 3.0, 4.0]), F64x4::from_array([0.5; LANES]));
+        assert_eq!(acc.to_array(), [0.5, 1.0, 1.5, 2.0]);
+        acc.mul_acc(F64x4::from_array([1.0; LANES]), F64x4::from_array([1.0, 0.0, 0.0, 0.0]));
+        assert_eq!(acc.reduce_tree(), (1.5 + 1.0) + (1.5 + 2.0));
+    }
+}

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 
 use ft_matgen::random::RandomSym;
 use ft_matgen::RowGen;
-use ft_sparse::{CommPlan, Csr, DistMatrix, RowPartition, SellCSigma};
+use ft_sparse::{
+    row_cond, simd_ulp_bound, ulp_diff, ulp_eq, CommPlan, Csr, DistMatrix, KernelPolicy,
+    RowPartition, SellCSigma,
+};
 
 proptest! {
     /// Ranges tile, owner agrees, sizes differ by at most one.
@@ -175,6 +178,12 @@ proptest! {
     /// and that shared result matches the dense reference to tolerance
     /// (the halo summation order legitimately differs from the global
     /// order, so "bitwise" is across paths, not against the reference).
+    ///
+    /// The kernel policy is pinned to [`KernelPolicy::Scalar`]: the
+    /// bitwise promise is a property of the scalar/threaded/blocked
+    /// family regardless of build features; the SIMD dispatch has its
+    /// own ULP-bounded property below and the full variant matrix in
+    /// `tests/conformance.rs`.
     #[test]
     fn all_spmv_paths_agree_bitwise(
         n in 1u64..100,
@@ -199,7 +208,7 @@ proptest! {
         for me in 0..parts {
             let needed = DistMatrix::needed_columns(&gen, &part, me);
             let plan = CommPlan::receives_from_needs(me, parts, &needed);
-            let dm = DistMatrix::assemble(&gen, part, me, plan);
+            let dm = DistMatrix::assemble(&gen, part, me, plan).with_kernel(KernelPolicy::Scalar);
             let r = part.range(me);
             let x_local: Vec<f64> = r.clone().map(|i| x[i as usize]).collect();
             let mut halo = vec![0.0; dm.plan.halo_len];
@@ -239,4 +248,81 @@ proptest! {
             prop_assert_eq!(&bits(&y_sell_thr), &want, "SELL threaded");
         }
     }
+
+    /// The SIMD kernel policy agrees with the scalar one to within the
+    /// stated per-row ULP bound through the `DistMatrix` dispatch (CSR
+    /// kernels; the reduction is genuinely reordered), and **bitwise**
+    /// through the SELL-C-σ kernels (across-row vectorization preserves
+    /// every row's addition order).
+    #[test]
+    fn simd_policy_is_ulp_bounded_against_scalar(
+        n in 1u64..100,
+        parts in 1u32..5,
+        bw in 0u64..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+        c in 1usize..9,
+        sigma_mult in 1usize..5,
+    ) {
+        prop_assume!(n >= u64::from(parts));
+        let gen = RandomSym::new(n, bw, density, seed);
+        let part = RowPartition::new(n, parts);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).cos()).collect();
+        for me in 0..parts {
+            let needed = DistMatrix::needed_columns(&gen, &part, me);
+            let plan = CommPlan::receives_from_needs(me, parts, &needed);
+            let dm = DistMatrix::assemble(&gen, part, me, plan);
+            let r = part.range(me);
+            let x_local: Vec<f64> = r.clone().map(|i| x[i as usize]).collect();
+            let mut halo = vec![0.0; dm.plan.halo_len];
+            for recv in &dm.plan.recvs {
+                for (k, &col) in recv.cols.iter().enumerate() {
+                    halo[recv.halo_offset + k] = x[col as usize];
+                }
+            }
+            let nloc = dm.local_len();
+            let dm_scalar = dm.clone().with_kernel(KernelPolicy::Scalar);
+            let dm_simd = dm.with_kernel(KernelPolicy::Simd);
+            let mut y_scalar = vec![0.0; nloc];
+            let mut y_simd = vec![0.0; nloc];
+            dm_scalar.spmv(&x_local, &halo, &mut y_scalar);
+            dm_simd.spmv(&x_local, &halo, &mut y_simd);
+            for (k, row) in r.clone().enumerate() {
+                let terms = gen.row_vec(row);
+                let abs_sum: f64 =
+                    terms.iter().map(|e| (e.val * x[e.col as usize]).abs()).sum();
+                let bound = simd_ulp_bound(terms.len(), row_cond(abs_sum, y_scalar[k]));
+                prop_assert!(
+                    ulp_eq(y_scalar[k], y_simd[k], bound),
+                    "row {}: scalar {} vs simd {} differs by {} ulps (bound {})",
+                    row, y_scalar[k], y_simd[k], ulp_diff(y_scalar[k], y_simd[k]), bound
+                );
+            }
+            // Through SELL the two policies are bitwise identical.
+            let dms_scalar = dm_scalar.with_sell(c, c * sigma_mult);
+            let dms_simd = dms_scalar.clone().with_kernel(KernelPolicy::Simd);
+            let mut y_sell_scalar = vec![0.0; nloc];
+            let mut y_sell_simd = vec![0.0; nloc];
+            dms_scalar.spmv(&x_local, &halo, &mut y_sell_scalar);
+            dms_simd.spmv(&x_local, &halo, &mut y_sell_simd);
+            prop_assert_eq!(bits(&y_sell_scalar), bits(&y_sell_simd), "SELL simd is bitwise");
+        }
+    }
+}
+
+/// Promoted from `props.proptest-regressions` (the shimmed proptest runner
+/// keeps no regression corpus): `halo_slots_are_dense_and_exact` with
+/// `cols_per_owner = [[846], [846]]` — two owners both claiming global
+/// column 846. The dedup-across-owners step must leave the second owner's
+/// list empty rather than double-planning the column into two halo slots.
+#[test]
+fn regression_duplicate_column_across_owners_claims_one_slot() {
+    let mut needed = std::collections::BTreeMap::new();
+    needed.insert(1u32, vec![846u64]);
+    needed.insert(2u32, Vec::new()); // owner 2's claim deduped away
+    let plan = CommPlan::receives_from_needs(0, 16, &needed);
+    assert_eq!(plan.halo_len, 1);
+    assert_eq!(plan.halo_slot(846), Some(0));
+    assert_eq!(plan.recvs.len(), 1, "empty claims must not produce a recv spec");
+    assert_eq!(plan.recvs[0].from, 1);
 }
