@@ -20,11 +20,19 @@ use ft_gaspi::{GaspiConfig, GaspiWorld};
 fn run_with(kind: InlineKind, fd_on: bool, workers: u32, iters: u64) -> (Duration, Duration) {
     let layout = WorldLayout::new(workers, 1);
     let world = GaspiWorld::new(GaspiConfig::new(layout.total()).with_seed(99));
-    let mut cfg = FtConfig::new(layout);
-    cfg.max_iters = iters;
-    cfg.checkpoint_every = 0;
-    cfg.detector.scan_interval =
-        if fd_on { Duration::from_millis(30) } else { Duration::from_secs(3600) };
+    let cfg = FtConfig::builder(layout)
+        .max_iters(iters)
+        .checkpoint_every(0)
+        .detector(ft_core::DetectorConfig {
+            scan_interval: if fd_on {
+                Duration::from_millis(30)
+            } else {
+                Duration::from_secs(3600)
+            },
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let mc = MiniConfig {
         work: Duration::from_micros(200),
         inline_kind: kind,

@@ -197,9 +197,7 @@ fn run_mode(
     mode: Mode,
 ) -> ModeResult {
     let layout = WorldLayout::new(workers, 1);
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 0;
-    cfg.max_iters = iters;
+    let cfg = FtConfig::builder(layout).checkpoint_every(0).max_iters(iters).build().unwrap();
     let gen = Arc::clone(gen);
     let report = run_ft_job(world, cfg, FaultSchedule::none(), move |_ctx| {
         SpmvBench::new(Arc::clone(&gen), mode, 2)

@@ -77,16 +77,18 @@ pub fn measure_detection(
 
         let layout = WorldLayout::new(nodes, 2);
         let world = GaspiWorld::new(GaspiConfig::new(layout.total()).with_seed(seed + run as u64));
-        let mut cfg = FtConfig::new(layout);
         // Keep the run alive well past the kill plus detection and
         // recovery. No busy-spin work: this harness also runs on small
         // machines where hundreds of spinning rank threads would starve
         // the detector (the workers' allreduce per step keeps the job
         // live and synchronized either way).
-        cfg.max_iters = 1_000_000; // ended by the stop flag below
-        cfg.checkpoint_every = 0;
-        cfg.detector.scan_interval = scan_interval;
-        cfg.policy.abandon = Duration::from_secs(60);
+        let cfg = FtConfig::builder(layout)
+            .max_iters(1_000_000) // ended by the stop flag below
+            .checkpoint_every(0)
+            .detector(ft_core::DetectorConfig { scan_interval, ..Default::default() })
+            .abandon(Duration::from_secs(60))
+            .build()
+            .unwrap();
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mc = MiniConfig { stop: Some(std::sync::Arc::clone(&stop)), ..MiniConfig::default() };
 

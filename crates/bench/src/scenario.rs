@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use ft_checkpoint::{CkptStats, Pfs, PfsConfig};
 use ft_cluster::{FaultAction, FaultSchedule, Rank};
-use ft_core::{run_ft_job, FtConfig, JobReport, WorldLayout};
+use ft_core::{run_ft_job, DetectorConfig, FtConfig, JobReport, StrategyKind, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld};
 use ft_matgen::graphene::Graphene;
 use ft_solver::ft_lanczos::{FtLanczos, FtLanczosConfig, LanczosSummary};
@@ -59,6 +59,9 @@ pub struct Workload {
     pub scan_interval: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Recovery model the whole run uses (the strategy matrix reruns
+    /// the same scenarios once per kind).
+    pub strategy: StrategyKind,
 }
 
 impl Default for Workload {
@@ -72,6 +75,7 @@ impl Default for Workload {
             checkpoint_every: 100,
             scan_interval: Duration::from_millis(30),
             seed: 0xF164,
+            strategy: StrategyKind::CheckpointRestart,
         }
     }
 }
@@ -175,13 +179,22 @@ pub fn fig4_scenarios(w: &Workload) -> Vec<Scenario> {
 pub fn run_scenario(w: &Workload, sc: &Scenario) -> ScenarioResult {
     let layout = WorldLayout::new(w.workers, w.spares);
     let world = GaspiWorld::new(GaspiConfig::new(layout.total()).with_seed(w.seed));
-    let mut cfg = FtConfig::new(layout);
-    cfg.max_iters = w.iters;
-    cfg.checkpoint_every = if sc.checkpointing { w.checkpoint_every } else { 0 };
-    cfg.detector.scan_interval =
-        if sc.health_check { w.scan_interval } else { Duration::from_secs(3600) };
-    cfg.detector.threads = sc.fd_threads;
-    cfg.policy.abandon = Duration::from_secs(60);
+    let cfg = FtConfig::builder(layout)
+        .max_iters(w.iters)
+        .checkpoint_every(if sc.checkpointing { w.checkpoint_every } else { 0 })
+        .detector(DetectorConfig {
+            scan_interval: if sc.health_check {
+                w.scan_interval
+            } else {
+                Duration::from_secs(3600)
+            },
+            threads: sc.fd_threads,
+            ..Default::default()
+        })
+        .abandon(Duration::from_secs(60))
+        .strategy(w.strategy)
+        .build()
+        .expect("scenario config must validate");
 
     let gen = Graphene::new(w.lx, w.ly).with_nnn(-0.1);
     let app_cfg = Arc::new(FtLanczosConfig {

@@ -9,8 +9,7 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
-use ft_core::ckpt::consistent_restore;
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
 use ft_core::{FtApp, FtCtx, FtResult, RecoveryPlan};
 use ft_gaspi::ReduceOp;
 
@@ -56,26 +55,26 @@ impl FtApp for SweepApp {
         Ok(false)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        let mut e = Enc::new();
-        e.u64(iter).f64(self.acc);
-        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().unwrap();
-                self.acc = d.f64().unwrap();
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        Ok(Some(e.finish()))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64()?;
+        self.acc = d.f64()?;
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {

@@ -142,6 +142,7 @@ impl SweepReport {
                     ("seed", Json::num_u64(self.cfg.seed)),
                     ("max_iters", Json::num_u64(self.cfg.max_iters)),
                     ("checkpoint_every", Json::num_u64(self.cfg.checkpoint_every)),
+                    ("strategy", Json::Str(self.cfg.strategy.name().to_string())),
                 ]),
             ),
             ("enumerated", Json::num_u64(self.enumerated as u64)),

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use ft_cluster::{site_is_deterministic, FaultSchedule, Injection, SiteRecord};
-use ft_core::{run_ft_job, FtConfig, JobReport, WorldLayout};
+use ft_core::{run_ft_job, DetectorConfig, FtConfig, JobReport, StrategyKind, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld, Timeout};
 
 use crate::app::SweepApp;
@@ -37,6 +37,10 @@ pub struct SweepConfig {
     /// `ft_core::DetectorConfig::suspect_grace`). Zero — immediate
     /// verification — except in the transient-partition scenarios.
     pub suspect_grace: Duration,
+    /// Recovery model every replay runs (the sweep enumerates that
+    /// strategy's own injection sites, so each model is swept against
+    /// its own failure surface).
+    pub strategy: StrategyKind,
 }
 
 impl SweepConfig {
@@ -51,6 +55,7 @@ impl SweepConfig {
             record_cap: 2,
             abandon: Duration::from_secs(3),
             suspect_grace: Duration::ZERO,
+            strategy: StrategyKind::CheckpointRestart,
         }
     }
 
@@ -58,17 +63,23 @@ impl SweepConfig {
     /// in-memory backend and the process backend's supervisor/children,
     /// which must agree on it exactly).
     pub fn ft_config(&self) -> FtConfig {
-        let mut ft = FtConfig::new(WorldLayout::new(self.workers, self.spares));
-        ft.checkpoint_every = self.checkpoint_every;
-        ft.max_iters = self.max_iters;
-        ft.policy.abandon = self.abandon;
-        // Replays are serial; a fast detector keeps the sweep wall-clock
-        // proportional to the triple count, not to detection latency.
-        ft.detector.scan_interval = Duration::from_millis(5);
-        ft.detector.ping_timeout = Timeout::Ms(60);
-        ft.detector.ack_timeout = Timeout::Ms(500);
-        ft.detector.suspect_grace = self.suspect_grace;
-        ft
+        FtConfig::builder(WorldLayout::new(self.workers, self.spares))
+            .checkpoint_every(self.checkpoint_every)
+            .max_iters(self.max_iters)
+            .abandon(self.abandon)
+            .strategy(self.strategy)
+            // Replays are serial; a fast detector keeps the sweep
+            // wall-clock proportional to the triple count, not to
+            // detection latency.
+            .detector(DetectorConfig {
+                scan_interval: Duration::from_millis(5),
+                ping_timeout: Timeout::Ms(60),
+                ack_timeout: Timeout::Ms(500),
+                suspect_grace: self.suspect_grace,
+                ..Default::default()
+            })
+            .build()
+            .expect("sweep world config must validate")
     }
 }
 

@@ -76,6 +76,36 @@ fn deterministic_triples_replay_to_the_same_outcome() {
 }
 
 #[test]
+fn sweep_covers_abft_and_replication_sites_without_violations() {
+    // The same exhaustive explorer, pointed at the other two recovery
+    // models: each strategy's own steady-state sites appear in the
+    // enumeration (the parity-encode point for ABFT, the replica-push
+    // point for replication) and every kill placed there — and at every
+    // other site — still satisfies the chaos contract.
+    for (strategy, site) in [
+        (ft_core::StrategyKind::Abft, "strategy.abft.encode"),
+        (ft_core::StrategyKind::Replicated, "strategy.replica.push"),
+    ] {
+        let cfg = SweepConfig { strategy, ..SweepConfig::ci() };
+        let report = exhaustive_sweep(&cfg, None);
+        assert!(
+            report.replayed.iter().any(|t| t.site == site),
+            "[{}] sweep never enumerated {site}",
+            strategy.name()
+        );
+        assert!(
+            report.violations.is_empty(),
+            "[{}] contract violations: {:#?}",
+            strategy.name(),
+            report.violations
+        );
+        // The strategy's own sites are rank-thread program order —
+        // deterministic, so replay comparisons stay meaningful.
+        assert!(report.replayed.iter().filter(|t| t.site == site).all(|t| t.deterministic));
+    }
+}
+
+#[test]
 fn pair_sweep_reaches_inside_the_recovery_window() {
     let cfg = SweepConfig::ci();
     let pairs = pair_sweep(&cfg);

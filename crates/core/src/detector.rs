@@ -53,6 +53,12 @@ pub struct DetectorConfig {
     /// spurious recovery. `ZERO` (the default) verifies immediately, the
     /// pre-link-fault behavior.
     pub suspect_grace: Duration,
+    /// Prefer each app rank's *designated shadow* spare
+    /// ([`WorldLayout::designated_shadow`]) when assigning a rescue, so a
+    /// replication strategy's hot standby is the process that adopts the
+    /// state it has been mirroring. Falls back to the ordinary pool order
+    /// when the designated spare is unavailable.
+    pub designated_shadows: bool,
 }
 
 impl Default for DetectorConfig {
@@ -65,6 +71,7 @@ impl Default for DetectorConfig {
             ack_timeout: Timeout::Ms(2000),
             batch: true,
             suspect_grace: Duration::ZERO,
+            designated_shadows: false,
         }
     }
 }
@@ -354,9 +361,18 @@ pub fn run_detector_from(
             for &f in &newly {
                 failed_cum.push(f);
                 idle_pool.retain(|&x| x != f);
-                if map.app_of(f).is_some() {
-                    // A worker died: it needs a rescue.
-                    let rescue = idle_pool.pop_front().or_else(|| {
+                if let Some(app) = map.app_of(f) {
+                    // A worker died: it needs a rescue. With designated
+                    // shadows on, the app rank's own standby spare is
+                    // preferred while it is still in the pool.
+                    let designated = cfg
+                        .designated_shadows
+                        .then(|| layout.designated_shadow(app))
+                        .filter(|d| idle_pool.contains(d));
+                    if let Some(d) = designated {
+                        idle_pool.retain(|&x| x != d);
+                    }
+                    let rescue = designated.or_else(|| idle_pool.pop_front()).or_else(|| {
                         if promoted {
                             None
                         } else {

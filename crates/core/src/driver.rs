@@ -13,9 +13,11 @@
 //! [`EventLog`] the benchmark harnesses feed on.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ft_checkpoint::{Checkpointer, CopyPolicy};
 use ft_cluster::{FaultSchedule, Rank};
 use ft_gaspi::{
     GaspiProc, GaspiResult, GaspiWorld, Group, NotificationId, RankOutcome, ReduceOp, SegId,
@@ -30,6 +32,7 @@ use crate::health::{CommPolicy, HealthWatch};
 use crate::layout::{RankMap, WorldLayout};
 use crate::plan::RecoveryPlan;
 use crate::recovery::execute_recovery;
+use crate::strategy::{RecoveryStrategy, StrategyKind};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +56,8 @@ pub struct FtConfig {
     /// tolerant". Requires `layout.num_spares >= 2`; costs one rescue
     /// slot.
     pub redundant_fd: bool,
+    /// Recovery model every worker runs (all members must agree).
+    pub strategy: StrategyKind,
 }
 
 impl FtConfig {
@@ -66,12 +71,129 @@ impl FtConfig {
             max_iters: 1000,
             recovery_step: Timeout::Ms(500),
             redundant_fd: false,
+            strategy: StrategyKind::CheckpointRestart,
         }
+    }
+
+    /// A validating builder over the same defaults (the supported way to
+    /// customize; see [`FtConfigBuilder`]).
+    pub fn builder(layout: WorldLayout) -> FtConfigBuilder {
+        FtConfigBuilder { cfg: Self::new(layout) }
     }
 
     /// The shadow detector's rank, when enabled.
     pub fn shadow_rank(&self) -> Option<Rank> {
         (self.redundant_fd && self.layout.num_spares >= 2).then(|| self.layout.total() - 2)
+    }
+}
+
+/// A config rejected by [`FtConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtConfigError {
+    /// `max_iters` was 0 — the job would finish before its first step.
+    ZeroIters,
+    /// `redundant_fd` needs at least two spares (shadow + detector).
+    ShadowNeedsSpares {
+        /// Spares the layout actually has.
+        have: u32,
+    },
+    /// The replication strategy needs at least one rescue slot to host a
+    /// designated shadow.
+    ReplicationNeedsSpares,
+}
+
+impl fmt::Display for FtConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtConfigError::ZeroIters => write!(f, "max_iters must be > 0"),
+            FtConfigError::ShadowNeedsSpares { have } => {
+                write!(f, "redundant_fd requires >= 2 spares, layout has {have}")
+            }
+            FtConfigError::ReplicationNeedsSpares => {
+                write!(f, "the replicated strategy requires >= 1 rescue slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtConfigError {}
+
+/// Fluent, validating construction of [`FtConfig`] (mirrors
+/// `CheckpointerConfig::builder`). Invalid combinations are rejected at
+/// [`build`](Self::build) time instead of failing mid-job.
+#[derive(Debug, Clone)]
+pub struct FtConfigBuilder {
+    cfg: FtConfig,
+}
+
+impl FtConfigBuilder {
+    /// Fault-detector tuning.
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.cfg.detector = detector;
+        self
+    }
+
+    /// Retry policy for fault-tolerant communication.
+    pub fn policy(mut self, policy: CommPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Checkpoint every `n` iterations (0 = never).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.cfg.checkpoint_every = n;
+        self
+    }
+
+    /// Stop after `n` iterations.
+    pub fn max_iters(mut self, n: u64) -> Self {
+        self.cfg.max_iters = n;
+        self
+    }
+
+    /// Per-attempt timeout for recovery steps.
+    pub fn recovery_step(mut self, t: Timeout) -> Self {
+        self.cfg.recovery_step = t;
+        self
+    }
+
+    /// Give up on fault-tolerant communication after this long without
+    /// progress (shorthand for setting `policy.abandon`).
+    pub fn abandon(mut self, t: Duration) -> Self {
+        self.cfg.policy.abandon = t;
+        self
+    }
+
+    /// Run the shadow fault detector (paper §VIII).
+    pub fn redundant_fd(mut self, on: bool) -> Self {
+        self.cfg.redundant_fd = on;
+        self
+    }
+
+    /// Select the recovery model.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Validate and produce the config. Selecting
+    /// [`StrategyKind::Replicated`] turns on designated-shadow rescue
+    /// assignment in the detector, so each app rank's hot standby is the
+    /// spare that actually adopts it.
+    pub fn build(mut self) -> Result<FtConfig, FtConfigError> {
+        if self.cfg.max_iters == 0 {
+            return Err(FtConfigError::ZeroIters);
+        }
+        if self.cfg.redundant_fd && self.cfg.layout.num_spares < 2 {
+            return Err(FtConfigError::ShadowNeedsSpares { have: self.cfg.layout.num_spares });
+        }
+        if self.cfg.strategy == StrategyKind::Replicated {
+            if self.cfg.layout.rescue_capacity() < 1 {
+                return Err(FtConfigError::ReplicationNeedsSpares);
+            }
+            self.cfg.detector.designated_shadows = true;
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -252,12 +374,56 @@ pub trait FtApp {
     /// One iteration. Return `Ok(true)` when converged.
     fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool>;
 
-    /// Write checkpoint for the state after `iter` iterations.
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()>;
+    /// The checkpoint stream carrying this app's state, plus the fetch
+    /// timeout for restores — the handle the default `checkpoint` /
+    /// `restore` path runs on. Return `None` (the default) only if the
+    /// app overrides both of those methods itself.
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        None
+    }
+
+    /// Encode the full solver state after `iter` completed iterations as
+    /// one self-describing blob (same codec the app's checkpoints use).
+    /// Powers the default `checkpoint` and the ABFT/replication
+    /// strategies; `None` (the default) opts out of both.
+    fn export_state(&self, ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        let _ = (ctx, iter);
+        Ok(None)
+    }
+
+    /// Install a blob previously produced by `export_state` (or fetched
+    /// from the `state_stream`); return the iteration it represents.
+    fn load_state(&mut self, ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let _ = (ctx, data);
+        Err(FtError::Unsupported("load_state"))
+    }
+
+    /// Reset to the initial (iteration-0) state, for collective
+    /// fresh-start decisions.
+    fn reset_state(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        let _ = ctx;
+        Err(FtError::Unsupported("reset_state"))
+    }
+
+    /// Write checkpoint for the state after `iter` iterations. The
+    /// default commits `export_state` into the `state_stream` at version
+    /// `iter / checkpoint_every`; override for custom commit policies
+    /// (PFS drains, incremental encodings).
+    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
+        let blob = self.export_state(ctx, iter)?.ok_or(FtError::Unsupported("export_state"))?;
+        let (ck, _) = self.state_stream().ok_or(FtError::Unsupported("state_stream"))?;
+        ck.commit(iter / ctx.cfg.checkpoint_every.max(1), blob, CopyPolicy::Replicate);
+        Ok(())
+    }
 
     /// Restore from the newest *consistent* checkpoint; return the
-    /// iteration to resume from.
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64>;
+    /// iteration to resume from. The default runs the group vote +
+    /// fetch-confirm protocol over the `state_stream` and installs the
+    /// result through `load_state` / `reset_state` — the loop every app
+    /// used to hand-roll.
+    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
+        crate::strategy::checkpoint_restore(self, ctx)
+    }
 
     /// React to a completed recovery: refresh communication partners and
     /// the checkpoint library's neighbor list (rank map has changed).
@@ -517,7 +683,8 @@ fn run_rank<A: FtApp>(
         };
         ctx.install(group, plan0);
         let mut app = make_app(&ctx);
-        match worker_run(&ctx, &mut app, schedule, 0, true) {
+        let mut strat = ctx.cfg.strategy.build::<A>(&ctx);
+        match worker_run(&ctx, &mut app, strat.as_mut(), schedule, 0, true) {
             Ok(summary) => report(Role::Worker, Some(ctx.app_rank()), Some(summary), None, None),
             Err(e) => {
                 abort_job(&ctx);
@@ -683,6 +850,7 @@ fn become_rescue<A: FtApp>(
     let layout = ctx.layout;
     let rank = ctx.proc.rank();
     let mut app: Option<A> = None;
+    let mut strat = ctx.cfg.strategy.build::<A>(ctx);
     let start_iter = loop {
         let app_rank = plan.adopted_app_rank(&layout, rank).ok_or(FtError::CapacityExhausted)?;
         ctx.set_app_rank(app_rank);
@@ -694,8 +862,10 @@ fn become_rescue<A: FtApp>(
                 let a = app.get_or_insert_with(|| make_app(ctx));
                 a.join_as_rescue(ctx)?;
                 a.rewire(ctx, &plan)?;
-                match a.restore(ctx) {
-                    Ok(iter) => {
+                let restored = strat.on_failure(ctx, &plan).and_then(|()| strat.restore(ctx, a));
+                match restored {
+                    Ok(decision) => {
+                        let iter = decision.resume_iter();
                         ctx.events.record(rank, EventKind::Restored { epoch: plan.epoch, iter });
                         ctx.watch.acknowledge(plan.epoch);
                         // State is re-homed: from now on this rank
@@ -712,7 +882,7 @@ fn become_rescue<A: FtApp>(
         }
     };
     let mut app = app.expect("rescue app constructed");
-    let summary = worker_run(ctx, &mut app, schedule, start_iter, false)?;
+    let summary = worker_run(ctx, &mut app, strat.as_mut(), schedule, start_iter, false)?;
     Ok((ctx.app_rank(), summary))
 }
 
@@ -724,6 +894,7 @@ fn recover_once(ctx: &FtCtx, plan: &RecoveryPlan, prev: Option<Group>) -> FtResu
 fn worker_run<A: FtApp>(
     ctx: &FtCtx,
     app: &mut A,
+    strat: &mut dyn RecoveryStrategy<A>,
     schedule: &FaultSchedule,
     start_iter: u64,
     fresh: bool,
@@ -741,7 +912,10 @@ fn worker_run<A: FtApp>(
     // `Some(resume_iteration)` after a real recovery, `None` for a benign
     // plan (e.g. a shadow-detector takeover or a failed idle) that leaves
     // the worker group untouched — no rollback needed then.
-    let handle = |app: &mut A, mut plan: RecoveryPlan| -> Result<Option<u64>, FtError> {
+    let handle = |app: &mut A,
+                  strat: &mut dyn RecoveryStrategy<A>,
+                  mut plan: RecoveryPlan|
+     -> Result<Option<u64>, FtError> {
         loop {
             if plan.worker_set(&ctx.layout) == ctx.plan().worker_set(&ctx.layout) {
                 // The worker group is unaffected (FD change or idle
@@ -755,8 +929,11 @@ fn worker_run<A: FtApp>(
                 Ok(group) => {
                     ctx.install(group, plan.clone());
                     app.rewire(ctx, &plan)?;
-                    match app.restore(ctx) {
-                        Ok(resume) => {
+                    let restored =
+                        strat.on_failure(ctx, &plan).and_then(|()| strat.restore(ctx, app));
+                    match restored {
+                        Ok(decision) => {
+                            let resume = decision.resume_iter();
                             ctx.events.record(
                                 rank,
                                 EventKind::Restored { epoch: plan.epoch, iter: resume },
@@ -799,27 +976,32 @@ fn worker_run<A: FtApp>(
                     ctx.events.record(rank, EventKind::Finished { iter });
                     break;
                 }
-                if ctx.cfg.checkpoint_every > 0 && iter.is_multiple_of(ctx.cfg.checkpoint_every) {
-                    match app.checkpoint(ctx, iter) {
-                        Ok(()) => {
-                            ctx.proc.injection_site("driver.checkpoint.commit");
-                            let version = iter / ctx.cfg.checkpoint_every;
-                            ctx.events.record(rank, EventKind::Checkpoint { version, iter });
-                        }
-                        Err(FtError::Signal(FtSignal::Recover(plan))) => {
-                            if let Some(resume) = handle(app, plan)? {
-                                iter = resume;
+                // The strategy's steady-state work: interval checkpoints
+                // for C/R, parity encoding for ABFT, replica pushes for
+                // replication.
+                match strat.prepare(ctx, app, iter) {
+                    Ok(()) => {}
+                    Err(FtError::Signal(FtSignal::Recover(plan))) => {
+                        if let Some(resume) = handle(app, strat, plan)? {
+                            iter = resume;
+                            // A resume at the failure frontier (ABFT
+                            // reconstruction, replication takeover) loses
+                            // no work: record a redo interval only when
+                            // there is one.
+                            if resume < max_iter {
                                 redo = Some((ctx.plan().epoch, max_iter));
                             }
                         }
-                        Err(e) => return Err(e),
                     }
+                    Err(e) => return Err(e),
                 }
             }
             Err(FtError::Signal(FtSignal::Recover(plan))) => {
-                if let Some(resume) = handle(app, plan)? {
+                if let Some(resume) = handle(app, strat, plan)? {
                     iter = resume;
-                    redo = Some((ctx.plan().epoch, max_iter));
+                    if resume < max_iter {
+                        redo = Some((ctx.plan().epoch, max_iter));
+                    }
                 }
             }
             Err(e) => return Err(e),

@@ -32,6 +32,9 @@ pub enum FtError {
     /// The job cannot continue: more failures than spare processes
     /// (paper restriction 1) or the FD itself is gone (restriction 2).
     CapacityExhausted,
+    /// The application does not implement an [`crate::driver::FtApp`]
+    /// hook the selected recovery strategy requires (the named one).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for FtError {
@@ -44,6 +47,9 @@ impl fmt::Display for FtError {
             FtError::Gaspi(e) => write!(f, "GASPI error: {e}"),
             FtError::Codec(e) => write!(f, "checkpoint codec error: {e}"),
             FtError::CapacityExhausted => write!(f, "fault-tolerance capacity exhausted"),
+            FtError::Unsupported(hook) => {
+                write!(f, "application does not provide the `{hook}` hook")
+            }
         }
     }
 }

@@ -36,10 +36,12 @@ pub mod layout;
 pub mod plan;
 pub mod process;
 pub mod recovery;
+pub mod strategy;
 
 pub use detector::DetectorConfig;
 pub use driver::{
-    run_ft_job, run_ft_job_with, run_ft_rank, FtApp, FtConfig, FtCtx, JobReport, RankReport, Role,
+    run_ft_job, run_ft_job_with, run_ft_rank, FtApp, FtConfig, FtConfigBuilder, FtConfigError,
+    FtCtx, JobReport, RankReport, Role,
 };
 pub use error::{FtError, FtResult, FtSignal};
 pub use events::{Event, EventKind, EventLog};
@@ -49,4 +51,7 @@ pub use plan::RecoveryPlan;
 pub use process::{
     child_env, run_child, run_supervisor, ChildEnv, ProcJobReport, ProcOutcome, ProcResult,
     ProcessHost, SupervisorConfig,
+};
+pub use strategy::{
+    Abft, CheckpointRestart, RecoveryStrategy, Replicated, RestoreDecision, StrategyKind,
 };

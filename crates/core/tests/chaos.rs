@@ -11,9 +11,8 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
 use ft_cluster::{FaultAction, FaultSchedule};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
 
@@ -52,26 +51,26 @@ impl FtApp for Acc {
         Ok(false)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        let mut e = Enc::new();
-        e.u64(iter).f64(self.acc);
-        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().unwrap();
-                self.acc = d.f64().unwrap();
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        Ok(Some(e.finish()))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64().unwrap();
+        self.acc = d.f64().unwrap();
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
@@ -115,11 +114,13 @@ fn storm(seed: u64) {
     }
 
     let world = GaspiWorld::new(GaspiConfig::deterministic(total).with_seed(seed));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 10;
-    cfg.max_iters = 600;
-    cfg.redundant_fd = redundant && spares >= 2;
-    cfg.policy.abandon = Duration::from_secs(5);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(10)
+        .max_iters(600)
+        .redundant_fd(redundant && spares >= 2)
+        .abandon(Duration::from_secs(5))
+        .build()
+        .unwrap();
     let report = run_ft_job(&world, cfg, schedule, Acc::new);
 
     let summaries = report.worker_summaries();
@@ -208,10 +209,12 @@ fn chaos_storm_512_ranks() {
     }
 
     let world = GaspiWorld::new(GaspiConfig::deterministic(total).with_seed(512));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 5;
-    cfg.max_iters = 10;
-    cfg.policy.abandon = Duration::from_secs(60);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(5)
+        .max_iters(10)
+        .abandon(Duration::from_secs(60))
+        .build()
+        .unwrap();
     let report = run_ft_job(&world, cfg, schedule, Acc::new);
 
     let summaries = report.worker_summaries();

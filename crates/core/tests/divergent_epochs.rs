@@ -14,7 +14,6 @@ use std::time::Duration;
 
 use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
 use ft_cluster::{FaultSchedule, Injection};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{run_ft_job, EventKind, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
 
@@ -63,19 +62,20 @@ impl FtApp for Acc {
         Ok(())
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().unwrap();
-                self.acc = d.f64().unwrap();
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64().unwrap();
+        self.acc = d.f64().unwrap();
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
@@ -94,10 +94,12 @@ fn run_divergent(inj: Injection) -> (Vec<u64>, bool) {
     let layout = WorldLayout::new(workers, 2);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
     let schedule = FaultSchedule::none().inject(inj);
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 4;
-    cfg.max_iters = iters;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(4)
+        .max_iters(iters)
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     let report = run_ft_job(&world, cfg, schedule, Acc::new);
 
     let summaries = report.worker_summaries();

@@ -9,7 +9,6 @@ use std::time::Duration;
 use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc};
 use ft_cluster::FaultSchedule;
 use ft_core::ack::FIRST_APP_SEG;
-use ft_core::ckpt::consistent_restore;
 use ft_core::{
     run_ft_job, FtApp, FtConfig, FtCtx, FtError, FtResult, RecoveryPlan, Role, WorldLayout,
 };
@@ -97,28 +96,24 @@ impl FtApp for ToyApp {
         Ok(false)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        // Versions must be consecutive: use the checkpoint counter, not
-        // the iteration number (the payload carries the iteration).
-        let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.commit(version, self.encode_state(iter), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.state_ck, FETCH))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        let source = ctx.restore_source();
-        match consistent_restore(ctx, &self.state_ck, source, FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().expect("state iter");
-                self.acc = d.f64().expect("state acc");
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        Ok(Some(self.encode_state(iter)))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64().expect("state iter");
+        self.acc = d.f64().expect("state acc");
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
@@ -149,10 +144,12 @@ fn job(
 ) -> ft_core::JobReport<f64> {
     let layout = WorldLayout::new(workers, spares);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = ckpt_every;
-    cfg.max_iters = iters;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(ckpt_every)
+        .max_iters(iters)
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     let pfs = ft_checkpoint::Pfs::new(ft_checkpoint::PfsConfig::instant());
     run_ft_job(&world, cfg, schedule, move |ctx| ToyApp::new(ctx, &pfs))
 }
@@ -265,11 +262,13 @@ fn simultaneous_failures_single_detection_round() {
     // Node 0 hosts ranks {0,1,2}; kill it mid-run.
     let schedule = FaultSchedule::none()
         .timed(Duration::from_millis(10), ft_cluster::FaultAction::KillNode(ft_cluster::NodeId(0)));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 20;
-    cfg.max_iters = 400;
-    cfg.detector.threads = 8;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(20)
+        .max_iters(400)
+        .detector(ft_core::DetectorConfig { threads: 8, ..Default::default() })
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     let pfs = ft_checkpoint::Pfs::new(ft_checkpoint::PfsConfig::instant());
     let report = run_ft_job(&world, cfg, schedule, move |ctx| ToyApp::new(ctx, &pfs));
     assert_workers_correct(&report, 4, 400);
@@ -320,10 +319,12 @@ fn false_positive_network_failure_is_enforced_dead() {
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
     let fault = world.fault();
     let fd = layout.fd_rank();
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 20;
-    cfg.max_iters = 400;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(20)
+        .max_iters(400)
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     // Break the link early enough that plenty of iterations remain.
     let schedule = FaultSchedule::none()
         .timed(Duration::from_millis(10), ft_cluster::FaultAction::BreakLink(fd, 1));
@@ -345,10 +346,12 @@ fn capacity_exhaustion_is_reported() {
         FaultSchedule::none().kill_rank_at_iteration(0, 10).kill_rank_at_iteration(1, 10);
     let layout = WorldLayout::new(3, 1);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 5;
-    cfg.max_iters = 40;
-    cfg.policy.abandon = Duration::from_secs(3);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(5)
+        .max_iters(40)
+        .abandon(Duration::from_secs(3))
+        .build()
+        .unwrap();
     let pfs = ft_checkpoint::Pfs::new(ft_checkpoint::PfsConfig::instant());
     let report = run_ft_job(&world, cfg, schedule, move |ctx| ToyApp::new(ctx, &pfs));
     let ev = report.events.snapshot();

@@ -12,7 +12,6 @@ use std::time::Duration;
 
 use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc, Pfs, PfsConfig};
 use ft_cluster::{FaultSchedule, Injection};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{run_ft_job, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, WorldLayout};
 use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
 
@@ -66,19 +65,20 @@ impl FtApp for PfsApp {
         Ok(())
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().unwrap();
-                self.acc = d.f64().unwrap();
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64().unwrap();
+        self.acc = d.f64().unwrap();
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
@@ -103,10 +103,12 @@ fn two_node_loss_restores_from_pfs_tier() {
     let schedule = FaultSchedule::none()
         .inject(Injection::kill_node("driver.checkpoint.commit", 1, 3))
         .inject(Injection::kill_node("driver.checkpoint.commit", 2, 3));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 4;
-    cfg.max_iters = iters;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(4)
+        .max_iters(iters)
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     let pfs = Pfs::new(PfsConfig::instant());
     let report = run_ft_job(&world, cfg, schedule, move |ctx| PfsApp::new(ctx, &pfs));
 

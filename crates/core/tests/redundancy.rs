@@ -4,9 +4,8 @@
 
 use std::time::Duration;
 
-use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc, Pfs, PfsConfig};
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc, Pfs, PfsConfig};
 use ft_cluster::{FaultAction, FaultSchedule};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{
     run_ft_job, EventKind, FtApp, FtConfig, FtCtx, FtResult, RecoveryPlan, Role, WorldLayout,
 };
@@ -49,26 +48,26 @@ impl FtApp for Acc {
         Ok(false)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        let mut e = Enc::new();
-        e.u64(iter).f64(self.acc);
-        self.ck.commit(iter / ctx.cfg.checkpoint_every, e.finish(), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        match consistent_restore(ctx, &self.ck, ctx.restore_source(), FETCH)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64().unwrap();
-                self.acc = d.f64().unwrap();
-                Ok(iter)
-            }
-            None => {
-                self.acc = 0.0;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc);
+        Ok(Some(e.finish()))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64().unwrap();
+        self.acc = d.f64().unwrap();
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        Ok(())
     }
 
     fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
@@ -94,11 +93,13 @@ fn redundant_job(
 ) -> ft_core::JobReport<f64> {
     let layout = WorldLayout::new(workers, spares);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 10;
-    cfg.max_iters = iters;
-    cfg.redundant_fd = true;
-    cfg.policy.abandon = Duration::from_secs(20);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(10)
+        .max_iters(iters)
+        .redundant_fd(true)
+        .abandon(Duration::from_secs(20))
+        .build()
+        .unwrap();
     let _unused_pfs = Pfs::new(PfsConfig::instant());
     run_ft_job(&world, cfg, schedule, Acc::new)
 }
@@ -177,11 +178,13 @@ fn without_redundancy_fd_death_is_fatal_but_bounded() {
     // timeout error instead of hanging forever.
     let layout = WorldLayout::new(3, 2);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 10;
-    cfg.max_iters = 100_000;
-    cfg.redundant_fd = false;
-    cfg.policy.abandon = Duration::from_millis(400);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(10)
+        .max_iters(100_000)
+        .redundant_fd(false)
+        .abandon(Duration::from_millis(400))
+        .build()
+        .unwrap();
     let schedule = FaultSchedule::none()
         .timed(Duration::from_millis(20), FaultAction::KillRank(4)) // the FD
         .timed(Duration::from_millis(40), FaultAction::KillRank(1));

@@ -1,0 +1,279 @@
+//! Conformance tests for the pluggable recovery strategies: one shared
+//! kill schedule replayed under checkpoint/restart, ABFT and
+//! replication, with the same exactness contract for all three.
+//!
+//! The deterministic accumulator makes every check bitwise: a run is
+//! correct iff each worker's `f64` equals the closed-form ground truth
+//! exactly, so an ABFT reconstruction that loses even one bit of the
+//! failed rank's state fails the `==`.
+
+use std::time::Duration;
+
+use ft_checkpoint::{Checkpointer, CheckpointerConfig, Dec, Enc};
+use ft_cluster::FaultSchedule;
+use ft_core::{
+    run_ft_job, EventKind, FtApp, FtConfig, FtConfigError, FtCtx, FtResult, JobReport,
+    RecoveryPlan, StrategyKind, WorldLayout,
+};
+use ft_gaspi::{GaspiConfig, GaspiWorld, ReduceOp};
+
+const STATE_TAG: u32 = 1;
+const FETCH: Duration = Duration::from_secs(5);
+
+/// The deterministic accumulator, expressed purely through the state
+/// hooks — the same application code runs under all three strategies.
+struct Acc {
+    acc: f64,
+    /// Rank-local series (never reduced): per-rank state is *asymmetric*,
+    /// so any restore path that corrupts one rank's block — e.g. the
+    /// designated ABFT survivor loading its parity-folded contribution
+    /// instead of its own block — breaks the exactness check instead of
+    /// hiding behind group-symmetric state.
+    local: f64,
+    ck: Checkpointer,
+}
+
+impl Acc {
+    fn new(ctx: &FtCtx) -> Self {
+        Self {
+            acc: 0.0,
+            local: 0.0,
+            ck: Checkpointer::new(&ctx.proc, CheckpointerConfig::for_tag(STATE_TAG), None),
+        }
+    }
+
+    fn expected(workers: u32, iters: u64) -> f64 {
+        f64::from(workers) * f64::from(workers + 1) / 2.0 * (iters * (iters + 1) / 2) as f64
+    }
+
+    fn expected_local(app: u32, iters: u64) -> f64 {
+        f64::from(app + 1) * (iters * (iters + 1) / 2) as f64
+    }
+}
+
+impl FtApp for Acc {
+    type Summary = (f64, f64);
+
+    fn setup(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        ctx.barrier_ft()?;
+        Ok(())
+    }
+
+    fn join_as_rescue(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<bool> {
+        let x = f64::from(ctx.app_rank() + 1) * (iter + 1) as f64;
+        // Mutate the local half *before* the collective: a step aborted by
+        // a failure leaves it half-applied, and only a full state reload
+        // can make the redo exact.
+        self.local += x;
+        self.acc += ctx.allreduce_f64_ft(&[x], ReduceOp::Sum)?[0];
+        Ok(false)
+    }
+
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.ck, FETCH))
+    }
+
+    fn export_state(&self, _ctx: &FtCtx, iter: u64) -> FtResult<Option<Vec<u8>>> {
+        let mut e = Enc::new();
+        e.u64(iter).f64(self.acc).f64(self.local);
+        Ok(Some(e.finish()))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64()?;
+        self.acc = d.f64()?;
+        self.local = d.f64()?;
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, _ctx: &FtCtx) -> FtResult<()> {
+        self.acc = 0.0;
+        self.local = 0.0;
+        Ok(())
+    }
+
+    fn rewire(&mut self, _ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {
+        self.ck.refresh_failed(&plan.failed);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &FtCtx) -> FtResult<(f64, f64)> {
+        Ok((self.acc, self.local))
+    }
+}
+
+const WORKERS: u32 = 4;
+const SPARES: u32 = 3; // 2 idle rescues + the FD
+const ITERS: u64 = 12;
+
+fn job(strategy: StrategyKind, schedule: FaultSchedule) -> JobReport<(f64, f64)> {
+    let layout = WorldLayout::new(WORKERS, SPARES);
+    let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(4)
+        .max_iters(ITERS)
+        .abandon(Duration::from_secs(20))
+        .strategy(strategy)
+        .build()
+        .unwrap();
+    run_ft_job(&world, cfg, schedule, Acc::new)
+}
+
+fn assert_exact(report: &JobReport<(f64, f64)>, label: &str) {
+    let summaries = report.worker_summaries();
+    assert_eq!(summaries.len(), WORKERS as usize, "[{label}] all app ranks must finish");
+    for (app, (acc, local)) in summaries {
+        assert_eq!(*acc, Acc::expected(WORKERS, ITERS), "[{label}] app rank {app}");
+        assert_eq!(*local, Acc::expected_local(app, ITERS), "[{label}] app rank {app} local");
+    }
+}
+
+/// The shared schedule: rank 1 exits at iteration 6 — two iterations
+/// past the version-1 checkpoint, mid steady-state.
+fn shared_kill() -> FaultSchedule {
+    FaultSchedule::none().kill_rank_at_iteration(1, 6)
+}
+
+#[test]
+fn one_kill_schedule_is_exact_under_every_strategy() {
+    for strategy in [StrategyKind::CheckpointRestart, StrategyKind::Abft, StrategyKind::Replicated]
+    {
+        let report = job(strategy, shared_kill());
+        assert_eq!(report.killed(), vec![1], "[{}] the kill must fire", strategy.name());
+        assert_exact(&report, strategy.name());
+        let restored =
+            report.events.snapshot().iter().any(|e| matches!(e.kind, EventKind::Restored { .. }));
+        assert!(restored, "[{}] a real recovery must have happened", strategy.name());
+    }
+}
+
+#[test]
+fn abft_reconstructs_at_the_frontier_with_zero_redo() {
+    let report = job(StrategyKind::Abft, shared_kill());
+    assert_exact(&report, "abft");
+    let ev = report.events.snapshot();
+    // The victim died right after the generation-6 parity round, so the
+    // group resumes at iteration 6 — the failure frontier. Nothing is
+    // recomputed: no redo interval may open.
+    assert!(
+        !ev.iter().any(|e| matches!(e.kind, EventKind::RedoComplete { .. })),
+        "ABFT reconstruction must not redo work"
+    );
+    let restores: Vec<u64> = ev
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Restored { iter, .. } => Some(iter),
+            _ => None,
+        })
+        .collect();
+    assert!(!restores.is_empty());
+    assert!(
+        restores.iter().all(|&i| i == 6),
+        "every member must resume at the frontier, got {restores:?}"
+    );
+}
+
+#[test]
+fn checkpoint_restart_rolls_back_where_abft_does_not() {
+    // Contrast pin: under the identical schedule, C/R resumes at the
+    // version-1 checkpoint (iteration 4) and redoes the lost interval.
+    let report = job(StrategyKind::CheckpointRestart, shared_kill());
+    assert_exact(&report, "checkpoint-restart");
+    let ev = report.events.snapshot();
+    assert!(
+        ev.iter().any(|e| matches!(e.kind, EventKind::Restored { iter: 4, .. })),
+        "C/R must roll back to the checkpoint"
+    );
+    assert!(
+        ev.iter().any(|e| matches!(e.kind, EventKind::RedoComplete { .. })),
+        "C/R must redo the lost interval"
+    );
+}
+
+#[test]
+fn abft_double_failure_exceeds_the_parity_code_but_stays_exact() {
+    // Two ranks die at the same iteration: a single-erasure code cannot
+    // reconstruct both, so the group degrades to a collective fresh
+    // start — slower, never wrong.
+    let schedule = FaultSchedule::none().kill_rank_at_iteration(1, 6).kill_rank_at_iteration(2, 6);
+    let report = job(StrategyKind::Abft, schedule);
+    let mut killed = report.killed();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 2]);
+    assert_exact(&report, "abft-double");
+    let ev = report.events.snapshot();
+    assert!(
+        ev.iter().any(|e| matches!(e.kind, EventKind::Restored { iter: 0, .. })),
+        "a double erasure must degrade to a fresh start"
+    );
+}
+
+#[test]
+fn replication_promotes_the_designated_shadow() {
+    // With the replicated strategy the detector assigns each app rank a
+    // designated shadow spare: app rank 1's standby is gaspi rank
+    // WORKERS + 1, and that exact spare must adopt it.
+    let report = job(StrategyKind::Replicated, shared_kill());
+    assert_exact(&report, "replicated");
+    let ev = report.events.snapshot();
+    let activated = ev
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Activated { app_rank: 1 }))
+        .expect("a rescue must adopt app rank 1");
+    assert_eq!(
+        activated.rank,
+        WORKERS + 1,
+        "the designated shadow (not pool order) must take over"
+    );
+    // Takeover resumes at the frontier generation: no redo either.
+    assert!(
+        !ev.iter().any(|e| matches!(e.kind, EventKind::RedoComplete { .. })),
+        "replication takeover must not redo work"
+    );
+}
+
+#[test]
+fn strategies_agree_bit_for_bit_on_a_clean_run() {
+    let mut finals: Vec<Vec<(u32, (f64, f64))>> = Vec::new();
+    for strategy in [StrategyKind::CheckpointRestart, StrategyKind::Abft, StrategyKind::Replicated]
+    {
+        let report = job(strategy, FaultSchedule::none());
+        assert_exact(&report, strategy.name());
+        finals.push(report.worker_summaries().into_iter().map(|(a, v)| (a, *v)).collect());
+    }
+    assert_eq!(finals[0], finals[1], "C/R and ABFT must agree bitwise");
+    assert_eq!(finals[0], finals[2], "C/R and replication must agree bitwise");
+}
+
+#[test]
+fn builder_rejects_invalid_configs() {
+    let layout = WorldLayout::new(4, 2);
+    assert!(matches!(
+        FtConfig::builder(layout).max_iters(0).build(),
+        Err(FtConfigError::ZeroIters)
+    ));
+    let layout = WorldLayout::new(4, 1);
+    assert!(matches!(
+        FtConfig::builder(layout).max_iters(10).redundant_fd(true).build(),
+        Err(FtConfigError::ShadowNeedsSpares { have: 1 })
+    ));
+    // One spare is the FD alone: replication has no standby to promote.
+    let layout = WorldLayout::new(4, 1);
+    let err = FtConfig::builder(layout)
+        .max_iters(10)
+        .strategy(StrategyKind::Replicated)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, FtConfigError::ReplicationNeedsSpares));
+    assert!(!err.to_string().is_empty());
+    // And the happy path wires the designated-shadow rescue policy in.
+    let layout = WorldLayout::new(4, 3);
+    let cfg =
+        FtConfig::builder(layout).max_iters(10).strategy(StrategyKind::Replicated).build().unwrap();
+    assert!(cfg.detector.designated_shadows);
+}

@@ -217,6 +217,7 @@ impl GaspiProc {
                 ReduceOp::Sum => acc + x,
                 ReduceOp::Min => acc.min(x),
                 ReduceOp::Max => acc.max(x),
+                ReduceOp::BitXor => f64::from_bits(acc.to_bits() ^ x.to_bits()),
             },
             f64::to_le_bytes,
             f64::from_le_bytes,
@@ -240,6 +241,7 @@ impl GaspiProc {
                 ReduceOp::Sum => acc.wrapping_add(x),
                 ReduceOp::Min => acc.min(x),
                 ReduceOp::Max => acc.max(x),
+                ReduceOp::BitXor => acc ^ x,
             },
             u64::to_le_bytes,
             u64::from_le_bytes,

@@ -69,4 +69,8 @@ pub enum ReduceOp {
     Min,
     /// Element-wise maximum.
     Max,
+    /// Element-wise bitwise XOR. For `f64` buffers the XOR is applied
+    /// to the IEEE-754 bit patterns, making the reduction exact and
+    /// order-independent — the property ABFT parity encoding needs.
+    BitXor,
 }

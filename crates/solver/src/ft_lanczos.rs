@@ -20,7 +20,6 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ft_checkpoint::{Checkpointer, CheckpointerConfig, CkptStats, CopyPolicy, Pfs};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtError, FtResult, RecoveryPlan};
 use ft_gaspi::{GaspiError, SegId, Timeout};
 use ft_matgen::RowGen;
@@ -236,31 +235,28 @@ impl FtApp for FtLanczos {
         Ok(false)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        let state = self.state.as_ref().expect("checkpoint before setup");
-        let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.commit(version, state.encode(), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.state_ck, self.cfg.fetch_timeout))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        let source = ctx.restore_source();
-        match consistent_restore(ctx, &self.state_ck, source, self.cfg.fetch_timeout)? {
-            Some(r) => {
-                let st = LanczosState::decode(&r.data)?;
-                let iter = st.iter;
-                self.state = Some(st);
-                self.last_low_eig = None;
-                Ok(iter)
-            }
-            None => {
-                // No consistent checkpoint anywhere: restart the Krylov
-                // process from the deterministic start vector.
-                self.state = Some(self.fresh_state(ctx)?);
-                self.last_low_eig = None;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, _iter: u64) -> FtResult<Option<Vec<u8>>> {
+        Ok(self.state.as_ref().map(LanczosState::encode))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let st = LanczosState::decode(data)?;
+        let iter = st.iter;
+        self.state = Some(st);
+        self.last_low_eig = None;
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        // No consistent state anywhere: restart the Krylov process from
+        // the deterministic start vector.
+        self.state = Some(self.fresh_state(ctx)?);
+        self.last_low_eig = None;
+        Ok(())
     }
 
     fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {

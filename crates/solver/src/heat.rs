@@ -12,7 +12,6 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ft_checkpoint::{Checkpointer, CheckpointerConfig, CopyPolicy, Dec, Enc, Pfs};
-use ft_core::ckpt::consistent_restore;
 use ft_core::{FtApp, FtCtx, FtError, FtResult, RecoveryPlan};
 use ft_gaspi::{GaspiError, SegId, Timeout};
 use ft_matgen::stencil::Laplace2d;
@@ -195,28 +194,26 @@ impl FtApp for FtHeat {
         Ok(self.last_residual < self.cfg.tol)
     }
 
-    fn checkpoint(&mut self, ctx: &FtCtx, iter: u64) -> FtResult<()> {
-        let version = iter / ctx.cfg.checkpoint_every;
-        self.state_ck.commit(version, self.encode_state(), CopyPolicy::Replicate);
-        Ok(())
+    fn state_stream(&self) -> Option<(&Checkpointer, Duration)> {
+        Some((&self.state_ck, self.cfg.fetch_timeout))
     }
 
-    fn restore(&mut self, ctx: &FtCtx) -> FtResult<u64> {
-        let source = ctx.restore_source();
-        match consistent_restore(ctx, &self.state_ck, source, self.cfg.fetch_timeout)? {
-            Some(r) => {
-                let mut d = Dec::new(&r.data);
-                let iter = d.u64()?;
-                self.u = d.f64s()?;
-                self.iter = iter;
-                Ok(iter)
-            }
-            None => {
-                self.u = vec![0.0; self.partition(ctx).len(ctx.app_rank())];
-                self.iter = 0;
-                Ok(0)
-            }
-        }
+    fn export_state(&self, _ctx: &FtCtx, _iter: u64) -> FtResult<Option<Vec<u8>>> {
+        Ok(Some(self.encode_state()))
+    }
+
+    fn load_state(&mut self, _ctx: &FtCtx, data: &[u8]) -> FtResult<u64> {
+        let mut d = Dec::new(data);
+        let iter = d.u64()?;
+        self.u = d.f64s()?;
+        self.iter = iter;
+        Ok(iter)
+    }
+
+    fn reset_state(&mut self, ctx: &FtCtx) -> FtResult<()> {
+        self.u = vec![0.0; self.partition(ctx).len(ctx.app_rank())];
+        self.iter = 0;
+        Ok(())
     }
 
     fn rewire(&mut self, ctx: &FtCtx, plan: &RecoveryPlan) -> FtResult<()> {

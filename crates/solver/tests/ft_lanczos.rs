@@ -22,10 +22,12 @@ fn run_job(
 ) -> JobReport<LanczosSummary> {
     let layout = WorldLayout::new(workers, spares);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = ckpt_every;
-    cfg.max_iters = iters;
-    cfg.policy.abandon = std::time::Duration::from_secs(30);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(ckpt_every)
+        .max_iters(iters)
+        .abandon(std::time::Duration::from_secs(30))
+        .build()
+        .unwrap();
     let app_cfg = Arc::new(FtLanczosConfig {
         pfs: Some(Pfs::new(PfsConfig::instant())),
         ..FtLanczosConfig::fixed_iters(gen)
@@ -127,9 +129,7 @@ fn convergence_check_stops_early_and_agrees() {
     let gen = Diagonal::new((0..64).map(f64::from).collect());
     let layout = WorldLayout::new(4, 1);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 10;
-    cfg.max_iters = 64;
+    let cfg = FtConfig::builder(layout).checkpoint_every(10).max_iters(64).build().unwrap();
     let app_cfg = Arc::new(FtLanczosConfig {
         conv_check_every: 5,
         conv_tol: 1e-9,
@@ -164,10 +164,12 @@ fn sell_kernels_are_bitwise_identical_to_csr() {
                     schedule: FaultSchedule| {
         let layout = WorldLayout::new(3, 2);
         let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-        let mut cfg = FtConfig::new(layout);
-        cfg.checkpoint_every = 10;
-        cfg.max_iters = iters;
-        cfg.policy.abandon = std::time::Duration::from_secs(30);
+        let cfg = FtConfig::builder(layout)
+            .checkpoint_every(10)
+            .max_iters(iters)
+            .abandon(std::time::Duration::from_secs(30))
+            .build()
+            .unwrap();
         let app_cfg = Arc::new(FtLanczosConfig {
             pfs: Some(Pfs::new(PfsConfig::instant())),
             sell,

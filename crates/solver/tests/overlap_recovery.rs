@@ -171,10 +171,12 @@ fn failure_between_post_and_wait_recovers_and_stays_correct() {
     let gen = Arc::new(ToeplitzTridiag::new(90, 2.0, -1.0));
     let layout = WorldLayout::new(3, 2);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.checkpoint_every = 0;
-    cfg.max_iters = MAX_ITERS;
-    cfg.policy.abandon = std::time::Duration::from_secs(30);
+    let cfg = FtConfig::builder(layout)
+        .checkpoint_every(0)
+        .max_iters(MAX_ITERS)
+        .abandon(std::time::Duration::from_secs(30))
+        .build()
+        .unwrap();
     let report = run_ft_job(&world, cfg, FaultSchedule::none(), move |_ctx| {
         OverlapProbe::new(Arc::clone(&gen))
     });

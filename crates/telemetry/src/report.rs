@@ -296,6 +296,14 @@ impl OverheadReport {
         self.epochs.iter().map(EpochTimeline::restore).sum()
     }
 
+    /// Epochs that spent time redoing lost work. Rollback recovery
+    /// (checkpoint/restart) redoes an interval after every mid-interval
+    /// failure; reconstruction (ABFT) and replication takeover resume at
+    /// the failure frontier, so this stays 0 for them.
+    pub fn redo_epochs(&self) -> usize {
+        self.epochs.iter().filter(|e| e.redo() > Duration::ZERO).count()
+    }
+
     /// Total overhead (everything that is not computation).
     pub fn overhead(&self) -> Duration {
         self.detect + self.reinit + self.redo
@@ -312,6 +320,7 @@ impl OverheadReport {
             ("ohf3_restore_s", Json::Num(self.restore().as_secs_f64())),
             ("reinit_s", Json::Num(self.reinit.as_secs_f64())),
             ("redo_s", Json::Num(self.redo.as_secs_f64())),
+            ("redo_epochs", Json::num_u64(self.redo_epochs() as u64)),
             ("recoveries", Json::num_u64(self.recoveries() as u64)),
             ("failures", Json::num_u64(self.failures as u64)),
             ("fd_promoted", Json::Bool(self.fd_promoted)),

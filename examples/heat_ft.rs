@@ -20,12 +20,14 @@ fn main() {
     let layout = WorldLayout::new(6, 3);
     // Two ranks per node: killing node 1 takes out ranks 2 and 3 at once.
     let world = GaspiWorld::new(GaspiConfig::new(layout.total()).with_ranks_per_node(2));
-    let mut cfg = FtConfig::new(layout);
     // Jacobi contracts slowly (rate ≈ 1 − O(1/n²)); a 32×32 grid reaches
     // 1e-6 within a few thousand sweeps.
-    cfg.max_iters = 8000;
-    cfg.checkpoint_every = 250;
-    cfg.policy.abandon = Duration::from_secs(30);
+    let cfg = FtConfig::builder(layout)
+        .max_iters(8000)
+        .checkpoint_every(250)
+        .abandon(Duration::from_secs(30))
+        .build()
+        .unwrap();
 
     let app_cfg = Arc::new(HeatConfig {
         pfs: Some(Pfs::new(PfsConfig::instant())),

@@ -42,13 +42,18 @@ const CHECKPOINT_EVERY: u64 = 150;
 /// bit for bit.
 fn world_cfg() -> (FtConfig, GaspiConfig) {
     let layout = WorldLayout::new(WORKERS, SPARES);
-    let mut ft = FtConfig::new(layout);
-    ft.max_iters = MAX_ITERS;
-    ft.checkpoint_every = CHECKPOINT_EVERY;
-    ft.policy.abandon = Duration::from_secs(30);
-    ft.detector.scan_interval = Duration::from_millis(5);
-    ft.detector.ping_timeout = Timeout::Ms(60);
-    ft.detector.ack_timeout = Timeout::Ms(500);
+    let ft = FtConfig::builder(layout)
+        .max_iters(MAX_ITERS)
+        .checkpoint_every(CHECKPOINT_EVERY)
+        .abandon(Duration::from_secs(30))
+        .detector(ft_core::DetectorConfig {
+            scan_interval: Duration::from_millis(5),
+            ping_timeout: Timeout::Ms(60),
+            ack_timeout: Timeout::Ms(500),
+            ..Default::default()
+        })
+        .build()
+        .expect("example config must validate");
     let gaspi = GaspiConfig::deterministic(layout.total()).with_seed(7);
     (ft, gaspi)
 }

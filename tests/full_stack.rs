@@ -39,11 +39,13 @@ fn lanczos_survives_node_failure_with_colocated_ranks() {
     // neighbor-level checkpoints on node 2 carry the recovery.
     let layout = WorldLayout::new(6, 4);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()).with_ranks_per_node(2));
-    let mut cfg = FtConfig::new(layout);
-    cfg.max_iters = 400;
-    cfg.checkpoint_every = 50;
-    cfg.detector.threads = 4;
-    cfg.policy.abandon = Duration::from_secs(30);
+    let cfg = FtConfig::builder(layout)
+        .max_iters(400)
+        .checkpoint_every(50)
+        .detector(ft_core::DetectorConfig { threads: 4, ..Default::default() })
+        .abandon(Duration::from_secs(30))
+        .build()
+        .unwrap();
     let gen = Graphene::new(10, 6).with_nnn(-0.1);
     let app_cfg = Arc::new(FtLanczosConfig {
         pfs: Some(Pfs::new(PfsConfig::instant())),
@@ -71,10 +73,12 @@ fn lanczos_survives_node_failure_with_colocated_ranks() {
 fn heat_app_converges_through_failure() {
     let layout = WorldLayout::new(4, 2);
     let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-    let mut cfg = FtConfig::new(layout);
-    cfg.max_iters = 6000;
-    cfg.checkpoint_every = 300;
-    cfg.policy.abandon = Duration::from_secs(30);
+    let cfg = FtConfig::builder(layout)
+        .max_iters(6000)
+        .checkpoint_every(300)
+        .abandon(Duration::from_secs(30))
+        .build()
+        .unwrap();
     let app_cfg = Arc::new(HeatConfig {
         pfs: Some(Pfs::new(PfsConfig::instant())),
         tol: 1e-5,
@@ -99,10 +103,12 @@ fn failure_free_and_failed_heat_agree_on_the_physics() {
     let run = |schedule: FaultSchedule| {
         let layout = WorldLayout::new(3, 2);
         let world = GaspiWorld::new(GaspiConfig::deterministic(layout.total()));
-        let mut cfg = FtConfig::new(layout);
-        cfg.max_iters = 6000;
-        cfg.checkpoint_every = 400;
-        cfg.policy.abandon = Duration::from_secs(30);
+        let cfg = FtConfig::builder(layout)
+            .max_iters(6000)
+            .checkpoint_every(400)
+            .abandon(Duration::from_secs(30))
+            .build()
+            .unwrap();
         let app_cfg = Arc::new(HeatConfig {
             pfs: Some(Pfs::new(PfsConfig::instant())),
             tol: 1e-6,
